@@ -1,0 +1,68 @@
+//! The efficiency axis of the hybrid ladder, measured as wall time.
+//!
+//! The `tradeoff` experiment binary reports accuracy (drift, % of
+//! ideal) and abstract overhead (heap operations) per scheme; this
+//! bench pins down the *concrete* cost of the same ladder — how much
+//! wall time each scheme spends scheduling an identical bursty
+//! workload — so the frontier can be drawn with measured time on the
+//! x-axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfair_core::rational::rat;
+use pfair_sched::engine::{simulate, SimConfig};
+use pfair_sched::event::Workload;
+use pfair_sched::reweight::{HybridPolicy, Scheme};
+use std::hint::black_box;
+
+/// A bursty 16-task workload on 4 CPUs with order-of-magnitude swings —
+/// the regime where the schemes differ most.
+fn bursty_workload(horizon: i64) -> Workload {
+    let mut w = Workload::new();
+    for i in 0..16u32 {
+        w.join(i, 0, 1, 40);
+        let phase = 53 * (i as i64 + 1);
+        let mut t = phase;
+        while t + 150 < horizon {
+            w.reweight(i, t, 1, 5);
+            w.reweight(i, t + 40, 1, 12);
+            w.reweight(i, t + 80, 1, 40);
+            t += 250;
+        }
+    }
+    w
+}
+
+fn bench_hybrid_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_ladder_1000_slots");
+    group.sample_size(20);
+    let horizon = 1_000;
+    let workload = bursty_workload(horizon);
+    let ladder: Vec<(&str, Scheme)> = vec![
+        ("lj", Scheme::LeaveJoin),
+        ("every4th", Scheme::Hybrid(HybridPolicy::EveryNth(4))),
+        ("every2nd", Scheme::Hybrid(HybridPolicy::EveryNth(2))),
+        (
+            "threshold50",
+            Scheme::Hybrid(HybridPolicy::MagnitudeThreshold(rat(1, 2))),
+        ),
+        (
+            "budget2per100",
+            Scheme::Hybrid(HybridPolicy::OiBudget { budget: 2, window: 100 }),
+        ),
+        ("oi", Scheme::Oi),
+    ];
+    for (label, scheme) in ladder {
+        group.bench_with_input(BenchmarkId::new(label, "bursty16"), &scheme, |b, scheme| {
+            b.iter(|| {
+                let cfg = SimConfig::oi(4, horizon).with_scheme(scheme.clone());
+                let r = simulate(cfg, &workload);
+                assert!(r.is_miss_free());
+                black_box(r.counters.heap_ops())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid_ladder);
+criterion_main!(benches);

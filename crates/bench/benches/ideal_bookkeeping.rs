@@ -1,0 +1,88 @@
+//! Cost of the exact-arithmetic ideal-schedule bookkeeping.
+//!
+//! PD²-OI's extra accuracy rests on tracking `I_SW` completions online
+//! with exact rationals. This bench isolates that machinery: the
+//! per-slot cost of an `IswTracker`/`PsTracker` advance, and the raw
+//! rational operations underneath, to show the bookkeeping stays far
+//! below the slot budget (the paper's 1 ms quantum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfair_core::ideal::{IswTracker, PsTracker};
+use pfair_core::rational::{rat, Rational};
+use pfair_core::weight::Weight;
+use pfair_core::window::{b_bit, periodic_window};
+use std::hint::black_box;
+
+fn bench_isw_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isw_tracker");
+    for &(num, den) in &[(1i128, 3i128), (3, 20), (25, 2520)] {
+        group.bench_with_input(
+            BenchmarkId::new("advance_1000_slots", format!("w{}_{}", num, den)),
+            &(num, den),
+            |b, &(num, den)| {
+                let w = Weight::new(rat(num, den));
+                b.iter(|| {
+                    let mut tr = IswTracker::new(w.value(), 0);
+                    let mut next_sub = 1u64;
+                    let mut next_release = 0i64;
+                    for t in 0..1000i64 {
+                        while next_release == t {
+                            let win = periodic_window(w, next_sub, 0);
+                            tr.add_subtask(
+                                next_sub,
+                                win.release,
+                                next_sub == 1,
+                                next_sub > 1 && b_bit(w, next_sub - 1),
+                            );
+                            next_sub += 1;
+                            next_release = periodic_window(w, next_sub, 0).release;
+                        }
+                        black_box(tr.advance(t));
+                    }
+                    black_box(tr.isw_total())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ps_advance(c: &mut Criterion) {
+    c.bench_function("ps_tracker_advance_1000_slots", |b| {
+        b.iter(|| {
+            let mut ps = PsTracker::new(rat(841, 2520), 0);
+            for t in 0..1000i64 {
+                if t % 17 == 0 {
+                    ps.set_wt(rat(600 + (t % 200) as i128, 2520));
+                }
+                black_box(ps.advance(t));
+            }
+            black_box(ps.total())
+        });
+    });
+}
+
+fn bench_rational_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rational");
+    let a = rat(841, 2520);
+    let d = rat(3, 19);
+    group.bench_function("add", |b| b.iter(|| black_box(black_box(a) + black_box(d))));
+    group.bench_function("mul", |b| b.iter(|| black_box(black_box(a) * black_box(d))));
+    group.bench_function("cmp", |b| b.iter(|| black_box(black_box(a) < black_box(d))));
+    group.bench_function("div_ceil_int", |b| {
+        b.iter(|| black_box(black_box(d).div_ceil_int(black_box(7))))
+    });
+    group.bench_function("accumulate_1000", |b| {
+        b.iter(|| {
+            let mut acc = Rational::ZERO;
+            for _ in 0..1000 {
+                acc += black_box(a);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_isw_advance, bench_ps_advance, bench_rational_ops);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Reweighting operation cost.
+//!
+//! §6 of the paper: reweighting one task costs `O(log N)` (a
+//! constant number of priority-queue operations); reweighting **all**
+//! `N` tasks simultaneously costs `Ω(max(N, M log N))` under PD²-OI
+//! versus `O(M log N)` under PD²-LJ. This bench measures a slot that
+//! carries (a) one reweighting event and (b) a simultaneous burst of
+//! `N` events, for both schemes, across system sizes — the growth
+//! curves EXPERIMENTS.md compares against the stated bounds.
+
+use bench::{reweight_burst, uniform_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfair_sched::engine::{Engine, SimConfig};
+use pfair_sched::event::Workload;
+use pfair_sched::reweight::Scheme;
+use std::hint::black_box;
+
+const BURST_AT: i64 = 32;
+
+fn single_event_workload(n: u32, m: u32) -> Workload {
+    let mut w = uniform_workload(n, m);
+    let num = i128::from(m);
+    let den = i128::from(4 * n.max(m));
+    w.reweight(0, BURST_AT, num, den);
+    w
+}
+
+/// Engine advanced to the slot *before* the events fire.
+fn prepared(w: &Workload, m: u32, scheme: Scheme) -> Engine {
+    let mut e = Engine::new(
+        SimConfig::oi(m, 1_000_000).with_scheme(scheme),
+        w,
+    );
+    for _ in 0..BURST_AT {
+        e.step();
+    }
+    e
+}
+
+fn bench_single_reweight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reweight_single");
+    for &n in &[16u32, 64, 256, 1024] {
+        let m = 4;
+        for (label, scheme) in [("oi", Scheme::Oi), ("lj", Scheme::LeaveJoin)] {
+            let w = single_event_workload(n, m);
+            let engine = prepared(&w, m, scheme.clone());
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter_batched(
+                    || engine.clone(),
+                    |mut e| {
+                        e.step(); // the slot containing the one event
+                        black_box(e.now())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_simultaneous_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reweight_burst_all_n");
+    group.sample_size(30);
+    for &n in &[16u32, 64, 256, 1024] {
+        let m = 4;
+        for (label, scheme) in [("oi", Scheme::Oi), ("lj", Scheme::LeaveJoin)] {
+            let w = reweight_burst(n, m, BURST_AT);
+            let engine = prepared(&w, m, scheme.clone());
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter_batched(
+                    || engine.clone(),
+                    |mut e| {
+                        e.step(); // the slot in which all N tasks reweight
+                        black_box(e.now())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_reweight, bench_simultaneous_burst);
+criterion_main!(benches);

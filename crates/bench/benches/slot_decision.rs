@@ -1,0 +1,73 @@
+//! Per-slot scheduling decision cost.
+//!
+//! The paper measured ≈ 5 µs per slot for all its task systems on the
+//! 2.7 GHz testbed and concluded scheduling overhead is negligible
+//! against a 1 ms quantum. This bench reproduces that measurement for
+//! our engine: one `Engine::step` (the full slot pipeline — events,
+//! releases, PD² selection, ideal bookkeeping) at Whisper scale (12
+//! tasks) and beyond (48, 192 tasks). EXPERIMENTS.md records the
+//! comparison against the 1 ms quantum.
+
+use bench::uniform_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfair_sched::engine::{Engine, SimConfig};
+use std::hint::black_box;
+
+fn prepared_engine(n: u32, m: u32, warm_slots: i64) -> Engine {
+    let w = uniform_workload(n, m);
+    let mut e = Engine::new(SimConfig::oi(m, 1_000_000), &w);
+    for _ in 0..warm_slots {
+        e.step();
+    }
+    e
+}
+
+fn bench_slot_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_decision");
+    for &(n, m) in &[(12u32, 4u32), (48, 8), (192, 16)] {
+        group.bench_with_input(
+            BenchmarkId::new("pd2_step", format!("{}tasks_{}cpus", n, m)),
+            &(n, m),
+            |b, &(n, m)| {
+                let engine = prepared_engine(n, m, 64);
+                b.iter_batched(
+                    || engine.clone(),
+                    |mut e| {
+                        e.step();
+                        black_box(e.now())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sustained_throughput(c: &mut Criterion) {
+    // Amortized cost per slot over a long run (no per-iteration clone).
+    let mut group = c.benchmark_group("slot_sustained");
+    group.sample_size(20);
+    for &(n, m) in &[(12u32, 4u32), (48, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("pd2_256slots", format!("{}tasks_{}cpus", n, m)),
+            &(n, m),
+            |b, &(n, m)| {
+                b.iter_batched(
+                    || prepared_engine(n, m, 16),
+                    |mut e| {
+                        for _ in 0..256 {
+                            e.step();
+                        }
+                        black_box(e.now())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot_decision, bench_sustained_throughput);
+criterion_main!(benches);

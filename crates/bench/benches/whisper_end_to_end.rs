@@ -1,0 +1,71 @@
+//! End-to-end Whisper runs: the full Fig. 11 unit of work — workload
+//! generation plus a 1,000-slot four-processor simulation — under each
+//! reweighting scheme. The absolute times here bound how long the full
+//! 61-run × sweep experiment matrix takes, and the OI/LJ/hybrid spread
+//! is the efficiency axis of the trade-off at whole-run granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfair_core::rational::rat;
+use pfair_sched::reweight::{HybridPolicy, Scheme};
+use std::hint::black_box;
+use whisper_sim::{generate_workload, run_whisper, Scenario};
+
+fn bench_whisper_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whisper_run_1000_slots");
+    group.sample_size(20);
+    let schemes: Vec<(&str, Scheme)> = vec![
+        ("oi", Scheme::Oi),
+        ("lj", Scheme::LeaveJoin),
+        (
+            "hybrid_threshold",
+            Scheme::Hybrid(HybridPolicy::MagnitudeThreshold(rat(1, 5))),
+        ),
+    ];
+    for (label, scheme) in schemes {
+        group.bench_with_input(BenchmarkId::new(label, "speed2.9"), &scheme, |b, scheme| {
+            b.iter(|| {
+                let sc = Scenario::new(2.9, 0.25, true, 7);
+                black_box(run_whisper(&sc, scheme.clone()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    // Workload generation alone: geometry + cost model, no scheduling.
+    c.bench_function("whisper_workload_generation", |b| {
+        b.iter(|| {
+            let sc = Scenario::new(2.9, 0.25, true, 7);
+            black_box(generate_workload(&sc).task_count())
+        });
+    });
+}
+
+fn bench_speed_scaling(c: &mut Criterion) {
+    // Faster speakers mean more reweighting events per run: how does
+    // wall time scale with adaptivity pressure?
+    let mut group = c.benchmark_group("whisper_run_by_speed");
+    group.sample_size(15);
+    for &speed in &[0.5, 2.0, 3.5] {
+        group.bench_with_input(
+            BenchmarkId::new("oi", format!("{}mps", speed)),
+            &speed,
+            |b, &speed| {
+                b.iter(|| {
+                    let sc = Scenario::new(speed, 0.25, true, 7);
+                    black_box(run_whisper(&sc, Scheme::Oi))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_whisper_run,
+    bench_workload_generation,
+    bench_speed_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Shared fixtures for the Criterion benchmarks: canned workloads of
+//! parametric size so every bench target measures the same systems.
+
+use pfair_sched::prelude::*;
+
+/// A saturated `m`-processor system of `n` tasks of equal weight
+/// `m/(2n)`-ish (clamped to ≤ 1/2), all joining at time 0.
+pub fn uniform_workload(n: u32, m: u32) -> Workload {
+    let mut w = Workload::new();
+    // weight = m / (2n), kept ≤ 1/2 and ≥ 1/(4n).
+    let num = i128::from(m);
+    let den = i128::from(2 * n.max(m));
+    for i in 0..n {
+        w.join(i, 0, num, den);
+    }
+    w
+}
+
+/// The same system plus one reweighting event per task at `at`.
+pub fn reweight_burst(n: u32, m: u32, at: i64) -> Workload {
+    let mut w = uniform_workload(n, m);
+    let num = i128::from(m);
+    let den = i128::from(4 * n.max(m));
+    for i in 0..n {
+        w.reweight(i, at, num, den);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_workload_is_feasible() {
+        let w = uniform_workload(16, 4);
+        let r = simulate(SimConfig::oi(4, 64), &w);
+        assert!(r.is_miss_free());
+    }
+
+    #[test]
+    fn reweight_burst_runs_under_both_schemes() {
+        let w = reweight_burst(8, 2, 10);
+        assert!(simulate(SimConfig::oi(2, 64), &w).is_miss_free());
+        let lj = simulate(SimConfig::leave_join(2, 64), &w);
+        assert!(lj.is_miss_free());
+    }
+}

@@ -1,0 +1,99 @@
+//! # pfair-cli
+//!
+//! Library backing the `pfair` command-line tool: parse a workload file
+//! ([`parser`]), run it through the PD² engine, and render reports
+//! ([`report`]). The binary in `main.rs` is a thin shell over
+//! [`run_file`].
+
+pub mod parser;
+pub mod report;
+
+use pfair_sched::engine::simulate;
+use pfair_sched::trace::SimResult;
+use pfair_sched::verify::verify;
+
+/// Options for a CLI run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Print window diagrams after the summary.
+    pub render: bool,
+    /// Run the independent schedule verifier and report violations.
+    pub verify: bool,
+}
+
+/// Serializes a full result (exact rationals included) as JSON, for
+/// downstream tooling.
+pub fn to_json(result: &SimResult) -> String {
+    serde_json::to_string_pretty(result).expect("SimResult serializes")
+}
+
+/// Parses and runs a workload file's contents; returns the formatted
+/// report and the raw result.
+pub fn run_str(input: &str, opts: RunOptions) -> Result<(String, SimResult), parser::ParseError> {
+    let spec = parser::parse(input)?;
+    let result = simulate(spec.config, &spec.workload);
+    let mut out = report::summary(&result);
+    if opts.render {
+        out.push('\n');
+        out.push_str(&report::diagrams(&result));
+    }
+    if opts.verify {
+        let violations = verify(&result);
+        if violations.is_empty() {
+            out.push_str("\nverification: OK (windows, schedule, capacity, misses, lag)\n");
+        } else {
+            out.push_str("\nverification FAILED:\n");
+            for violation in violations {
+                out.push_str(&format!("  - {}\n", violation));
+            }
+        }
+    }
+    Ok((out, result))
+}
+
+/// [`run_str`] over a file path.
+pub fn run_file(path: &str, opts: RunOptions) -> Result<(String, SimResult), String> {
+    let input = std::fs::read_to_string(path).map_err(|e| format!("reading {}: {}", path, e))?;
+    run_str(&input, opts).map_err(|e| format!("{}: {}", path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_runs_clean() {
+        let (out, result) = run_str(
+            parser::EXAMPLE,
+            RunOptions { render: true, verify: true },
+        )
+        .unwrap();
+        assert!(result.is_miss_free());
+        assert!(out.contains("verification: OK"));
+        assert!(out.contains("T0"));
+        assert!(out.contains('['), "diagrams rendered");
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let e = run_str("junk\n", RunOptions::default()).unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn json_export_roundtrips() {
+        let (_, result) = run_str(parser::EXAMPLE, RunOptions::default()).unwrap();
+        let json = to_json(&result);
+        let back: pfair_sched::trace::SimResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.horizon, result.horizon);
+        assert_eq!(back.misses.len(), result.misses.len());
+    }
+
+    #[test]
+    fn lj_scheme_runs() {
+        let input = "processors 1\nhorizon 40\nscheme lj\njoin 0 0 1/4\nreweight 0 5 1/2\n";
+        let (_, result) = run_str(input, RunOptions::default()).unwrap();
+        assert!(result.is_miss_free());
+        assert_eq!(result.counters.reweight_initiations, 1);
+    }
+}

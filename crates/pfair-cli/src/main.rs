@@ -1,0 +1,74 @@
+//! The `pfair` command-line tool.
+//!
+//! ```text
+//! pfair run <workload-file> [--render] [--verify]
+//! pfair example                 # print a documented sample file
+//! ```
+
+use pfair_cli::{parser, run_file, RunOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let Some(path) = args.get(1) else {
+                die("run needs a workload file");
+            };
+            let opts = RunOptions {
+                render: args.iter().any(|a| a == "--render"),
+                verify: args.iter().any(|a| a == "--verify"),
+            };
+            let json_path = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            let svg_path = args
+                .iter()
+                .position(|a| a == "--svg")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            match run_file(path, opts) {
+                Ok((report, result)) => {
+                    print!("{}", report);
+                    if let Some(p) = json_path {
+                        std::fs::write(&p, pfair_cli::to_json(&result))
+                            .unwrap_or_else(|e| die(&format!("writing {}: {}", p, e)));
+                        println!("wrote {}", p);
+                    }
+                    if let Some(p) = svg_path {
+                        let svg = pfair_sched::svg::render_svg(&result, result.horizon);
+                        std::fs::write(&p, svg)
+                            .unwrap_or_else(|e| die(&format!("writing {}: {}", p, e)));
+                        println!("wrote {}", p);
+                    }
+                    if !result.is_miss_free() {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {}", e);
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("example") => print!("{}", parser::EXAMPLE),
+        Some("--help") | Some("-h") | None => usage(),
+        Some(other) => {
+            eprintln!("error: unknown command '{}'", other);
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    println!("usage: pfair run <workload-file> [--render] [--verify] [--json OUT] [--svg OUT]");
+    println!("       pfair example");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {}", msg);
+    usage();
+    std::process::exit(2)
+}

@@ -1,0 +1,103 @@
+//! Human-readable run reports for the CLI.
+
+use pfair_core::rational::Rational;
+use pfair_sched::render::{render_task, ruler};
+use pfair_sched::trace::SimResult;
+use std::fmt::Write as _;
+
+/// Formats the per-task summary table and run totals.
+pub fn summary(result: &SimResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} processors, {} slots, {} deadline miss(es)",
+        result.processors,
+        result.horizon,
+        result.misses.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>9} {:>12} {:>12} {:>14} {:>12}",
+        "task", "quanta", "ideal (IPS)", "% of ideal", "drift(end)", "max |Δdrift|"
+    );
+    for task in &result.tasks {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>9} {:>12} {:>12} {:>14} {:>12}",
+            task.id.to_string(),
+            task.scheduled_count,
+            format_rat(task.ps_total),
+            task.pct_of_ideal()
+                .map(|p| format!("{:.2}", p))
+                .unwrap_or_else(|| "-".into()),
+            format_rat(task.drift.at(result.horizon)),
+            format_rat(task.drift.max_abs_delta()),
+        );
+    }
+    let c = &result.counters;
+    let _ = writeln!(
+        out,
+        "events: {} initiated, {} enacted, {} halts; heap ops {}; migrations {}; preemptions {}",
+        c.reweight_initiations,
+        c.reweight_enactments,
+        c.halts,
+        c.heap_ops(),
+        c.migrations,
+        c.preemptions
+    );
+    out
+}
+
+/// Formats the window diagrams of every task (history mode required).
+pub fn diagrams(result: &SimResult) -> String {
+    let mut out = String::new();
+    let horizon = result.horizon.min(120); // keep lines terminal-sized
+    let _ = writeln!(out, "{}", ruler(horizon));
+    for task in &result.tasks {
+        if let Some(hist) = &task.history {
+            out.push_str(&render_task(&task.id.to_string(), hist, horizon));
+        }
+    }
+    out
+}
+
+fn format_rat(r: Rational) -> String {
+    if r.is_integer() {
+        format!("{}", r.numer())
+    } else {
+        format!("{:.3}", r.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_sched::engine::{simulate, SimConfig};
+    use pfair_sched::event::Workload;
+
+    #[test]
+    fn summary_contains_each_task_and_totals() {
+        let mut w = Workload::new();
+        w.join(0, 0, 1, 2);
+        w.join(1, 0, 1, 4);
+        w.reweight(1, 8, 1, 2);
+        let r = simulate(SimConfig::oi(1, 40).with_history(), &w);
+        let s = summary(&r);
+        assert!(s.contains("T0"));
+        assert!(s.contains("T1"));
+        assert!(s.contains("0 deadline miss(es)"));
+        assert!(s.contains("1 initiated"));
+    }
+
+    #[test]
+    fn diagrams_render_windows() {
+        let mut w = Workload::new();
+        w.join(0, 0, 2, 5);
+        let r = simulate(SimConfig::oi(1, 20).with_history(), &w);
+        let d = diagrams(&r);
+        // A lone task is scheduled at each release, so the 'X' marks
+        // overwrite the '[' marks; the deadline marks survive.
+        assert!(d.contains(')'));
+        assert!(d.contains('X'));
+    }
+}

@@ -1,0 +1,162 @@
+//! Feasibility and schedulability analysis.
+//!
+//! Pfair scheduling's central result (Baruah, Gehrke & Plaxton \[3\])
+//! makes multiprocessor feasibility a pure utilization test: a periodic
+//! task set is schedulable on `M` processors iff its total weight is at
+//! most `M` — condition (W) of the paper, extended to adaptable systems
+//! by policing weight-change requests. This module provides that test,
+//! the related capacity arithmetic the admission controller builds on,
+//! and hyperperiod utilities for exact whole-schedule assertions in
+//! tests and benchmarks.
+//!
+//! ```
+//! use pfair_core::{rat, Weight};
+//! use pfair_core::analysis::{hyperperiod, is_feasible, min_processors};
+//!
+//! let set = [Weight::new(rat(8, 11)), Weight::new(rat(8, 11)), Weight::new(rat(6, 11))];
+//! assert!(is_feasible(&set, 2));      // Σ = 2 exactly
+//! assert_eq!(min_processors(&set), 2);
+//! assert_eq!(hyperperiod(&set), 11);
+//! ```
+
+use crate::rational::Rational;
+use crate::weight::Weight;
+
+/// Total weight (utilization) of a task set.
+pub fn total_weight(weights: &[Weight]) -> Rational {
+    weights
+        .iter()
+        .fold(Rational::ZERO, |acc, w| acc + w.value())
+}
+
+/// The Pfair feasibility test: schedulable on `processors` iff the
+/// total weight is at most `M` (and, trivially, every weight ≤ 1,
+/// which [`Weight`] already guarantees).
+pub fn is_feasible(weights: &[Weight], processors: u32) -> bool {
+    total_weight(weights) <= Rational::from_int(processors as i128)
+}
+
+/// The minimum number of processors on which the set is feasible:
+/// `⌈Σ weights⌉`.
+pub fn min_processors(weights: &[Weight]) -> u32 {
+    total_weight(weights).ceil().max(0) as u32
+}
+
+/// Spare capacity on `processors` processors (negative when infeasible).
+pub fn spare_capacity(weights: &[Weight], processors: u32) -> Rational {
+    Rational::from_int(processors as i128) - total_weight(weights)
+}
+
+/// Least common multiple of two positive integers.
+fn lcm(a: i128, b: i128) -> i128 {
+    fn gcd(mut a: i128, mut b: i128) -> i128 {
+        while b != 0 {
+            let r = a % b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+    a / gcd(a, b) * b
+}
+
+/// The hyperperiod of a task set: the least common multiple of the
+/// weights' periods (denominators in lowest terms). Over one
+/// hyperperiod, a weight-`e/p` task receives exactly
+/// `hyperperiod · e / p` quanta, and the window pattern repeats.
+///
+/// # Panics
+/// Panics on an empty set (no hyperperiod exists).
+pub fn hyperperiod(weights: &[Weight]) -> i128 {
+    assert!(!weights.is_empty(), "hyperperiod of an empty task set");
+    weights
+        .iter()
+        .map(|w| w.value().denom())
+        .fold(1i128, lcm)
+}
+
+/// Exact quanta a task of weight `w` receives over `slots` slots of an
+/// ideal schedule (`w · slots`; integral whenever `slots` is a multiple
+/// of the period).
+pub fn ideal_quanta(weight: Weight, slots: i64) -> Rational {
+    weight.value() * (slots as i128)
+}
+
+/// Classifies a task set for the reweighting rules: all-light sets can
+/// reweight freely; sets with heavy tasks schedule correctly but those
+/// tasks must keep their weights (paper §2/§6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetClass {
+    /// Every weight ≤ 1/2: the full reweighting machinery applies.
+    AllLight,
+    /// Some weight > 1/2: heavy tasks are static.
+    ContainsHeavy,
+}
+
+/// Classifies the set.
+pub fn classify(weights: &[Weight]) -> SetClass {
+    if weights.iter().all(|w| w.is_light()) {
+        SetClass::AllLight
+    } else {
+        SetClass::ContainsHeavy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    fn w(n: i128, d: i128) -> Weight {
+        Weight::new(rat(n, d))
+    }
+
+    #[test]
+    fn feasibility_is_a_utilization_test() {
+        let set = [w(1, 2), w(1, 2), w(1, 2), w(1, 2)];
+        assert!(is_feasible(&set, 2));
+        assert!(!is_feasible(&set, 1));
+        assert_eq!(min_processors(&set), 2);
+        assert_eq!(spare_capacity(&set, 2), Rational::ZERO);
+        assert_eq!(spare_capacity(&set, 3), Rational::ONE);
+    }
+
+    #[test]
+    fn exactly_full_is_feasible() {
+        // The classic 8/11 + 8/11 + 6/11 = 2 set.
+        let set = [w(8, 11), w(8, 11), w(6, 11)];
+        assert!(is_feasible(&set, 2));
+        assert_eq!(total_weight(&set), rat(2, 1));
+        assert_eq!(min_processors(&set), 2);
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm_of_periods() {
+        assert_eq!(hyperperiod(&[w(1, 2), w(1, 3)]), 6);
+        assert_eq!(hyperperiod(&[w(5, 16), w(2, 5)]), 80);
+        assert_eq!(hyperperiod(&[w(3, 20), w(1, 2)]), 20);
+        // Reduction matters: 2/4 has period 2.
+        assert_eq!(hyperperiod(&[w(2, 4)]), 2);
+    }
+
+    #[test]
+    fn ideal_quanta_over_hyperperiod_is_integral() {
+        let set = [w(5, 16), w(2, 5)];
+        let h = hyperperiod(&set) as i64;
+        for t in set {
+            assert!(ideal_quanta(t, h).is_integer());
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(&[w(1, 2), w(3, 20)]), SetClass::AllLight);
+        assert_eq!(classify(&[w(1, 2), w(2, 3)]), SetClass::ContainsHeavy);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty task set")]
+    fn empty_hyperperiod_panics() {
+        let _ = hyperperiod(&[]);
+    }
+}

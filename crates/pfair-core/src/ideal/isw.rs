@@ -1,0 +1,499 @@
+//! Incremental computation of the `I_SW` ideal schedule (Fig. 5) for one
+//! task, with the bookkeeping needed to derive `I_CSW` from it.
+//!
+//! The pseudo-code of Fig. 5 defines the per-slot allocation to subtask
+//! `T_i` at slot `t`:
+//!
+//! ```text
+//! if t < r(T_i) or t ≥ D(I_SW, T_i):            0
+//! else if t = r(T_i):
+//!     if i = Id(T_i) or b(T_{i−1}) = 0:          swt(T, t)
+//!     else:                                      swt(T, t) − A(I_SW, T_{i−1}, D(T_{i−1}) − 1)
+//! else:                                          min(swt(T, t), 1 − A(I_SW, T_i, 0, t))
+//! ```
+//!
+//! `D(I_SW, T_i)` — the completion time — is *discovered*, not
+//! predicted: it is the first slot boundary at which the subtask's
+//! cumulative allocation reaches one quantum, or the halt time for a
+//! halted subtask. The reweighting rules only consult it after the fact
+//! (paper §3.2), which is exactly what this incremental tracker
+//! provides: [`IswTracker::advance`] processes one slot and reports
+//! completions as they happen.
+//!
+//! `I_CSW` (the clairvoyant variant) equals `I_SW` minus every
+//! allocation made to a subtask that is eventually halted. Halting only
+//! ever strikes the task's most recently released subtask, so by the
+//! time anything downstream needs `A(I_CSW, T, 0, u)` at an era boundary
+//! `u`, all halts affecting the prefix `[0, u)` are known — the tracker
+//! simply maintains the running total of "lost" allocations and reports
+//! the per-slot breakdown in a [`HaltRecord`] for post-hoc per-slot
+//! analyses.
+
+use crate::rational::Rational;
+use crate::time::{Slot, NEVER};
+
+/// Emitted by [`IswTracker::advance`] when a subtask's cumulative `I_SW`
+/// allocation reaches one quantum during the processed slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompletionEvent {
+    /// Subtask index `i` of `T_i`.
+    pub index: u64,
+    /// `D(I_SW, T_i)`: the slot boundary at which the subtask completed
+    /// (one past the slot in which its allocation reached 1).
+    pub complete_at: Slot,
+    /// The allocation the subtask received in its final slot
+    /// `D(I_SW, T_i) − 1` — the quantity line 7 of Fig. 5 subtracts from
+    /// the successor's release-slot allocation.
+    pub final_slot_alloc: Rational,
+}
+
+/// Emitted by [`IswTracker::halt`]: everything `I_SW` had granted the
+/// halted subtask, so `I_CSW` can retroactively zero it out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HaltRecord {
+    /// Subtask index `i` of the halted `T_i`.
+    pub index: u64,
+    /// `H(T_i)`, the halt time.
+    pub halted_at: Slot,
+    /// `A(I_SW, T_i, 0, H(T_i))`: total allocation lost to the halt.
+    pub lost: Rational,
+    /// Per-slot breakdown of `lost` (slot, allocation), for analyses that
+    /// need the per-slot `I_CSW` series.
+    pub slot_allocs: Vec<(Slot, Rational)>,
+}
+
+/// How the release-slot allocation of a subtask is computed (line 4 of
+/// Fig. 5): either the subtask opens an era / follows a `b = 0`
+/// predecessor (full `swt`), or it shares its release slot with a `b = 1`
+/// predecessor's final slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReleaseRule {
+    /// `i = Id(T_i)` or `b(T_{i−1}) = 0`: release-slot allocation is `swt`.
+    Full,
+    /// `b(T_{i−1}) = 1`: release-slot allocation is
+    /// `swt − final_slot_alloc(T_{i−1})`; the predecessor is identified by
+    /// its index so its final allocation can be looked up at processing
+    /// time (it is known by then — the predecessor completes no later
+    /// than the successor's release slot).
+    SharedWithPred(u64),
+}
+
+#[derive(Clone, Debug)]
+struct IswSub {
+    index: u64,
+    release: Slot,
+    rule: ReleaseRule,
+    /// `A(I_SW, T_i, 0, now)`.
+    cum: Rational,
+    /// `Some(D)` once complete.
+    complete_at: Option<Slot>,
+    final_slot_alloc: Rational,
+    halted_at: Slot, // NEVER if not halted
+    /// Per-slot allocations while incomplete (cleared on completion; a
+    /// completed subtask can no longer halt).
+    slot_allocs: Vec<(Slot, Rational)>,
+}
+
+impl IswSub {
+    fn is_live_at(&self, t: Slot) -> bool {
+        self.complete_at.is_none() && self.halted_at == NEVER && self.release <= t
+    }
+}
+
+/// Incremental `I_SW` schedule of a single task.
+///
+/// Usage protocol (driven by the scheduler engine):
+/// 1. [`IswTracker::set_swt`] whenever a weight change is *enacted*;
+/// 2. [`IswTracker::add_subtask`] at (or before) each subtask release;
+/// 3. [`IswTracker::halt`] when a reweighting rule halts the
+///    last-released subtask;
+/// 4. [`IswTracker::advance`] once per slot, in slot order.
+#[derive(Clone, Debug)]
+pub struct IswTracker {
+    swt: Rational,
+    subs: Vec<IswSub>,
+    /// `A(I_SW, T, 0, now)`.
+    total: Rational,
+    /// Σ over halted subtasks of their lost allocation.
+    halted_loss: Rational,
+    /// Next slot to be processed by `advance`.
+    now: Slot,
+    /// When true, completed/halted subtasks are never dropped — needed by
+    /// table builders that read back per-subtask cumulative values.
+    keep_retired: bool,
+}
+
+impl IswTracker {
+    /// Creates a tracker for a task whose first enacted weight is `swt`
+    /// and which joins at slot `join_at` (no slots before `join_at` are
+    /// processed).
+    pub fn new(swt: Rational, join_at: Slot) -> IswTracker {
+        IswTracker {
+            swt,
+            subs: Vec::new(),
+            total: Rational::ZERO,
+            halted_loss: Rational::ZERO,
+            now: join_at,
+            keep_retired: false,
+        }
+    }
+
+    /// Like [`IswTracker::new`], but retains all subtasks so callers can
+    /// read back `subtask_cum`/`completion_of` for the whole history.
+    /// Memory grows with the number of subtasks; meant for table builders
+    /// and tests, not long-running simulations.
+    pub fn new_keeping_history(swt: Rational, join_at: Slot) -> IswTracker {
+        let mut t = IswTracker::new(swt, join_at);
+        t.keep_retired = true;
+        t
+    }
+
+    /// The current scheduling weight `swt(T, now)`.
+    pub fn swt(&self) -> Rational {
+        self.swt
+    }
+
+    /// The next slot `advance` will process.
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// `A(I_SW, T, 0, now)`.
+    pub fn isw_total(&self) -> Rational {
+        self.total
+    }
+
+    /// `A(I_CSW, T, 0, now)`: the `I_SW` total minus everything granted
+    /// to subtasks that have (so far) halted. Exact at era boundaries —
+    /// see the module docs for why no later halt can invalidate it.
+    pub fn icsw_total(&self) -> Rational {
+        self.total - self.halted_loss
+    }
+
+    /// Enacts a weight change: allocations from the current slot onward
+    /// use `swt`.
+    pub fn set_swt(&mut self, swt: Rational) {
+        self.swt = swt;
+    }
+
+    /// Registers subtask `T_index` with the given release slot.
+    ///
+    /// `era_first` is `i = Id(T_i)` — true when this is the first subtask
+    /// released after an enacted weight change (including the join).
+    /// `pred_b` is `b(T_{i−1})` of its (non-halted) predecessor, ignored
+    /// when `era_first`.
+    ///
+    /// # Panics
+    /// Panics if subtasks are added out of index order or with a release
+    /// before an already-processed slot.
+    pub fn add_subtask(&mut self, index: u64, release: Slot, era_first: bool, pred_b: bool) {
+        assert!(
+            release >= self.now,
+            "subtask {} released at {} but slot {} already processed",
+            index,
+            release,
+            self.now
+        );
+        let rule = if era_first || !pred_b {
+            ReleaseRule::Full
+        } else {
+            let pred = self
+                .subs
+                .iter()
+                .rev()
+                .find(|s| s.index < index && s.halted_at == NEVER)
+                .map(|s| s.index)
+                .expect("non-era-first subtask with b=1 predecessor must have a live predecessor");
+            ReleaseRule::SharedWithPred(pred)
+        };
+        if let Some(last) = self.subs.last() {
+            assert!(last.index < index, "subtasks must be added in index order");
+        }
+        self.subs.push(IswSub {
+            index,
+            release,
+            rule,
+            cum: Rational::ZERO,
+            complete_at: None,
+            final_slot_alloc: Rational::ZERO,
+            halted_at: NEVER,
+            slot_allocs: Vec::new(),
+        });
+    }
+
+    /// Halts subtask `T_index` at time `t` (the current slot boundary).
+    /// Returns the record of everything `I_SW` had granted it, which
+    /// `I_CSW` treats as never allocated.
+    ///
+    /// # Panics
+    /// Panics if the subtask is unknown, already complete, or already
+    /// halted — the reweighting rules only halt incomplete, unscheduled
+    /// subtasks.
+    pub fn halt(&mut self, index: u64, t: Slot) -> HaltRecord {
+        let sub = self
+            .subs
+            .iter_mut()
+            .find(|s| s.index == index)
+            .expect("halting unknown subtask");
+        assert!(sub.complete_at.is_none(), "halting a complete subtask");
+        assert!(sub.halted_at == NEVER, "halting a halted subtask");
+        sub.halted_at = t;
+        self.halted_loss += sub.cum;
+        HaltRecord {
+            index,
+            halted_at: t,
+            lost: sub.cum,
+            slot_allocs: std::mem::take(&mut sub.slot_allocs),
+        }
+    }
+
+    /// `D(I_SW, T_index)` if the subtask has completed.
+    pub fn completion_of(&self, index: u64) -> Option<Slot> {
+        self.subs
+            .iter()
+            .find(|s| s.index == index)
+            .and_then(|s| s.complete_at)
+    }
+
+    /// Cumulative allocation `A(I_SW, T_index, 0, now)` of a tracked
+    /// subtask (`None` if unknown/retired).
+    pub fn subtask_cum(&self, index: u64) -> Option<Rational> {
+        self.subs.iter().find(|s| s.index == index).map(|s| s.cum)
+    }
+
+    /// Processes slot `t` (which must be the tracker's `now`): computes
+    /// every live subtask's allocation per Fig. 5, in index order.
+    /// Returns the task's total allocation in the slot and any
+    /// completions that occurred.
+    pub fn advance(&mut self, t: Slot) -> (Rational, Vec<CompletionEvent>) {
+        assert_eq!(t, self.now, "slots must be advanced in order");
+        self.now = t + 1;
+        let mut slot_total = Rational::ZERO;
+        let mut completions = Vec::new();
+        // Index order matters: a successor's release-slot allocation may
+        // reference the predecessor's final-slot allocation computed
+        // earlier in this very call (their windows overlap by b = 1).
+        for i in 0..self.subs.len() {
+            if !self.subs[i].is_live_at(t) {
+                continue;
+            }
+            let alloc = if t == self.subs[i].release {
+                match self.subs[i].rule {
+                    ReleaseRule::Full => self.swt,
+                    ReleaseRule::SharedWithPred(p) => {
+                        let pred = self
+                            .subs
+                            .iter()
+                            .find(|s| s.index == p)
+                            .expect("predecessor retired too early");
+                        assert!(
+                            pred.complete_at.is_some(),
+                            "predecessor T_{} not complete at successor release {}",
+                            p,
+                            t
+                        );
+                        self.swt - pred.final_slot_alloc
+                    }
+                }
+            } else {
+                self.swt.min(Rational::ONE - self.subs[i].cum)
+            };
+            debug_assert!(!alloc.is_negative(), "negative I_SW allocation");
+            let sub = &mut self.subs[i];
+            sub.cum += alloc;
+            slot_total += alloc;
+            if !alloc.is_zero() {
+                sub.slot_allocs.push((t, alloc));
+            }
+            debug_assert!(sub.cum <= Rational::ONE);
+            if sub.cum == Rational::ONE {
+                sub.complete_at = Some(t + 1);
+                sub.final_slot_alloc = alloc;
+                sub.slot_allocs.clear(); // complete subtasks can no longer halt
+                completions.push(CompletionEvent {
+                    index: sub.index,
+                    complete_at: t + 1,
+                    final_slot_alloc: alloc,
+                });
+            }
+        }
+        self.total += slot_total;
+        self.retire();
+        (slot_total, completions)
+    }
+
+    /// Drops subtasks that can no longer influence anything: completed or
+    /// halted subtasks other than the last two entries (the release rule
+    /// of the next subtask may still reference the most recent completed
+    /// predecessor).
+    fn retire(&mut self) {
+        if self.keep_retired {
+            return;
+        }
+        while self.subs.len() > 2 {
+            let s = &self.subs[0];
+            if s.complete_at.is_some() || s.halted_at != NEVER {
+                self.subs.remove(0);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+    use crate::window::{b_bit, periodic_window};
+    use crate::weight::Weight;
+
+    /// Drives a constant-weight periodic task through the tracker and
+    /// collects the per-slot task allocations.
+    fn run_periodic(num: i128, den: i128, n_subs: u64, horizon: Slot) -> Vec<Rational> {
+        let w = Weight::new(rat(num, den));
+        let mut tr = IswTracker::new(w.value(), 0);
+        for i in 1..=n_subs {
+            let win = periodic_window(w, i, 0);
+            let pred_b = if i > 1 { b_bit(w, i - 1) } else { false };
+            tr.add_subtask(i, win.release, i == 1, pred_b);
+        }
+        (0..horizon).map(|t| tr.advance(t).0).collect()
+    }
+
+    /// Fig. 1(a): weight 5/16. A(I, T, 6) = 2/16 + 3/16 = 5/16, and the
+    /// task receives exactly its weight in every slot of the first
+    /// hyperperiod (windows tile perfectly for a periodic task).
+    #[test]
+    fn fig1a_periodic_5_16_per_slot_allocations() {
+        let allocs = run_periodic(5, 16, 5, 16);
+        for (t, a) in allocs.iter().enumerate() {
+            assert_eq!(*a, rat(5, 16), "slot {}", t);
+        }
+    }
+
+    /// Subtask-level values from Fig. 1(a): T_1 gets 5/16 in slots 0–2
+    /// and 1/16 in slot 3; T_2 gets 4/16 in slot 3 (= 5/16 − 1/16).
+    #[test]
+    fn fig1a_subtask_boundary_allocations() {
+        let w = Weight::new(rat(5, 16));
+        let mut tr = IswTracker::new(w.value(), 0);
+        tr.add_subtask(1, 0, true, false);
+        tr.add_subtask(2, 3, false, b_bit(w, 1));
+        for t in 0..3 {
+            assert_eq!(tr.advance(t).0, rat(5, 16));
+        }
+        // Slot 3: T_1 completes with 1/16, T_2 opens with 4/16.
+        let (total, completions) = tr.advance(3);
+        assert_eq!(total, rat(5, 16));
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].index, 1);
+        assert_eq!(completions[0].complete_at, 4);
+        assert_eq!(completions[0].final_slot_alloc, rat(1, 16));
+        assert_eq!(tr.subtask_cum(2), Some(rat(4, 16)));
+    }
+
+    /// Fig. 3(b)/Fig. 7: task X of weight 3/19 enacting an increase to
+    /// 2/5 at time 8. X_2 must receive 2/19 at slot 6, 3/19 at slot 7,
+    /// 2/5 at slot 8, and 32/95 at slot 9, completing at time 10.
+    #[test]
+    fn fig7_weight_increase_mid_window() {
+        let w = rat(3, 19);
+        let mut tr = IswTracker::new(w, 0);
+        tr.add_subtask(1, 0, true, false);
+        // r(X_2) = d(X_1) − b(X_1) = 7 − 1 = 6.
+        tr.add_subtask(2, 6, false, true);
+        for t in 0..6 {
+            tr.advance(t);
+        }
+        // Slot 6: X_1 completes with 1/19, X_2 opens with 3/19 − 1/19 = 2/19.
+        let (_, completions) = tr.advance(6);
+        assert_eq!(completions[0].index, 1);
+        assert_eq!(completions[0].complete_at, 7);
+        assert_eq!(tr.subtask_cum(2), Some(rat(2, 19)));
+        tr.advance(7); // X_2: +3/19 → 5/19
+        assert_eq!(tr.subtask_cum(2), Some(rat(5, 19)));
+        // Weight change to 2/5 enacted at time 8 (rule I(i): immediate).
+        tr.set_swt(rat(2, 5));
+        tr.advance(8); // +2/5 → 63/95
+        assert_eq!(tr.subtask_cum(2), Some(rat(63, 95)));
+        let (slot9, completions) = tr.advance(9); // +32/95 → 1
+        assert_eq!(slot9, rat(32, 95));
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].index, 2);
+        assert_eq!(completions[0].complete_at, 10);
+        assert_eq!(completions[0].final_slot_alloc, rat(32, 95));
+    }
+
+    /// Fig. 3(a): same task but T_2 is halted at time 8 (rule O). I_SW
+    /// granted it 2/19 + 3/19 = 5/19 by then; I_CSW takes that back.
+    #[test]
+    fn fig3a_halt_and_icsw_loss() {
+        let w = rat(3, 19);
+        let mut tr = IswTracker::new(w, 0);
+        tr.add_subtask(1, 0, true, false);
+        tr.add_subtask(2, 6, false, true);
+        for t in 0..8 {
+            tr.advance(t);
+        }
+        assert_eq!(tr.subtask_cum(2), Some(rat(5, 19)));
+        let rec = tr.halt(2, 8);
+        assert_eq!(rec.lost, rat(5, 19));
+        assert_eq!(rec.halted_at, 8);
+        assert_eq!(rec.slot_allocs, vec![(6, rat(2, 19)), (7, rat(3, 19))]);
+        // I_SW total counts the lost allocation; I_CSW does not.
+        assert_eq!(tr.isw_total(), Rational::ONE + rat(5, 19));
+        assert_eq!(tr.icsw_total(), Rational::ONE);
+        // The halted subtask receives nothing afterwards.
+        tr.set_swt(rat(2, 5));
+        let (slot8, _) = tr.advance(8);
+        assert_eq!(slot8, Rational::ZERO);
+    }
+
+    /// Completed subtasks total exactly one quantum each: after a long
+    /// run, the I_SW total equals the number of completed subtasks.
+    #[test]
+    fn totals_equal_completed_subtasks() {
+        let w = Weight::new(rat(2, 5));
+        let mut tr = IswTracker::new(w.value(), 0);
+        let mut release = 0;
+        for i in 1..=8u64 {
+            let win = periodic_window(w, i, 0);
+            tr.add_subtask(i, win.release, i == 1, i > 1 && b_bit(w, i - 1));
+            release = win.next_release();
+        }
+        let _ = release;
+        let mut done = 0;
+        for t in 0..20 {
+            done += tr.advance(t).1.len();
+        }
+        assert_eq!(done, 8);
+        assert_eq!(tr.isw_total(), Rational::from_int(8));
+    }
+
+    /// A task that joins late processes no early slots.
+    #[test]
+    fn late_join_starts_at_join_slot() {
+        let mut tr = IswTracker::new(rat(1, 2), 10);
+        tr.add_subtask(1, 10, true, false);
+        assert_eq!(tr.now(), 10);
+        let (a, _) = tr.advance(10);
+        assert_eq!(a, rat(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "slots must be advanced in order")]
+    fn advancing_out_of_order_panics() {
+        let mut tr = IswTracker::new(rat(1, 2), 0);
+        tr.advance(0);
+        tr.advance(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "index order")]
+    fn out_of_order_subtasks_panic() {
+        let mut tr = IswTracker::new(rat(1, 2), 0);
+        tr.add_subtask(2, 0, true, false);
+        tr.add_subtask(1, 1, true, false);
+    }
+}

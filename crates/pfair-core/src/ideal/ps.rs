@@ -1,0 +1,172 @@
+//! The ideal processor-sharing schedule `I_PS`.
+//!
+//! Under `I_PS` each task continuously receives a share equal to its
+//! *actual* weight `wt(T, t)` — weight changes take effect the instant
+//! they are **initiated**, with no enactment delay whatsoever (paper
+//! §4.1). `I_PS` is the yardstick against which drift is measured: it is
+//! what an unimplementable, infinitely-preemptive scheduler would give
+//! each task.
+//!
+//! Because weight changes are initiated at slot boundaries (all times in
+//! the paper are integral numbers of quanta), the integral
+//! `A(I_PS, T, t1, t2) = ∫ wt(T, u) du` reduces to a per-slot sum of the
+//! current weight, which this tracker accumulates exactly.
+
+use crate::rational::Rational;
+use crate::time::Slot;
+
+/// Incremental `I_PS` allocation of a single task.
+#[derive(Clone, Debug)]
+pub struct PsTracker {
+    wt: Rational,
+    total: Rational,
+    now: Slot,
+    /// Slot intervals `[from, until)` during which allocation is zero —
+    /// the "zero between active subtasks" case that intra-sporadic
+    /// separations create when the early-release assumption is dropped.
+    suspensions: Vec<(Slot, Slot)>,
+}
+
+impl PsTracker {
+    /// A task of initial weight `wt` joining at `join_at`.
+    pub fn new(wt: Rational, join_at: Slot) -> PsTracker {
+        PsTracker { wt, total: Rational::ZERO, now: join_at, suspensions: Vec::new() }
+    }
+
+    /// Suspends allocation for slots in `[from, until)` (IS separation:
+    /// the task is between active subtasks there, so the instantaneous
+    /// ideal owes it nothing). Intervals may lie in the future and may
+    /// overlap; empty intervals are ignored.
+    pub fn suspend_between(&mut self, from: Slot, until: Slot) {
+        if from < until {
+            self.suspensions.push((from, until));
+        }
+    }
+
+    /// Suspends allocation from the current slot up to `until`.
+    pub fn suspend_until(&mut self, until: Slot) {
+        self.suspend_between(self.now, until);
+    }
+
+    /// The current actual weight `wt(T, now)`.
+    pub fn wt(&self) -> Rational {
+        self.wt
+    }
+
+    /// `A(I_PS, T, 0, now)`.
+    pub fn total(&self) -> Rational {
+        self.total
+    }
+
+    /// The next slot `advance` will process.
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// Initiates a weight change: slot allocations from the current slot
+    /// onward use `wt`. (Under `I_PS`, initiation *is* enactment.)
+    pub fn set_wt(&mut self, wt: Rational) {
+        self.wt = wt;
+    }
+
+    /// Accrues slot `t`'s allocation (`wt(T, t) · 1`, or zero while
+    /// suspended).
+    pub fn advance(&mut self, t: Slot) -> Rational {
+        assert_eq!(t, self.now, "slots must be advanced in order");
+        self.now = t + 1;
+        if self.suspensions.iter().any(|(from, until)| *from <= t && t < *until) {
+            // Drop intervals entirely in the past to keep the scan short.
+            self.suspensions.retain(|(_, until)| *until > t);
+            return Rational::ZERO;
+        }
+        self.suspensions.retain(|(_, until)| *until > t);
+        self.total += self.wt;
+        self.wt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    /// Fig. 7(b): X has weight 3/19 until time 8, then 2/5. Over [9, 11)
+    /// it receives 4/5; over [0, 8) it receives 24/19.
+    #[test]
+    fn fig7_ps_allocations() {
+        let mut ps = PsTracker::new(rat(3, 19), 0);
+        for t in 0..8 {
+            ps.advance(t);
+        }
+        assert_eq!(ps.total(), rat(24, 19));
+        ps.set_wt(rat(2, 5));
+        let before_9 = {
+            ps.advance(8);
+            ps.total()
+        };
+        ps.advance(9);
+        ps.advance(10);
+        assert_eq!(ps.total() - before_9, rat(4, 5));
+    }
+
+    /// Fig. 8: T has weight 1/10 until time 4, then 1/2. By time 10 the
+    /// I_PS total is 4·(1/10) + 6·(1/2) = 17/5, so with I_CSW = 1 the
+    /// drift reaches 24/10.
+    #[test]
+    fn fig8_ps_total_at_10() {
+        let mut ps = PsTracker::new(rat(1, 10), 0);
+        for t in 0..4 {
+            ps.advance(t);
+        }
+        ps.set_wt(rat(1, 2));
+        for t in 4..10 {
+            ps.advance(t);
+        }
+        assert_eq!(ps.total(), rat(17, 5));
+        assert_eq!(ps.total() - Rational::ONE, rat(24, 10));
+    }
+
+    /// A late joiner accrues nothing before its join slot.
+    #[test]
+    fn late_join() {
+        let mut ps = PsTracker::new(rat(1, 2), 10);
+        assert_eq!(ps.now(), 10);
+        ps.advance(10);
+        assert_eq!(ps.total(), rat(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "slots must be advanced in order")]
+    fn out_of_order_panics() {
+        let mut ps = PsTracker::new(rat(1, 2), 0);
+        ps.advance(1);
+    }
+}
+
+#[cfg(test)]
+mod suspension_tests {
+    use super::*;
+    use crate::rational::rat;
+
+    #[test]
+    fn suspension_zeroes_allocation() {
+        let mut ps = PsTracker::new(rat(1, 2), 0);
+        ps.advance(0);
+        ps.suspend_until(3);
+        assert_eq!(ps.advance(1), Rational::ZERO);
+        assert_eq!(ps.advance(2), Rational::ZERO);
+        assert_eq!(ps.advance(3), rat(1, 2));
+        assert_eq!(ps.total(), rat(1, 1));
+    }
+
+    #[test]
+    fn suspensions_do_not_shorten() {
+        let mut ps = PsTracker::new(rat(1, 2), 0);
+        ps.suspend_until(5);
+        ps.suspend_until(2); // no effect
+        for t in 0..5 {
+            assert_eq!(ps.advance(t), Rational::ZERO);
+        }
+        assert_eq!(ps.advance(5), rat(1, 2));
+    }
+}

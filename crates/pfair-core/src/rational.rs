@@ -1,0 +1,505 @@
+//! Exact rational arithmetic on `i128`.
+//!
+//! Every quantity the Pfair machinery reasons about — task weights,
+//! per-slot ideal allocations, lag, drift — is a ratio of two integers
+//! (weights are `e/p` with integer execution cost and period, and ideal
+//! allocations are sums, differences, and min/max of weights). The
+//! correctness arguments in the paper (windows, completion times,
+//! drift bounds) are exact-arithmetic arguments; floating point would
+//! silently break window boundaries such as `⌈i/wt⌉` for weights like
+//! `3/19`. This module provides the small, overflow-checked rational
+//! type used throughout the workspace.
+//!
+//! Invariants maintained by every constructor and operator:
+//! * the denominator is strictly positive,
+//! * numerator and denominator are coprime (`gcd == 1`),
+//! * `0/x` normalizes to `0/1`.
+//!
+//! All arithmetic is overflow-checked and panics with a descriptive
+//! message on overflow; with `i128` components and the gcd-normalized
+//! representation, overflow is unreachable for the workloads in this
+//! repository (denominators stay below ~10^7 over 10^4-slot horizons).
+//!
+//! ```
+//! use pfair_core::rational::{rat, Rational};
+//!
+//! // The paper's window boundary for weight 3/19: d(T_2) = ⌈2/(3/19)⌉.
+//! let w = rat(3, 19);
+//! assert_eq!(w.div_ceil_int(2), 13);
+//! // Exact accumulation — no floating-point drift.
+//! let total = (0..19).fold(Rational::ZERO, |acc, _| acc + w);
+//! assert_eq!(total, rat(3, 1));
+//! ```
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(|num|, den) == 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Rational {
+    /// Deserialization validates and renormalizes: a zero denominator is
+    /// rejected and unreduced or negative-denominator input is brought
+    /// to canonical form, so the type invariants survive untrusted data.
+    fn deserialize<D>(deserializer: D) -> Result<Rational, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            num: i128,
+            den: i128,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        if raw.den == 0 {
+            return Err(serde::de::Error::custom("Rational with zero denominator"));
+        }
+        Ok(Rational::new(raw.num, raw.den))
+    }
+}
+
+/// Greatest common divisor of two non-negative integers (binary Euclid).
+#[inline]
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Constructs `num/den`, normalizing sign and reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[inline]
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "Rational with zero denominator");
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num.unsigned_abs() as i128, den);
+        if g <= 1 {
+            Rational { num, den }
+        } else {
+            Rational { num: num / g, den: den / g }
+        }
+    }
+
+    /// Constructs the integer `n` as a rational.
+    #[inline]
+    pub const fn from_int(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// The numerator of the reduced form (sign-carrying).
+    #[inline]
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the reduced form (always positive).
+    #[inline]
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// `true` iff the value is an integer.
+    #[inline]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Largest integer `≤ self` (mathematical floor, correct for negatives).
+    #[inline]
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `≥ self` (mathematical ceiling, correct for negatives).
+    #[inline]
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Reciprocal `den/num`.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    #[inline]
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Checked addition used by the operator impls.
+    #[inline]
+    fn checked_add(self, rhs: Rational) -> Rational {
+        // a/b + c/d = (a*d + c*b) / (b*d); reduce via g = gcd(b, d) first to
+        // keep intermediates small (the classic Knuth trick).
+        let g = gcd(self.den, rhs.den);
+        let (b, d) = (self.den / g, rhs.den / g);
+        let num = self
+            .num
+            .checked_mul(d)
+            .and_then(|x| rhs.num.checked_mul(b).and_then(|y| x.checked_add(y)))
+            .expect("Rational add overflow");
+        let den = self.den.checked_mul(d).expect("Rational add overflow");
+        Rational::new(num, den)
+    }
+
+    /// Checked multiplication used by the operator impls.
+    #[inline]
+    fn checked_mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den);
+        let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("Rational mul overflow");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("Rational mul overflow");
+        Rational::new(num, den)
+    }
+
+    /// The minimum of two rationals.
+    #[inline]
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two rationals.
+    #[inline]
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Lossy conversion to `f64` (for statistics and plotting only; never
+    /// used in scheduling decisions).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `⌊n / self⌋` for an integer `n` — the floor of `n` divided by this
+    /// rational, computed exactly. Used for subtask releases
+    /// `r(T_i) = ⌊(i−1)/wt⌋`.
+    ///
+    /// # Panics
+    /// Panics if `self` is not strictly positive.
+    #[inline]
+    pub fn div_floor_int(self, n: i128) -> i128 {
+        assert!(self.is_positive(), "div_floor_int by non-positive rational");
+        // n / (num/den) = n*den / num
+        let prod = n.checked_mul(self.den).expect("div_floor_int overflow");
+        prod.div_euclid(self.num)
+    }
+
+    /// `⌈n / self⌉` for an integer `n` — the ceiling of `n` divided by this
+    /// rational, computed exactly. Used for subtask deadlines
+    /// `d(T_i) = ⌈i/wt⌉`.
+    ///
+    /// # Panics
+    /// Panics if `self` is not strictly positive.
+    #[inline]
+    pub fn div_ceil_int(self, n: i128) -> i128 {
+        assert!(self.is_positive(), "div_ceil_int by non-positive rational");
+        let prod = n.checked_mul(self.den).expect("div_ceil_int overflow");
+        -(-prod).div_euclid(self.num)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(n: u32) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    #[inline]
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(rhs)
+    }
+}
+
+impl AddAssign for Rational {
+    #[inline]
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    #[inline]
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_add(-rhs)
+    }
+}
+
+impl SubAssign for Rational {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    #[inline]
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    #[inline]
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(rhs)
+    }
+}
+
+impl Mul<i128> for Rational {
+    type Output = Rational;
+    #[inline]
+    fn mul(self, rhs: i128) -> Rational {
+        self.checked_mul(Rational::from_int(rhs))
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[inline]
+    fn div(self, rhs: Rational) -> Rational {
+        self.checked_mul(rhs.recip())
+    }
+}
+
+impl PartialOrd for Rational {
+    #[inline]
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    #[inline]
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0). Overflow-checked.
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("Rational cmp overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("Rational cmp overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Convenience constructor: `rat(3, 19)` is `3/19`.
+#[inline]
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_reduces_and_fixes_sign() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, -7), Rational::ZERO);
+        assert_eq!(rat(0, 7).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn add_sub_mul_div_basic() {
+        assert_eq!(rat(1, 3) + rat(1, 6), rat(1, 2));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(3, 19) * rat(19, 3), Rational::ONE);
+        assert_eq!(rat(5, 16) / rat(5, 16), Rational::ONE);
+        assert_eq!(-rat(3, 4), rat(-3, 4));
+    }
+
+    #[test]
+    fn floor_ceil_handle_negatives() {
+        assert_eq!(rat(7, 2).floor(), 3);
+        assert_eq!(rat(7, 2).ceil(), 4);
+        assert_eq!(rat(-7, 2).floor(), -4);
+        assert_eq!(rat(-7, 2).ceil(), -3);
+        assert_eq!(rat(6, 2).floor(), 3);
+        assert_eq!(rat(6, 2).ceil(), 3);
+        assert_eq!(Rational::ZERO.floor(), 0);
+        assert_eq!(Rational::ZERO.ceil(), 0);
+    }
+
+    #[test]
+    fn div_floor_ceil_int_match_paper_window_math() {
+        // Weight 5/16 (Fig. 1): r(T_2) = ⌊1/(5/16)⌋ = 3, d(T_2) = ⌈2/(5/16)⌉ = 7.
+        let w = rat(5, 16);
+        assert_eq!(w.div_floor_int(1), 3);
+        assert_eq!(w.div_ceil_int(2), 7);
+        // Weight 2/5: d(T_1) = ⌈1/(2/5)⌉ = 3.
+        assert_eq!(rat(2, 5).div_ceil_int(1), 3);
+        // Exact division has floor == ceil.
+        assert_eq!(rat(1, 4).div_floor_int(2), 8);
+        assert_eq!(rat(1, 4).div_ceil_int(2), 8);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(rat(1, 3) < rat(2, 5));
+        assert!(rat(3, 19) < rat(2, 5));
+        assert!(rat(-1, 2) < Rational::ZERO);
+        assert_eq!(rat(10, 20).cmp(&rat(1, 2)), Ordering::Equal);
+        assert_eq!(rat(1, 3).max(rat(2, 5)), rat(2, 5));
+        assert_eq!(rat(1, 3).min(rat(2, 5)), rat(1, 3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", rat(3, 19)), "3/19");
+        assert_eq!(format!("{}", rat(4, 2)), "2");
+        assert_eq!(format!("{}", rat(-1, 2)), "-1/2");
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        assert!((rat(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recip_and_integer_checks() {
+        assert_eq!(rat(3, 19).recip(), rat(19, 3));
+        assert!(rat(4, 2).is_integer());
+        assert!(!rat(5, 2).is_integer());
+        assert!(rat(1, 2).is_positive());
+        assert!(rat(-1, 2).is_negative());
+    }
+}
+
+#[cfg(all(test, feature = "serde"))]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_normalization() {
+        let a = rat(-3, 19);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Rational = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        // Unreduced / sign-denormalized input is canonicalized.
+        let odd: Rational = serde_json::from_str(r#"{"num":2,"den":-4}"#).unwrap();
+        assert_eq!(odd, rat(-1, 2));
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        let r: Result<Rational, _> = serde_json::from_str(r#"{"num":1,"den":0}"#);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn out_of_range_weight_rejected() {
+        use crate::weight::Weight;
+        let ok: Weight = serde_json::from_str(r#"{"num":1,"den":2}"#).unwrap();
+        assert_eq!(ok.value(), rat(1, 2));
+        let bad: Result<Weight, _> = serde_json::from_str(r#"{"num":3,"den":2}"#);
+        assert!(bad.is_err());
+        let zero: Result<Weight, _> = serde_json::from_str(r#"{"num":0,"den":2}"#);
+        assert!(zero.is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the core model invariants:
+//!
+//! * Rational arithmetic laws (the exactness everything rests on).
+//! * Window-structure facts used throughout the paper's proofs.
+//! * The appendix's allocation facts AF1–AF4 for the `I_SW`/`I_CSW`
+//!   trackers under randomized weights, separations, weight changes,
+//!   and halts.
+
+use proptest::prelude::*;
+use pfair_core::ideal::IswTracker;
+use pfair_core::rational::{rat, Rational};
+use pfair_core::weight::Weight;
+use pfair_core::window::{b_bit, group_deadline, window_in_era, window_len};
+
+fn arb_rat() -> impl Strategy<Value = Rational> {
+    (-2000i128..=2000, 1i128..=400).prop_map(|(n, d)| rat(n, d))
+}
+
+fn arb_weight() -> impl Strategy<Value = Weight> {
+    (1i128..=30, 2i128..=60)
+        .prop_map(|(n, d)| Weight::new(rat(n.min(d), d.max(n))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- rational laws -------------------------------------------------
+
+    #[test]
+    fn rational_add_is_commutative_and_associative(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_mul_distributes(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_sub_is_inverse_of_add(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a + b - b, a);
+        prop_assert_eq!(a - a, Rational::ZERO);
+    }
+
+    #[test]
+    fn rational_ordering_is_total_and_compatible(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a < b, (b - a).is_positive());
+        prop_assert_eq!(a == b, (a - b).is_zero());
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in arb_rat()) {
+        let f = Rational::from_int(a.floor());
+        let c = Rational::from_int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!((c - f) <= Rational::ONE);
+        prop_assert_eq!(a.is_integer(), f == c);
+    }
+
+    #[test]
+    fn div_floor_ceil_int_consistency(n in 0i128..500, num in 1i128..40, den in 1i128..80) {
+        let w = rat(num.min(den), den.max(num)); // weight ≤ 1
+        let fl = w.div_floor_int(n);
+        let ce = w.div_ceil_int(n);
+        prop_assert!(fl <= ce);
+        // fl = ⌊n/w⌋ means fl·w ≤ n < (fl+1)·w.
+        prop_assert!(w * fl <= Rational::from_int(n));
+        prop_assert!(w * (fl + 1) > Rational::from_int(n) || w * fl == Rational::from_int(n));
+    }
+
+    // ---- window facts --------------------------------------------------
+
+    #[test]
+    fn window_lengths_bracket_inverse_weight(w in arb_weight(), k in 1u64..200) {
+        let len = window_len(w, k);
+        let inv = w.value().recip();
+        // ⌈1/w⌉ ≤ |w(T_i)| ≤ ⌈1/w⌉ + 1 (standard Pfair fact).
+        prop_assert!(Rational::from_int(len as i128) >= inv.ceil().into());
+        prop_assert!(len <= inv.ceil() as i64 + 1);
+    }
+
+    #[test]
+    fn consecutive_windows_overlap_exactly_b(w in arb_weight(), k in 1u64..100) {
+        let a = window_in_era(w, k, 0);
+        let b = window_in_era(w, k + 1, a.next_release());
+        let overlap = a.deadline - b.release;
+        prop_assert_eq!(overlap, if a.b { 1 } else { 0 });
+    }
+
+    #[test]
+    fn windows_tile_one_quantum_each(w in arb_weight()) {
+        // Over one period p (weight e/p), exactly e subtasks complete.
+        let e = w.value().numer() as u64;
+        let p = w.value().denom() as i64;
+        let last = window_in_era(
+            w,
+            e,
+            (1..e).fold(0i64, |r, k| window_in_era(w, k, r).next_release()),
+        );
+        prop_assert_eq!(last.deadline, p);
+        prop_assert!(!last.b); // e/w = p is an integer
+    }
+
+    #[test]
+    fn group_deadline_bounds(w in arb_weight(), k in 1u64..60) {
+        let win = window_in_era(w, k, 0);
+        let gd = group_deadline(w, k, 0);
+        prop_assert!(gd >= win.deadline - 1);
+        if w.is_light() {
+            prop_assert_eq!(gd, win.deadline);
+        } else {
+            // The cascade cannot extend past the end of the period after
+            // the subtask's own deadline (a b = 0 boundary exists there).
+            let p = w.value().denom() as i64;
+            prop_assert!(gd <= win.deadline + p);
+        }
+    }
+
+    // ---- I_SW tracker invariants (AF1–AF4) ------------------------------
+
+    /// Drives one task's tracker with random separations and a single
+    /// mid-run weight change, checking AF1 (per-slot allocation ≤ swt)
+    /// and completion/accounting invariants.
+    #[test]
+    fn isw_af_invariants(
+        w0 in arb_weight(),
+        w1 in arb_weight(),
+        seps in prop::collection::vec(0i64..3, 4..10),
+        change_at_subtask in 2usize..4,
+    ) {
+        let horizon = 400i64;
+        let mut tr = IswTracker::new_keeping_history(w0.value(), 0);
+        // Build the release chain with separations; enact a weight
+        // change at the completion of subtask `change_at_subtask` by
+        // simply switching swt at its deadline (a decrease-style era).
+        let mut release = 0i64;
+        let mut weight = w0;
+        let mut era_base = 0u64;
+        let mut change_slot = i64::MAX;
+        let mut sub_windows = Vec::new();
+        for (i, sep) in seps.iter().enumerate() {
+            let index = i as u64 + 1;
+            let rank = index - era_base;
+            let win = window_in_era(weight, rank, release);
+            let era_first = rank == 1;
+            let pred_b = if era_first { false } else { b_bit(weight, rank - 1) };
+            tr.add_subtask(index, win.release, era_first, pred_b);
+            sub_windows.push(win);
+            // Weight change after the chosen subtask: new era.
+            if i + 1 == change_at_subtask {
+                change_slot = win.deadline;
+                era_base = index;
+                weight = w1;
+                release = win.deadline + 1;
+            } else {
+                release = win.next_release() + sep;
+            }
+            // Stop adding once a subtask might not complete within the
+            // horizon: windows are at most den + 1 ≤ 61 slots long here.
+            if release > horizon - 70 {
+                break;
+            }
+        }
+        let n = sub_windows.len();
+        let mut completions = 0usize;
+        for t in 0..horizon {
+            if t == change_slot {
+                tr.set_swt(w1.value());
+            }
+            let (slot_alloc, done) = tr.advance(t);
+            // AF1: per-slot task allocation never exceeds swt.
+            prop_assert!(slot_alloc <= tr.swt(), "slot {}: {} > {}", t, slot_alloc, tr.swt());
+            prop_assert!(!slot_alloc.is_negative());
+            completions += done.len();
+        }
+        // Every added subtask eventually completes with exactly one
+        // quantum (AF3-adjacent: D exists and ≤ its era deadline).
+        prop_assert_eq!(completions, n);
+        prop_assert_eq!(tr.isw_total(), Rational::from_int(n as i128));
+        prop_assert_eq!(tr.icsw_total(), tr.isw_total()); // nothing halted
+    }
+
+    /// Halting: I_CSW takes back exactly the halted subtask's accruals
+    /// (AF4: zero allocations outside [r, D)).
+    #[test]
+    fn halt_accounting(w in arb_weight(), halt_after in 1i64..6) {
+        let mut tr = IswTracker::new_keeping_history(w.value(), 0);
+        tr.add_subtask(1, 0, true, false);
+        let halt_at = halt_after.min(window_in_era(w, 1, 0).deadline - 1);
+        for t in 0..halt_at {
+            tr.advance(t);
+        }
+        let cum_before = tr.subtask_cum(1).unwrap();
+        prop_assume!(cum_before < Rational::ONE); // still incomplete
+        let rec = tr.halt(1, halt_at);
+        prop_assert_eq!(rec.lost, cum_before);
+        let per_slot_sum = rec
+            .slot_allocs
+            .iter()
+            .fold(Rational::ZERO, |a, (_, x)| a + *x);
+        prop_assert_eq!(per_slot_sum, cum_before);
+        // After the halt, the subtask accrues nothing.
+        for t in halt_at..halt_at + 5 {
+            let (alloc, _) = tr.advance(t);
+            prop_assert_eq!(alloc, Rational::ZERO);
+        }
+        prop_assert_eq!(tr.icsw_total(), Rational::ZERO);
+    }
+}

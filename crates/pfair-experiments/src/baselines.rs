@@ -1,0 +1,125 @@
+//! Baseline comparison: the Pfair schemes against the companion papers'
+//! alternatives (global EDF and partitioned EDF) on the same Whisper
+//! workload — the "all three approaches are of value" discussion of the
+//! paper's concluding remarks made measurable.
+
+use pfair_sched::edf::{run_global_edf, EdfReweightMode};
+use pfair_sched::partitioned::run_partitioned_edf;
+use pfair_sched::reweight::Scheme;
+use rayon::prelude::*;
+use whisper_sim::scenario::{generate_workload, HORIZON, PROCESSORS};
+use whisper_sim::stats::summarize;
+use whisper_sim::{run_whisper, Scenario};
+
+/// One row of the baseline table.
+#[derive(Clone, Debug)]
+pub struct BaselineRow {
+    /// Scheduler label.
+    pub label: String,
+    /// Mean % of ideal allocation completed by t = 1000.
+    pub pct_of_ideal: f64,
+    /// Mean deadline misses per run.
+    pub misses: f64,
+    /// Mean migrations per run (0 by construction for partitioned EDF's
+    /// schedule; its reweight-forced repartitions are listed instead).
+    pub migrations: f64,
+}
+
+/// Runs every scheduler on the same seeds and aggregates.
+pub fn compare(speed: f64, radius: f64, runs: u64) -> Vec<BaselineRow> {
+    let seeds: Vec<u64> = (0..runs).collect();
+    let mut rows = Vec::new();
+
+    for (label, scheme) in [("PD2-OI", Scheme::Oi), ("PD2-LJ", Scheme::LeaveJoin)] {
+        let metrics: Vec<_> = seeds
+            .par_iter()
+            .map(|&seed| run_whisper(&Scenario::new(speed, radius, true, seed), scheme.clone()))
+            .collect();
+        rows.push(BaselineRow {
+            label: label.into(),
+            pct_of_ideal: summarize(&metrics.iter().map(|m| m.pct_of_ideal).collect::<Vec<_>>())
+                .mean,
+            misses: summarize(&metrics.iter().map(|m| m.misses as f64).collect::<Vec<_>>()).mean,
+            migrations: summarize(
+                &metrics
+                    .iter()
+                    .map(|m| m.counters.migrations as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .mean,
+        });
+    }
+
+    for (label, mode) in [
+        ("global EDF (boundary)", EdfReweightMode::AtBoundary),
+        ("global EDF (immediate)", EdfReweightMode::Immediate),
+    ] {
+        let runs: Vec<_> = seeds
+            .par_iter()
+            .map(|&seed| {
+                let w = generate_workload(&Scenario::new(speed, radius, true, seed));
+                run_global_edf(PROCESSORS, HORIZON, &w, mode)
+            })
+            .collect();
+        rows.push(BaselineRow {
+            label: label.into(),
+            pct_of_ideal: summarize(
+                &runs
+                    .iter()
+                    .map(|r| {
+                        let p = r.pct_of_ideal();
+                        p.iter().sum::<f64>() / p.len().max(1) as f64
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .mean,
+            misses: summarize(&runs.iter().map(|r| r.misses.len() as f64).collect::<Vec<_>>())
+                .mean,
+            migrations: 0.0,
+        });
+    }
+
+    {
+        let runs: Vec<_> = seeds
+            .par_iter()
+            .map(|&seed| {
+                let w = generate_workload(&Scenario::new(speed, radius, true, seed));
+                run_partitioned_edf(PROCESSORS, HORIZON, &w)
+            })
+            .collect();
+        rows.push(BaselineRow {
+            label: "partitioned EDF".into(),
+            pct_of_ideal: summarize(
+                &runs
+                    .iter()
+                    .map(|r| {
+                        let p = r.pct_of_ideal();
+                        p.iter().sum::<f64>() / p.len().max(1) as f64
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .mean,
+            misses: summarize(&runs.iter().map(|r| r.misses.len() as f64).collect::<Vec<_>>())
+                .mean,
+            migrations: summarize(&runs.iter().map(|r| r.migrations as f64).collect::<Vec<_>>())
+                .mean,
+        });
+    }
+
+    rows
+}
+
+/// Prints the comparison table.
+pub fn run(runs: u64) {
+    println!("\n=== Scheduler baselines on the Whisper workload (speed 2.9, radius 25 cm) ===");
+    println!(
+        "{:<24} {:>12} {:>10} {:>12}",
+        "scheduler", "% of ideal", "misses", "migrations"
+    );
+    for row in compare(2.9, 0.25, runs) {
+        println!(
+            "{:<24} {:>12.2} {:>10.2} {:>12.1}",
+            row.label, row.pct_of_ideal, row.misses, row.migrations
+        );
+    }
+}

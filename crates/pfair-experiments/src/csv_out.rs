@@ -1,0 +1,36 @@
+//! CSV export of experiment data, one file per figure, so the curves
+//! can be plotted with any tool (`gnuplot`, matplotlib, …).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `rows` under `header` to `dir/name.csv` (creating `dir`).
+/// Panics with a clear message on I/O failure — the experiment harness
+/// treats unwritable output as fatal.
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) {
+    fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {}", dir.display(), e));
+    let path = dir.join(format!("{}.csv", name));
+    let mut f = fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("creating {}: {}", path.display(), e));
+    writeln!(f, "{}", header).expect("writing csv header");
+    for row in rows {
+        writeln!(f, "{}", row).expect("writing csv row");
+    }
+    println!("  wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("pfair_csv_test");
+        let _ = fs::remove_dir_all(&dir);
+        write_csv(&dir, "demo", "a,b", &["1,2".into(), "3,4".into()]);
+        let content = fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

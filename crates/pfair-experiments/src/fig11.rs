@@ -1,0 +1,228 @@
+//! Fig. 11 regeneration: the Whisper evaluation sweeps.
+//!
+//! * **(a)** maximum drift at time 1,000 vs. speaker speed (radius
+//!   25 cm),
+//! * **(b)** per-task average % of the `I_PS` allocation vs. speed,
+//! * **(c)** maximum drift vs. radius of rotation (speed 2.9 m/s),
+//! * **(d)** % of ideal allocation vs. radius,
+//!
+//! each for PD²-OI and PD²-LJ, with and without the occluding pole,
+//! averaged over seeded runs with 98% confidence intervals (the paper
+//! uses 61 runs per point; `--runs` overrides).
+
+use pfair_sched::reweight::Scheme;
+use rayon::prelude::*;
+use whisper_sim::stats::{summarize, Summary};
+use whisper_sim::{run_whisper, Scenario, WhisperMetrics};
+
+/// The speeds of the paper's x-axis (m/s), 0.5–3.5.
+pub const SPEEDS: [f64; 7] = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5];
+/// The radii of the paper's x-axis (m), 10–50 cm.
+pub const RADII: [f64; 9] = [0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50];
+/// Radius used for the speed sweep (paper: 25 cm).
+pub const SPEED_SWEEP_RADIUS: f64 = 0.25;
+/// Speed used for the radius sweep (paper: 2.9 m/s).
+pub const RADIUS_SWEEP_SPEED: f64 = 2.9;
+
+/// One aggregated point of a Fig. 11 curve.
+#[derive(Clone, Debug)]
+pub struct CurvePoint {
+    /// The x value (speed in m/s or radius in m).
+    pub x: f64,
+    /// Max drift at time 1,000 (quanta): mean ± 98% CI.
+    pub max_drift: Summary,
+    /// % of ideal allocation: mean ± 98% CI.
+    pub pct_of_ideal: Summary,
+}
+
+/// One of the four curves in each inset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CurveKey {
+    /// PD²-OI (true) or PD²-LJ (false).
+    pub oi: bool,
+    /// Pole occlusion enabled.
+    pub occlusion: bool,
+}
+
+impl CurveKey {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        format!(
+            "PD2-{}{}",
+            if self.oi { "OI" } else { "LJ" },
+            if self.occlusion { " (occlusion)" } else { " (no occlusion)" }
+        )
+    }
+
+    fn scheme(&self) -> Scheme {
+        if self.oi {
+            Scheme::Oi
+        } else {
+            Scheme::LeaveJoin
+        }
+    }
+}
+
+/// The four curve variants, in the order the tables print them.
+pub const CURVES: [CurveKey; 4] = [
+    CurveKey { oi: true, occlusion: true },
+    CurveKey { oi: true, occlusion: false },
+    CurveKey { oi: false, occlusion: true },
+    CurveKey { oi: false, occlusion: false },
+];
+
+/// Runs one sweep point: `runs` seeded Whisper simulations, aggregated.
+pub fn sweep_point(speed: f64, radius: f64, key: CurveKey, runs: u64) -> CurvePoint {
+    let metrics: Vec<WhisperMetrics> = (0..runs)
+        .into_par_iter()
+        .map(|seed| {
+            let sc = Scenario::new(speed, radius, key.occlusion, seed);
+            run_whisper(&sc, key.scheme())
+        })
+        .collect();
+    for m in &metrics {
+        assert_eq!(m.misses, 0, "deadline miss in a Whisper run");
+    }
+    let drifts: Vec<f64> = metrics.iter().map(|m| m.max_drift).collect();
+    let pcts: Vec<f64> = metrics.iter().map(|m| m.pct_of_ideal).collect();
+    CurvePoint {
+        x: 0.0, // filled by the caller
+        max_drift: summarize(&drifts),
+        pct_of_ideal: summarize(&pcts),
+    }
+}
+
+/// A full curve over the speed axis (insets (a) and (b)).
+pub fn speed_curve(key: CurveKey, runs: u64) -> Vec<CurvePoint> {
+    SPEEDS
+        .iter()
+        .map(|&v| CurvePoint { x: v, ..sweep_point(v, SPEED_SWEEP_RADIUS, key, runs) })
+        .collect()
+}
+
+/// A full curve over the radius axis (insets (c) and (d)).
+pub fn radius_curve(key: CurveKey, runs: u64) -> Vec<CurvePoint> {
+    RADII
+        .iter()
+        .map(|&r| CurvePoint { x: r, ..sweep_point(RADIUS_SWEEP_SPEED, r, key, runs) })
+        .collect()
+}
+
+/// Prints one inset's table: per curve, one row per x value.
+pub fn print_inset(title: &str, x_name: &str, curves: &[(CurveKey, Vec<CurvePoint>)], drift: bool) {
+    println!("\n=== {} ===", title);
+    println!("{:<28} {:>8} {:>12} {:>10}", "curve", x_name, "mean", "±98% CI");
+    for (key, points) in curves {
+        for p in points {
+            let s = if drift { p.max_drift } else { p.pct_of_ideal };
+            println!(
+                "{:<28} {:>8.2} {:>12.4} {:>10.4}",
+                key.label(),
+                p.x,
+                s.mean,
+                s.ci98
+            );
+        }
+    }
+}
+
+/// Runs and prints insets (a)+(b) (they share the same simulations),
+/// optionally exporting the curves as CSV.
+pub fn run_speed_insets_csv(runs: u64, csv: Option<&std::path::Path>) {
+    let curves: Vec<(CurveKey, Vec<CurvePoint>)> = CURVES
+        .iter()
+        .map(|&key| (key, speed_curve(key, runs)))
+        .collect();
+    if let Some(dir) = csv {
+        export_csv(dir, "fig11_speed", "speed_mps", &curves);
+    }
+    print_inset(
+        "Fig. 11(a): max drift at t=1000 vs. speed (radius 25 cm)",
+        "m/s",
+        &curves,
+        true,
+    );
+    print_inset(
+        "Fig. 11(b): % of ideal allocation vs. speed (radius 25 cm)",
+        "m/s",
+        &curves,
+        false,
+    );
+}
+
+/// Runs and prints insets (c)+(d), optionally exporting CSV.
+pub fn run_radius_insets_csv(runs: u64, csv: Option<&std::path::Path>) {
+    let curves: Vec<(CurveKey, Vec<CurvePoint>)> = CURVES
+        .iter()
+        .map(|&key| (key, radius_curve(key, runs)))
+        .collect();
+    if let Some(dir) = csv {
+        export_csv(dir, "fig11_radius", "radius_m", &curves);
+    }
+    print_inset(
+        "Fig. 11(c): max drift at t=1000 vs. radius (speed 2.9 m/s)",
+        "m",
+        &curves,
+        true,
+    );
+    print_inset(
+        "Fig. 11(d): % of ideal allocation vs. radius (speed 2.9 m/s)",
+        "m",
+        &curves,
+        false,
+    );
+}
+
+/// Writes one CSV per inset pair: every curve's points with both
+/// metrics and their confidence intervals.
+fn export_csv(
+    dir: &std::path::Path,
+    name: &str,
+    x_name: &str,
+    curves: &[(CurveKey, Vec<CurvePoint>)],
+) {
+    let header = format!(
+        "scheme,occlusion,{},max_drift,max_drift_ci98,pct_of_ideal,pct_of_ideal_ci98",
+        x_name
+    );
+    let rows: Vec<String> = curves
+        .iter()
+        .flat_map(|(key, points)| {
+            points.iter().map(move |p| {
+                format!(
+                    "{},{},{},{},{},{},{}",
+                    if key.oi { "PD2-OI" } else { "PD2-LJ" },
+                    key.occlusion,
+                    p.x,
+                    p.max_drift.mean,
+                    p.max_drift.ci98,
+                    p.pct_of_ideal.mean,
+                    p.pct_of_ideal.ci98
+                )
+            })
+        })
+        .collect();
+    crate::csv_out::write_csv(dir, name, &header, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_point_aggregates_runs() {
+        let key = CurveKey { oi: true, occlusion: true };
+        let p = sweep_point(2.0, 0.25, key, 2);
+        assert_eq!(p.max_drift.n, 2);
+        assert!(p.pct_of_ideal.mean > 50.0);
+    }
+
+    #[test]
+    fn curve_keys_have_distinct_labels() {
+        let labels: Vec<String> = CURVES.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), 4);
+        assert_eq!(dedup.len(), 4);
+    }
+}

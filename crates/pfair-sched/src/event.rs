@@ -1,0 +1,131 @@
+//! Workload events: joins, leaves, and reweighting requests.
+//!
+//! A simulation consumes a time-ordered stream of events. Reweighting
+//! requests carry the weight the task *wants*; the admission policy
+//! (condition (W) policing, see [`crate::admission`]) may grant less.
+
+use pfair_core::rational::Rational;
+use pfair_core::task::TaskId;
+use pfair_core::time::Slot;
+use pfair_core::weight::Weight;
+
+/// What happens to a task at an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The task joins the system with the given weight (its first
+    /// "enacted weight change"). Subject to the join condition J.
+    Join(Weight),
+    /// The task asks to leave; the leave condition L may delay removal.
+    Leave,
+    /// The task *initiates* a weight change to the given weight at the
+    /// event time; the reweighting rules decide when it is *enacted*.
+    Reweight(Weight),
+    /// Intra-sporadic separation: the task's next subtask release is
+    /// postponed by the given number of slots (an increase of the IS
+    /// offset θ). The instantaneous ideal owes the task nothing while it
+    /// is between active subtasks.
+    Delay(u32),
+}
+
+/// A timed event affecting one task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The slot boundary at which the event occurs.
+    pub at: Slot,
+    /// The affected task.
+    pub task: TaskId,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// A complete workload: a set of tasks identified by dense ids `0..n`,
+/// plus the events that drive them.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    events: Vec<Event>,
+    max_task: u32,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Adds an event (any order; events are sorted on build).
+    pub fn push(&mut self, event: Event) -> &mut Self {
+        self.max_task = self.max_task.max(event.task.0 + 1);
+        self.events.push(event);
+        self
+    }
+
+    /// Convenience: task `task` joins at `at` with weight `num/den`.
+    pub fn join(&mut self, task: u32, at: Slot, num: i128, den: i128) -> &mut Self {
+        self.push(Event {
+            at,
+            task: TaskId(task),
+            kind: EventKind::Join(Weight::new(Rational::new(num, den))),
+        })
+    }
+
+    /// Convenience: task `task` initiates a change to `num/den` at `at`.
+    pub fn reweight(&mut self, task: u32, at: Slot, num: i128, den: i128) -> &mut Self {
+        self.push(Event {
+            at,
+            task: TaskId(task),
+            kind: EventKind::Reweight(Weight::new(Rational::new(num, den))),
+        })
+    }
+
+    /// Convenience: task `task` asks to leave at `at`.
+    pub fn leave(&mut self, task: u32, at: Slot) -> &mut Self {
+        self.push(Event { at, task: TaskId(task), kind: EventKind::Leave })
+    }
+
+    /// Convenience: postpone `task`'s next release by `by` slots at `at`.
+    pub fn delay(&mut self, task: u32, at: Slot, by: u32) -> &mut Self {
+        self.push(Event { at, task: TaskId(task), kind: EventKind::Delay(by) })
+    }
+
+    /// Number of distinct task ids referenced (ids must be dense from 0).
+    pub fn task_count(&self) -> u32 {
+        self.max_task
+    }
+
+    /// The events sorted by time (stable: same-slot events keep insertion
+    /// order, so a workload can, e.g., make one task leave before another
+    /// joins within a slot).
+    pub fn sorted_events(&self) -> Vec<Event> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::rational::rat;
+
+    #[test]
+    fn builder_and_sorting() {
+        let mut w = Workload::new();
+        w.reweight(0, 10, 1, 2).join(0, 0, 3, 20).join(1, 5, 1, 4);
+        let evs = w.sorted_events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].at, 0);
+        assert_eq!(evs[0].kind, EventKind::Join(Weight::new(rat(3, 20))));
+        assert_eq!(evs[1].at, 5);
+        assert_eq!(evs[2].at, 10);
+        assert_eq!(w.task_count(), 2);
+    }
+
+    #[test]
+    fn same_slot_events_keep_insertion_order() {
+        let mut w = Workload::new();
+        w.leave(0, 6).join(1, 6, 1, 14);
+        let evs = w.sorted_events();
+        assert_eq!(evs[0].kind, EventKind::Leave);
+        assert!(matches!(evs[1].kind, EventKind::Join(_)));
+    }
+}

@@ -1,0 +1,69 @@
+//! Overhead accounting: the *efficiency* side of the
+//! efficiency-versus-accuracy trade-off.
+//!
+//! The paper's concluding remarks weigh PD²-OI's precision against its
+//! scheduling cost (`Ω(max(N, M log N))` to reweight `N` tasks at once,
+//! versus `O(M log N)` for PD²-LJ) and against the migration/preemption
+//! costs all Pfair schedulers incur. These counters make those costs
+//! observable: every heap operation, halt, enactment, migration, and
+//! preemption in a run is tallied, so the experiment harness can plot
+//! accuracy (drift) against measured overhead for PD²-OI, PD²-LJ, and
+//! the hybrids.
+
+/// Event and data-structure operation tallies for one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Counters {
+    /// Ready-queue insertions.
+    pub heap_pushes: u64,
+    /// Ready-queue removals (live and stale).
+    pub heap_pops: u64,
+    /// Removals that found a stale (halted/withdrawn) entry.
+    pub stale_pops: u64,
+    /// Reweighting events initiated.
+    pub reweight_initiations: u64,
+    /// Reweighting events enacted (≤ initiations; superseded requests
+    /// are skipped).
+    pub reweight_enactments: u64,
+    /// Subtasks halted by rule O (or withdrawn by PD²-LJ's leave).
+    pub halts: u64,
+    /// Subtasks scheduled.
+    pub scheduled_quanta: u64,
+    /// Slots in which at least one processor idled ("holes").
+    pub slots_with_holes: u64,
+    /// Task migrations: a task's consecutive quanta ran on different
+    /// processors.
+    pub migrations: u64,
+    /// Preemptions: a task ran in slot `t−1`, had unfinished work, and
+    /// did not run in slot `t`.
+    pub preemptions: u64,
+    /// Reweighting requests rejected because they involved a heavy task
+    /// (weight > 1/2) — the class whose reweighting rules the paper
+    /// defers to the first author's dissertation.
+    pub rejected_heavy_reweights: u64,
+}
+
+impl Counters {
+    /// Total priority-queue work, the dominant scheduling cost.
+    pub fn heap_ops(&self) -> u64 {
+        self.heap_pushes + self.heap_pops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_ops_sums_pushes_and_pops() {
+        let c = Counters { heap_pushes: 3, heap_pops: 5, ..Counters::default() };
+        assert_eq!(c.heap_ops(), 8);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let c = Counters::default();
+        assert_eq!(c.heap_ops(), 0);
+        assert_eq!(c.migrations, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! PD² subtask priority and tie-breaking.
+//!
+//! PD² prioritizes subtasks earliest-pseudo-deadline-first (EPDF) with
+//! two tie-breaks. For light tasks (weight ≤ 1/2 — the class the
+//! *reweighting* rules support) the b-bit alone suffices: among equal
+//! deadlines, a subtask with `b`-bit 1 is favored over one with `b`-bit
+//! 0 (its window overlaps its successor's, so postponing it squeezes the
+//! successor). For heavy tasks the second tie-break applies: among
+//! equal-deadline `b = 1` subtasks, the one with the later *group
+//! deadline* (`pfair_core::window::group_deadline`) wins — it heads the
+//! longer potential cascade of squeezed length-2 windows. Remaining ties
+//! are broken "arbitrarily" (paper §2); the counterexample figures fix
+//! specific arbitrary orders, so the resolution is pluggable via
+//! [`TieBreak`].
+//!
+//! A released subtask's priority **never changes** (paper §3.2: `d(T_j)`
+//! is fixed once `T_j` is released, even if the task reweights
+//! afterwards) — which is what makes an ordinary binary heap with lazy
+//! invalidation a correct ready queue and keeps reweighting at
+//! `O(log N)` per task.
+
+use pfair_core::task::TaskId;
+use pfair_core::time::Slot;
+
+/// Resolution of ties that remain after the deadline and b-bit
+/// comparisons.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Favor the task with the smaller id (deterministic default).
+    #[default]
+    TaskIdAsc,
+    /// Favor the task with the larger id.
+    TaskIdDesc,
+    /// Explicit rank per task id: smaller rank wins. Tasks absent from
+    /// the table rank after all ranked tasks, by ascending id. This is
+    /// how the paper's figures say "all ties are broken in favor of
+    /// tasks from C".
+    Ranked(Vec<(TaskId, u32)>),
+}
+
+impl TieBreak {
+    /// The rank key this policy assigns to a task (smaller = favored).
+    pub fn key(&self, task: TaskId) -> (u32, u32) {
+        match self {
+            TieBreak::TaskIdAsc => (0, task.0),
+            TieBreak::TaskIdDesc => (0, u32::MAX - task.0),
+            TieBreak::Ranked(table) => table
+                .iter()
+                .find(|(t, _)| *t == task)
+                .map(|(_, r)| (*r, task.0))
+                .unwrap_or((u32::MAX, task.0)),
+        }
+    }
+}
+
+/// A fully-resolved PD² priority. Smaller compares as *higher* priority;
+/// the ready queue wraps it in `Reverse` for its max-heap.
+///
+/// Comparison order: earlier deadline, then `b = 1` over `b = 0`, then
+/// — the heavy-task tie-break — the *later* group deadline, then the
+/// configured arbitrary tie resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Priority {
+    /// `d(T_i)` — earlier deadlines first.
+    pub deadline: Slot,
+    /// 0 when `b(T_i) = 1` (favored), 1 when `b(T_i) = 0`.
+    pub b_rank: u8,
+    /// Negated group deadline `−D(T_i)`: a later group deadline (a
+    /// longer potential cascade) is favored, so it must compare
+    /// *smaller*. Light tasks carry `−d(T_i)`, which ranks below every
+    /// heavy `b = 1` contender at the same deadline.
+    pub gd_rank: i64,
+    /// Tie-break key from [`TieBreak::key`].
+    pub tie: (u32, u32),
+}
+
+impl Priority {
+    /// Builds the priority of a subtask with deadline `deadline`, b-bit
+    /// `b`, and group deadline `group_deadline` (pass the subtask
+    /// deadline itself for light tasks), owned by `task`, under
+    /// tie-break policy `tb`.
+    pub fn new(
+        deadline: Slot,
+        b: bool,
+        group_deadline: Slot,
+        task: TaskId,
+        tb: &TieBreak,
+    ) -> Priority {
+        Priority {
+            deadline,
+            b_rank: if b { 0 } else { 1 },
+            gd_rank: -group_deadline,
+            tie: tb.key(task),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earlier_deadline_wins() {
+        let tb = TieBreak::TaskIdAsc;
+        let a = Priority::new(5, false, 5, TaskId(0), &tb);
+        let b = Priority::new(6, true, 6, TaskId(0), &tb);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn b_bit_breaks_deadline_ties() {
+        let tb = TieBreak::TaskIdAsc;
+        let with_b = Priority::new(5, true, 5, TaskId(9), &tb);
+        let without_b = Priority::new(5, false, 5, TaskId(0), &tb);
+        assert!(with_b < without_b);
+    }
+
+    #[test]
+    fn ranked_tie_break() {
+        let tb = TieBreak::Ranked(vec![(TaskId(7), 0), (TaskId(3), 1)]);
+        let favored = Priority::new(5, true, 5, TaskId(7), &tb);
+        let second = Priority::new(5, true, 5, TaskId(3), &tb);
+        let unranked = Priority::new(5, true, 5, TaskId(1), &tb);
+        assert!(favored < second);
+        assert!(second < unranked);
+    }
+
+    #[test]
+    fn task_id_desc() {
+        let tb = TieBreak::TaskIdDesc;
+        let hi = Priority::new(5, true, 5, TaskId(9), &tb);
+        let lo = Priority::new(5, true, 5, TaskId(1), &tb);
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn unranked_tasks_order_by_id() {
+        let tb = TieBreak::Ranked(vec![(TaskId(5), 0)]);
+        let a = Priority::new(5, true, 5, TaskId(1), &tb);
+        let b = Priority::new(5, true, 5, TaskId(2), &tb);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,182 @@
+//! The PD² ready queue: a binary heap of released subtasks with lazy
+//! invalidation.
+//!
+//! Because a released subtask's priority is immutable, the queue never
+//! needs decrease-key; reweighting events that *halt* a subtask simply
+//! leave a stale entry behind, which is skipped (and counted) when
+//! popped. Each push/pop is `O(log N)`, matching the paper's stated
+//! reweighting cost of `O(log N)` per task.
+
+use crate::overhead::Counters;
+use crate::priority::Priority;
+use pfair_core::task::TaskId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An entry in the ready queue: one released, schedulable subtask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QueueEntry {
+    /// PD² priority (orders the heap).
+    pub priority: Priority,
+    /// Owning task.
+    pub task: TaskId,
+    /// Subtask index `i` of `T_i`.
+    pub index: u64,
+}
+
+/// Min-priority ready queue with lazy invalidation.
+#[derive(Clone, Debug, Default)]
+pub struct ReadyQueue {
+    heap: BinaryHeap<Reverse<QueueEntry>>,
+}
+
+impl ReadyQueue {
+    /// An empty queue.
+    pub fn new() -> ReadyQueue {
+        ReadyQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Number of entries, including stale ones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` iff no entries remain (stale or live).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pushes a subtask that has just become its task's schedulable head.
+    pub fn push(&mut self, entry: QueueEntry, counters: &mut Counters) {
+        counters.heap_pushes += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Pops the highest-priority entry for which `is_live` holds,
+    /// discarding (and counting) stale entries on the way. Returns `None`
+    /// when the queue runs out.
+    pub fn pop_live(
+        &mut self,
+        counters: &mut Counters,
+        mut is_live: impl FnMut(&QueueEntry) -> bool,
+    ) -> Option<QueueEntry> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            counters.heap_pops += 1;
+            if is_live(&entry) {
+                return Some(entry);
+            }
+            counters.stale_pops += 1;
+        }
+        None
+    }
+
+    /// Drops every entry (used when a scheduler is reset between runs).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::TieBreak;
+
+    fn entry(deadline: i64, b: bool, task: u32, index: u64) -> QueueEntry {
+        QueueEntry {
+            priority: Priority::new(deadline, b, deadline, TaskId(task), &TieBreak::TaskIdAsc),
+            task: TaskId(task),
+            index,
+        }
+    }
+
+    #[test]
+    fn pops_in_pd2_order() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        q.push(entry(7, false, 0, 1), &mut c);
+        q.push(entry(5, false, 1, 1), &mut c);
+        q.push(entry(5, true, 2, 1), &mut c);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_live(&mut c, |_| true))
+            .map(|e| e.task.0)
+            .collect();
+        assert_eq!(order, vec![2, 1, 0]); // dl 5 b=1, dl 5 b=0, dl 7
+        assert_eq!(c.heap_pushes, 3);
+        assert_eq!(c.heap_pops, 3);
+        assert_eq!(c.stale_pops, 0);
+    }
+
+    #[test]
+    fn lazy_invalidation_skips_and_counts_stale() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        q.push(entry(3, true, 0, 1), &mut c);
+        q.push(entry(4, true, 1, 1), &mut c);
+        // Task 0's subtask was halted: treat it as stale.
+        let got = q.pop_live(&mut c, |e| e.task != TaskId(0));
+        assert_eq!(got.unwrap().task, TaskId(1));
+        assert_eq!(c.stale_pops, 1);
+        assert!(q.pop_live(&mut c, |_| true).is_none());
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        assert!(q.pop_live(&mut c, |_| true).is_none());
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::priority::{Priority, TieBreak};
+    use crate::overhead::Counters;
+    use pfair_core::task::TaskId;
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        for i in 0..5u64 {
+            q.push(
+                QueueEntry {
+                    priority: Priority::new(5, true, 5, TaskId(0), &TieBreak::TaskIdAsc),
+                    task: TaskId(0),
+                    index: i + 1,
+                },
+                &mut c,
+            );
+        }
+        assert_eq!(q.len(), 5);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop_live(&mut c, |_| true).is_none());
+    }
+
+    #[test]
+    fn group_deadline_orders_equal_deadline_b1_entries() {
+        // Among equal-deadline b=1 entries, the later group deadline wins.
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        let tb = TieBreak::TaskIdAsc;
+        q.push(
+            QueueEntry {
+                priority: Priority::new(5, true, 6, TaskId(0), &tb),
+                task: TaskId(0),
+                index: 1,
+            },
+            &mut c,
+        );
+        q.push(
+            QueueEntry {
+                priority: Priority::new(5, true, 9, TaskId(1), &tb),
+                task: TaskId(1),
+                index: 1,
+            },
+            &mut c,
+        );
+        let first = q.pop_live(&mut c, |_| true).unwrap();
+        assert_eq!(first.task, TaskId(1), "later group deadline is favored");
+    }
+}

@@ -1,0 +1,172 @@
+//! Heavy-task (weight > 1/2) scheduling under the full PD² priority
+//! with the group-deadline tie-break.
+//!
+//! The paper's reweighting rules cover light tasks; heavy tasks are
+//! deferred to the first author's dissertation because one wrong
+//! decision triggers a cascade of squeezed length-2 windows. *Static*
+//! heavy tasks, however, are classic PD² territory: with the
+//! group-deadline tie-break PD² is optimal for any task set with total
+//! weight ≤ M. These tests exercise that substrate, including fully
+//! utilized systems, and check that heavy *reweighting* requests are
+//! refused rather than mishandled.
+
+use proptest::prelude::*;
+use pfair_core::rational::{rat, Rational};
+use pfair_core::task::TaskId;
+use pfair_sched::admission::AdmissionPolicy;
+use pfair_sched::engine::{simulate, SimConfig};
+use pfair_sched::event::Workload;
+
+fn run(processors: u32, horizon: i64, weights: &[(i128, i128)]) -> pfair_sched::trace::SimResult {
+    let mut w = Workload::new();
+    for (i, (n, d)) in weights.iter().enumerate() {
+        w.join(i as u32, 0, *n, *d);
+    }
+    simulate(
+        SimConfig::oi(processors, horizon)
+            .with_admission(AdmissionPolicy::Trusting)
+            .with_history(),
+        &w,
+    )
+}
+
+/// The classic full-utilization heavy set: 8/11 + 8/11 + 6/11 = 2 on
+/// two processors, over several hyperperiods.
+#[test]
+fn full_utilization_heavy_set_8_11() {
+    let r = run(2, 110, &[(8, 11), (8, 11), (6, 11)]);
+    assert!(r.is_miss_free(), "misses: {:?}", r.misses);
+    // Exact allocation over 10 hyperperiods.
+    assert_eq!(r.task(TaskId(0)).scheduled_count, 80);
+    assert_eq!(r.task(TaskId(1)).scheduled_count, 80);
+    assert_eq!(r.task(TaskId(2)).scheduled_count, 60);
+}
+
+/// Mixed heavy + light at full utilization: 3/4 + 3/4 + 1/4 + 1/4 = 2.
+#[test]
+fn mixed_heavy_light_full_utilization() {
+    let r = run(2, 120, &[(3, 4), (3, 4), (1, 4), (1, 4)]);
+    assert!(r.is_miss_free(), "misses: {:?}", r.misses);
+    for (i, expect) in [(0u32, 90u64), (1, 90), (2, 30), (3, 30)] {
+        assert_eq!(r.task(TaskId(i)).scheduled_count, expect);
+    }
+}
+
+/// A weight-1 task owns a processor outright.
+#[test]
+fn weight_one_task_monopolizes_a_cpu() {
+    let r = run(2, 60, &[(1, 1), (1, 2), (1, 2)]);
+    assert!(r.is_miss_free());
+    assert_eq!(r.task(TaskId(0)).scheduled_count, 60);
+    assert_eq!(r.task(TaskId(1)).scheduled_count, 30);
+}
+
+/// The lag window holds for heavy tasks too: −1 < lag < 1 throughout.
+#[test]
+fn heavy_task_lag_bounds() {
+    let r = run(2, 110, &[(8, 11), (8, 11), (6, 11)]);
+    for task in &r.tasks {
+        let lags = task.history.as_ref().unwrap().lag_vs_icsw(110);
+        for (t, lag) in lags.iter().enumerate() {
+            assert!(
+                rat(-1, 1) < *lag && *lag < rat(1, 1),
+                "{} lag {} at {}",
+                task.id,
+                lag,
+                t
+            );
+        }
+    }
+}
+
+/// Reweighting requests touching the heavy class are refused and
+/// counted; the task keeps its weight and correctness is unaffected.
+#[test]
+fn heavy_reweights_are_refused() {
+    let mut w = Workload::new();
+    w.join(0, 0, 3, 4); // heavy
+    w.join(1, 0, 1, 4); // light
+    w.reweight(0, 8, 1, 2); // heavy task may not reweight
+    w.reweight(1, 8, 2, 3); // light task may not become heavy
+    let r = simulate(
+        SimConfig::oi(1, 80).with_admission(AdmissionPolicy::Trusting),
+        &w,
+    );
+    assert!(r.is_miss_free());
+    assert_eq!(r.counters.rejected_heavy_reweights, 2);
+    assert_eq!(r.counters.reweight_initiations, 0);
+    // Allocations continue at the original weights.
+    assert_eq!(r.task(TaskId(0)).scheduled_count, 60);
+    assert_eq!(r.task(TaskId(1)).scheduled_count, 20);
+}
+
+/// Light reweighting next to a running heavy task stays correct.
+#[test]
+fn light_reweighting_beside_heavy_tasks() {
+    let mut w = Workload::new();
+    w.join(0, 0, 3, 4); // heavy, static
+    w.join(1, 0, 1, 10);
+    w.join(2, 0, 1, 10);
+    w.reweight(1, 7, 1, 5);
+    w.reweight(1, 31, 1, 10);
+    w.reweight(2, 13, 3, 20);
+    let r = simulate(SimConfig::oi(2, 200), &w);
+    assert!(r.is_miss_free(), "misses: {:?}", r.misses);
+    assert!(r.max_abs_drift_delta() <= rat(2, 1));
+}
+
+/// Random full(ish)-utilization mixed sets: PD² with the group-deadline
+/// tie-break never misses when Σ weights ≤ M.
+fn arb_mixed_set() -> impl Strategy<Value = (u32, Vec<(i128, i128)>)> {
+    (2u32..=3, prop::collection::vec((1i128..=11, 3i128..=12), 2..=6)).prop_map(|(m, raw)| {
+        // Normalize: clamp each weight into (0, 1], then scale down until
+        // the total fits M.
+        let mut weights: Vec<(i128, i128)> = raw
+            .into_iter()
+            .map(|(n, d)| (n.min(d), d))
+            .collect();
+        loop {
+            let total: Rational = weights
+                .iter()
+                .fold(Rational::ZERO, |a, (n, d)| a + rat(*n, *d));
+            if total <= Rational::from_int(m as i128) {
+                break;
+            }
+            // Halve the largest weight (by doubling its denominator).
+            let idx = weights
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (n, d))| rat(*n, *d))
+                .map(|(i, _)| i)
+                .unwrap();
+            weights[idx].1 *= 2;
+        }
+        (m, weights)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_mixed_sets_never_miss((m, weights) in arb_mixed_set()) {
+        let r = run(m, 150, &weights);
+        prop_assert!(r.is_miss_free(), "weights {:?}: {:?}", weights, r.misses);
+    }
+
+    /// Allocation accuracy for random mixed sets: each task's total is
+    /// within one quantum of its ideal at the horizon.
+    #[test]
+    fn random_mixed_sets_track_ideal((m, weights) in arb_mixed_set()) {
+        let r = run(m, 150, &weights);
+        for (i, (n, d)) in weights.iter().enumerate() {
+            let ideal = rat(*n, *d) * 150;
+            let got = Rational::from_int(r.task(TaskId(i as u32)).scheduled_count as i128);
+            prop_assert!(
+                (got - ideal).abs() < Rational::ONE,
+                "task {} got {} vs ideal {}",
+                i, got, ideal
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Intra-sporadic separations through the full engine: delayed subtask
+//! releases (θ offsets, paper §2's IS model) interacting with PD²
+//! scheduling, the ideal trackers, and reweighting.
+
+use proptest::prelude::*;
+use pfair_core::rational::rat;
+use pfair_core::task::TaskId;
+use pfair_sched::engine::{simulate, SimConfig};
+use pfair_sched::event::Workload;
+
+/// Fig. 1(b) at engine level: a weight-5/16 task whose second subtask
+/// is delayed two slots and whose third is delayed one more. Windows
+/// must be [0,4), [5,9), [9,13) and the task must be inactive in slot 4.
+#[test]
+fn fig1b_window_chain_through_engine() {
+    let mut w = Workload::new();
+    w.join(0, 0, 5, 16);
+    w.delay(0, 1, 2); // θ(T_2) = 2: next release 3 → 5
+    w.delay(0, 6, 1); // θ(T_3) = 3: next release 8 → 9
+    let r = simulate(SimConfig::oi(1, 32).with_history(), &w);
+    assert!(r.is_miss_free());
+    let hist = r.task(TaskId(0)).history.as_ref().unwrap();
+    let windows: Vec<(i64, i64)> = hist
+        .subtasks
+        .iter()
+        .take(3)
+        .map(|s| (s.window.release, s.window.deadline))
+        .collect();
+    assert_eq!(windows, vec![(0, 4), (5, 9), (9, 13)]);
+    // The instantaneous ideal owes nothing for the inactive slot 4 (the
+    // two-slot separation minus the b = 1 overlap), and the second
+    // separation (θ +1 against b = 1) leaves no gap: over the 32-slot
+    // horizon I_PS totals exactly 31 slots' worth of weight.
+    assert_eq!(r.task(TaskId(0)).ps_total, rat(5, 16) * 31);
+}
+
+/// A delayed release never causes a deadline miss (the window simply
+/// shifts), and the schedule stays exact.
+#[test]
+fn delays_never_cause_misses() {
+    let mut w = Workload::new();
+    for i in 0..4 {
+        w.join(i, 0, 1, 4);
+    }
+    w.delay(0, 2, 5);
+    w.delay(1, 3, 2);
+    w.delay(0, 30, 7);
+    let r = simulate(SimConfig::oi(1, 80), &w);
+    assert!(r.is_miss_free(), "misses: {:?}", r.misses);
+}
+
+/// Delays compose with reweighting: a separation followed by a weight
+/// change keeps all invariants.
+#[test]
+fn delay_then_reweight() {
+    let mut w = Workload::new();
+    w.join(0, 0, 1, 5);
+    w.join(1, 0, 2, 5);
+    w.delay(0, 2, 4);
+    w.reweight(0, 12, 2, 5);
+    let r = simulate(SimConfig::oi(1, 60).with_history(), &w);
+    assert!(r.is_miss_free());
+    assert!(r.max_abs_drift_delta() <= rat(2, 1));
+}
+
+/// A delay while a reweighting change is pending is ignored (no release
+/// is scheduled to postpone) — documented engine semantics.
+#[test]
+fn delay_during_pending_change_is_ignored() {
+    let mut w = Workload::new();
+    w.join(0, 0, 1, 5);
+    w.reweight(0, 2, 1, 10); // decrease: pending until D + b
+    w.delay(0, 3, 50); // no scheduled release to delay
+    let r = simulate(SimConfig::oi(1, 60), &w);
+    assert!(r.is_miss_free());
+    // The task keeps running (the delay did not strand it).
+    assert!(r.task(TaskId(0)).scheduled_count >= 5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random delays on a random feasible system: never a miss, lag
+    /// window intact.
+    #[test]
+    fn random_delays_preserve_correctness(
+        delays in prop::collection::vec((0u32..4, 1i64..90, 1u32..8), 0..8),
+        weights in prop::collection::vec((1i128..=5, 6i128..=14), 2..=4),
+    ) {
+        let mut w = Workload::new();
+        for (i, (n, d)) in weights.iter().enumerate() {
+            w.join(i as u32, 0, *n, *d);
+        }
+        let n_tasks = weights.len() as u32;
+        for (task, at, by) in delays {
+            if task < n_tasks {
+                w.delay(task, at, by);
+            }
+        }
+        let r = simulate(SimConfig::oi(2, 120).with_history(), &w);
+        prop_assert!(r.is_miss_free(), "misses: {:?}", r.misses);
+        for task in &r.tasks {
+            let lags = task.history.as_ref().unwrap().lag_vs_icsw(120);
+            for lag in &lags {
+                prop_assert!(rat(-1, 1) < *lag && *lag < rat(1, 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Soak tests: long-horizon runs that would expose bookkeeping leaks
+//! (unbounded rational denominators, unpruned subtask records, drift
+//! samples without bound) which short functional tests cannot see.
+//! The paper's own timeline is 1,000–10,000 slots; these runs go to
+//! 20,000 with sustained reweighting.
+
+use pfair_core::rational::rat;
+use pfair_sched::engine::{simulate, SimConfig};
+use pfair_sched::reweight::Scheme;
+use pfair_sched::workloads;
+
+const LONG: i64 = 20_000;
+
+/// Sustained sawtooth reweighting for 20k slots: correctness and the
+/// Theorem-5 bound hold throughout, and the exact arithmetic stays
+/// small (denominators bounded by the weights' lcm, not the horizon).
+#[test]
+fn sawtooth_20k_slots() {
+    let w = workloads::sawtooth(8, (1, 24), (1, 6), 120, LONG);
+    let r = simulate(SimConfig::oi(3, LONG), &w);
+    assert!(r.is_miss_free(), "misses: {}", r.misses.len());
+    assert!(r.max_abs_drift_delta() <= rat(2, 1));
+    for task in &r.tasks {
+        assert!(
+            task.icsw_total.denom() < 1_000_000,
+            "denominator blow-up: {}",
+            task.icsw_total.denom()
+        );
+        assert!(
+            task.ps_total.denom() < 1_000_000,
+            "I_PS denominator blow-up: {}",
+            task.ps_total.denom()
+        );
+    }
+    // Sustained adaptation really happened.
+    assert!(r.counters.reweight_enactments > 1_000);
+}
+
+/// The same soak under PD²-LJ: correct (Theorem 1), even if drifty.
+#[test]
+fn sawtooth_20k_slots_lj() {
+    let w = workloads::sawtooth(8, (1, 24), (1, 6), 120, LONG);
+    let r = simulate(
+        SimConfig::oi(3, LONG).with_scheme(Scheme::LeaveJoin),
+        &w,
+    );
+    assert!(r.is_miss_free());
+}
+
+/// Random adaptive churn at scale, with delays mixed in.
+#[test]
+fn random_adaptive_20k_slots() {
+    let w = workloads::random_adaptive(10, 2_000, LONG, 4242);
+    let r = simulate(SimConfig::oi(4, LONG), &w);
+    assert!(r.is_miss_free(), "misses: {}", r.misses.len());
+    assert!(r.max_abs_drift_delta() <= rat(2, 1));
+}
+
+/// Join/leave churn at scale: capacity is recycled indefinitely.
+#[test]
+fn churn_20k_slots() {
+    let w = workloads::churn(12, 6, 500, LONG);
+    let r = simulate(SimConfig::oi(3, LONG), &w);
+    assert!(r.is_miss_free(), "misses: {}", r.misses.len());
+}
+
+/// History mode at scale: the recorded trace still verifies end to end
+/// (this also bounds the memory the history machinery holds, since the
+/// verifier walks every record).
+#[test]
+fn long_history_run_verifies() {
+    let horizon = 5_000;
+    let w = workloads::sawtooth(5, (1, 20), (1, 5), 100, horizon);
+    let r = simulate(SimConfig::oi(2, horizon).with_history(), &w);
+    pfair_sched::verify::assert_verified(&r);
+}

@@ -1,0 +1,145 @@
+//! 2-D geometry for the Whisper room: positions, distances, and
+//! occlusion by the central pole.
+//!
+//! The paper's simulation places three speakers revolving around a 5 cm
+//! pole in a 1 m × 1 m room with a microphone in each corner (Fig. 10).
+//! The pole occludes the direct speaker→microphone path; an occluded
+//! signal travels the shortest path *around* the pole (two tangent
+//! segments plus an arc), lengthening the effective acoustic distance
+//! and thereby the correlation cost.
+
+/// A point in the room plane (meters).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A circular obstacle (the pole).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Circle {
+    /// Center.
+    pub center: Point,
+    /// Radius (m).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Constructs a circle.
+    pub const fn new(center: Point, radius: f64) -> Circle {
+        Circle { center, radius }
+    }
+
+    /// Distance from the circle's center to the (infinite extension
+    /// clamped) segment `a`–`b`.
+    fn dist_to_segment(&self, a: Point, b: Point) -> f64 {
+        let (dx, dy) = (b.x - a.x, b.y - a.y);
+        let len2 = dx * dx + dy * dy;
+        if len2 == 0.0 {
+            return self.center.dist(a);
+        }
+        let t = (((self.center.x - a.x) * dx + (self.center.y - a.y) * dy) / len2).clamp(0.0, 1.0);
+        self.center.dist(Point::new(a.x + t * dx, a.y + t * dy))
+    }
+
+    /// `true` iff the open segment `a`–`b` passes through the circle
+    /// (endpoints outside, path blocked).
+    pub fn occludes(&self, a: Point, b: Point) -> bool {
+        self.dist_to_segment(a, b) < self.radius
+            && self.center.dist(a) > self.radius
+            && self.center.dist(b) > self.radius
+    }
+
+    /// Length of the shortest path from `a` to `b` avoiding the circle's
+    /// interior: the straight line when unobstructed, otherwise two
+    /// tangent segments joined by an arc.
+    pub fn path_around(&self, a: Point, b: Point) -> f64 {
+        if !self.occludes(a, b) {
+            return a.dist(b);
+        }
+        let r = self.radius;
+        let da = self.center.dist(a);
+        let db = self.center.dist(b);
+        // Tangent lengths from each endpoint.
+        let ta = (da * da - r * r).max(0.0).sqrt();
+        let tb = (db * db - r * r).max(0.0).sqrt();
+        // Angle at the center between the two endpoint directions.
+        let ang_a = (a.y - self.center.y).atan2(a.x - self.center.x);
+        let ang_b = (b.y - self.center.y).atan2(b.x - self.center.x);
+        let mut alpha = (ang_a - ang_b).abs();
+        if alpha > std::f64::consts::PI {
+            alpha = 2.0 * std::f64::consts::PI - alpha;
+        }
+        // Arc swept between the two tangent points.
+        let arc = (alpha - (r / da).acos() - (r / db).acos()).max(0.0);
+        ta + tb + r * arc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLE: Circle = Circle::new(Point::new(0.5, 0.5), 0.025);
+
+    #[test]
+    fn distance_basics() {
+        assert!((Point::new(0.0, 0.0).dist(Point::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+        assert_eq!(Point::new(1.0, 1.0).dist(Point::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn clear_path_is_not_occluded() {
+        // Path along the room edge never crosses the central pole.
+        assert!(!POLE.occludes(Point::new(0.0, 0.0), Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn diametral_path_is_occluded() {
+        // Straight through the center.
+        assert!(POLE.occludes(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn path_around_exceeds_straight_line_only_when_occluded() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        let around = POLE.path_around(a, b);
+        assert!(around > a.dist(b));
+        // The detour around a 2.5 cm pole is small.
+        assert!(around < a.dist(b) + 0.01);
+
+        let c = Point::new(1.0, 0.0);
+        assert_eq!(POLE.path_around(a, c), a.dist(c));
+    }
+
+    #[test]
+    fn endpoint_inside_circle_is_not_occlusion() {
+        // A speaker can never be inside the pole; guard the predicate.
+        let inside = Point::new(0.5, 0.51);
+        assert!(!POLE.occludes(inside, Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn grazing_path_detour_is_monotone_in_blockage() {
+        // A path passing closer to the center takes a longer detour.
+        let a = Point::new(0.0, 0.5);
+        let deep = POLE.path_around(a, Point::new(1.0, 0.5)); // through center
+        let shallow = POLE.path_around(a, Point::new(1.0, 0.52));
+        assert!(deep >= shallow);
+    }
+}

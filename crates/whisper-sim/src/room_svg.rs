@@ -1,0 +1,135 @@
+//! Fig. 10 as code: an SVG diagram of the simulated Whisper room —
+//! the 1 m × 1 m floor, the corner microphones, the central pole, the
+//! speakers' circular trajectories, and (optionally) the speaker
+//! positions at a given slot with their occluded sight-lines marked.
+
+use crate::scenario::{microphones, pole, speaker_position, Scenario, SPEAKERS};
+use pfair_core::time::Slot;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Pixels per meter.
+const SCALE: f64 = 360.0;
+/// Outer margin in pixels.
+const MARGIN: f64 = 30.0;
+
+fn px(m: f64) -> f64 {
+    MARGIN + m * SCALE
+}
+
+/// Renders the scenario's room at slot `t`.
+pub fn render_room(sc: &Scenario, t: Slot) -> String {
+    // The same phase stream the workload generator uses.
+    let mut rng = ChaCha8Rng::seed_from_u64(sc.seed);
+    let phases: Vec<f64> = (0..SPEAKERS)
+        .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+        .collect();
+
+    let size = 2.0 * MARGIN + SCALE;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" font-family="sans-serif" font-size="11">"##,
+        s = size
+    );
+    // Room outline.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{}" y="{}" width="{}" height="{}" fill="#fafafa" stroke="#333"/>"##,
+        px(0.0),
+        px(0.0),
+        SCALE,
+        SCALE
+    );
+    // Microphones in the corners.
+    for (i, m) in microphones().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            r##"<rect x="{}" y="{}" width="10" height="10" fill="#246"/><text x="{}" y="{}">M{}</text>"##,
+            px(m.x) - 5.0,
+            px(m.y) - 5.0,
+            px(m.x) + 8.0,
+            px(m.y) + 4.0,
+            i
+        );
+    }
+    // The pole.
+    let p = pole();
+    let _ = writeln!(
+        out,
+        r##"<circle cx="{}" cy="{}" r="{}" fill="#999" stroke="#333"/>"##,
+        px(p.center.x),
+        px(p.center.y),
+        p.radius * SCALE
+    );
+    // Trajectory circle (shared radius).
+    let _ = writeln!(
+        out,
+        r##"<circle cx="{}" cy="{}" r="{}" fill="none" stroke="#aaa" stroke-dasharray="4 3"/>"##,
+        px(0.5),
+        px(0.5),
+        sc.radius * SCALE
+    );
+    // Speakers and sight-lines at slot t.
+    for (s, phase) in phases.iter().enumerate() {
+        let pos = speaker_position(sc, *phase, t);
+        for m in microphones() {
+            let occluded = p.occludes(pos, m);
+            let _ = writeln!(
+                out,
+                r##"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="1" opacity="0.6"{}/>"##,
+                px(pos.x),
+                px(pos.y),
+                px(m.x),
+                px(m.y),
+                if occluded { "#c33" } else { "#7a7" },
+                if occluded { r#" stroke-dasharray="5 3""# } else { "" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{}" cy="{}" r="6" fill="#e80"/><text x="{}" y="{}">S{}</text>"##,
+            px(pos.x),
+            px(pos.y),
+            px(pos.x) + 8.0,
+            px(pos.y) - 6.0,
+            s
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_elements() {
+        let sc = Scenario::new(2.0, 0.25, true, 7);
+        let svg = render_room(&sc, 0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("M0").count(), 1);
+        assert_eq!(svg.matches("S2").count(), 1);
+        // 3 speakers × 4 mics sight-lines.
+        assert_eq!(svg.matches("<line").count(), 12);
+    }
+
+    #[test]
+    fn occluded_lines_are_marked_when_present() {
+        let sc = Scenario::new(2.0, 0.25, true, 7);
+        // Scan a revolution; at some slot a sight-line crosses the pole.
+        let any_occluded = (0..800).any(|t| render_room(&sc, t).contains("#c33"));
+        assert!(any_occluded, "some sight-line must cross the 5 cm pole");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_slot() {
+        let sc = Scenario::new(2.0, 0.25, true, 7);
+        assert_eq!(render_room(&sc, 123), render_room(&sc, 123));
+        assert_ne!(render_room(&sc, 123), render_room(&sc, 124));
+    }
+}

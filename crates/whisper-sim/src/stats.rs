@@ -1,0 +1,70 @@
+//! Summary statistics for repeated runs: means with 98% confidence
+//! intervals, as reported in every graph of the paper's Fig. 11.
+
+/// A mean with its 98% confidence half-width over `n` samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 98% confidence interval (`z = 2.326`,
+    /// normal approximation — the paper runs 61 samples per point, well
+    /// into the regime where this matches the t-interval).
+    pub ci98: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+/// z-value for a two-sided 98% confidence interval.
+pub const Z_98: f64 = 2.326;
+
+/// Summarizes a sample set. Empty input yields a zero summary; a single
+/// sample has an undefined interval, reported as zero.
+pub fn summarize(samples: &[f64]) -> Summary {
+    let n = samples.len();
+    if n == 0 {
+        return Summary { mean: 0.0, ci98: 0.0, n: 0 };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Summary { mean, ci98: 0.0, n };
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    let ci98 = Z_98 * (var / n as f64).sqrt();
+    Summary { mean, ci98, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_have_zero_interval() {
+        let s = summarize(&[2.0; 61]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.ci98, 0.0);
+        assert_eq!(s.n, 61);
+    }
+
+    #[test]
+    fn known_variance_case() {
+        // Samples {0, 2}: mean 1, sample variance 2, CI = z * sqrt(2/2) = z.
+        let s = summarize(&[0.0, 2.0]);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert!((s.ci98 - Z_98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(summarize(&[]), Summary { mean: 0.0, ci98: 0.0, n: 0 });
+        let one = summarize(&[5.0]);
+        assert_eq!(one.mean, 5.0);
+        assert_eq!(one.ci98, 0.0);
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_count() {
+        let few: Vec<f64> = (0..4).map(|i| i as f64).collect();
+        let many: Vec<f64> = (0..64).map(|i| (i % 4) as f64).collect();
+        assert!(summarize(&many).ci98 < summarize(&few).ci98);
+    }
+}

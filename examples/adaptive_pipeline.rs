@@ -1,0 +1,81 @@
+//! An adaptive video-analytics pipeline: a second domain-specific
+//! workload in the spirit of the paper's introduction ("computer-vision
+//! systems ... signal-processing applications").
+//!
+//! Eight camera-analysis tasks share two processors. Each task's cost
+//! tracks its scene complexity: long quiet stretches at a low weight,
+//! punctuated by activity bursts that demand an order of magnitude
+//! more. Bursts arrive at different phases per camera. The example
+//! compares pure PD²-OI, pure PD²-LJ, and a magnitude-threshold hybrid
+//! that pays the fine-grained machinery only for the big jumps —
+//! the "efficiency versus accuracy" knob.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_pipeline
+//! ```
+
+use pfair_repro::prelude::*;
+use pfair_repro::sched::reweight::HybridPolicy;
+
+const PROCESSORS: u32 = 2;
+const HORIZON: i64 = 2_000;
+const CAMERAS: u32 = 8;
+
+/// Builds the bursty camera workload: weight 1/50 when quiet, 1/5
+/// during a burst, with per-camera burst phases and small jitter steps
+/// in between.
+fn camera_workload() -> Workload {
+    let mut w = Workload::new();
+    for cam in 0..CAMERAS {
+        w.join(cam, 0, 1, 50);
+        let phase = 97 * (cam as i64 + 1); // staggered burst phases
+        let mut t = phase;
+        while t + 220 < HORIZON {
+            w.reweight(cam, t, 1, 5); // burst begins: 10× the share
+            w.reweight(cam, t + 60, 1, 8); // burst cooling
+            w.reweight(cam, t + 120, 1, 50); // quiet again
+            t += 400;
+        }
+    }
+    w
+}
+
+fn main() {
+    let workload = camera_workload();
+    println!(
+        "adaptive pipeline: {} cameras on {} CPUs, {} slots, bursty 1/50 ↔ 1/5 weights",
+        CAMERAS, PROCESSORS, HORIZON
+    );
+    println!(
+        "{:<26} {:>11} {:>12} {:>10} {:>9}",
+        "scheme", "max drift", "% of ideal", "heap ops", "misses"
+    );
+
+    let schemes: Vec<(&str, Scheme)> = vec![
+        ("PD2-LJ (pure)", Scheme::LeaveJoin),
+        (
+            "hybrid: OI for big jumps",
+            Scheme::Hybrid(HybridPolicy::MagnitudeThreshold(rat(1, 1))),
+        ),
+        ("PD2-OI (pure)", Scheme::Oi),
+    ];
+
+    for (name, scheme) in schemes {
+        let cfg = SimConfig::oi(PROCESSORS, HORIZON).with_scheme(scheme);
+        let r = simulate(cfg, &workload);
+        let max_drift = r.max_abs_drift_at(HORIZON).to_f64();
+        println!(
+            "{:<26} {:>11.3} {:>12.2} {:>10} {:>9}",
+            name,
+            max_drift,
+            r.mean_pct_of_ideal(),
+            r.counters.heap_ops(),
+            r.misses.len()
+        );
+        assert!(r.is_miss_free());
+    }
+
+    println!("\nthe hybrid matches PD2-OI's accuracy on this workload: the bursts are exactly");
+    println!("the order-of-magnitude events its threshold routes through the fine-grained rules,");
+    println!("while the small cooling steps ride the cheap leave/join path.");
+}

@@ -1,0 +1,56 @@
+//! The Whisper tracking workload: the paper's §5 evaluation scenario as
+//! a runnable program.
+//!
+//! Three speakers revolve around a 5 cm pole in a 1 m × 1 m room with a
+//! microphone in each corner; each of the 12 speaker/microphone pairs
+//! is one task whose weight follows the pair's acoustic distance
+//! (occlusion included). The example runs the same seeded scenario
+//! under PD²-OI and PD²-LJ and prints the Fig. 11 metrics side by side.
+//!
+//! ```sh
+//! cargo run --release --example whisper_tracking [speed_mps] [radius_m]
+//! ```
+
+use pfair_repro::sched::reweight::Scheme;
+use pfair_repro::whisper::{run_whisper, summarize, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let speed: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2.9);
+    let radius: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.25);
+    let runs = 15u64;
+
+    println!(
+        "Whisper: 3 speakers, radius {:.2} m, speed {:.1} m/s, occlusion on, {} seeded runs",
+        radius, speed, runs
+    );
+    println!(
+        "{:<8} {:>14} {:>14} {:>10} {:>12}",
+        "scheme", "max drift", "% of ideal", "misses", "heap ops"
+    );
+
+    for (name, scheme) in [("PD2-OI", Scheme::Oi), ("PD2-LJ", Scheme::LeaveJoin)] {
+        let metrics: Vec<_> = (0..runs)
+            .map(|seed| run_whisper(&Scenario::new(speed, radius, true, seed), scheme.clone()))
+            .collect();
+        let drift = summarize(&metrics.iter().map(|m| m.max_drift).collect::<Vec<_>>());
+        let pct = summarize(&metrics.iter().map(|m| m.pct_of_ideal).collect::<Vec<_>>());
+        let misses: usize = metrics.iter().map(|m| m.misses).sum();
+        let heap = summarize(
+            &metrics
+                .iter()
+                .map(|m| m.counters.heap_ops() as f64)
+                .collect::<Vec<_>>(),
+        );
+        println!(
+            "{:<8} {:>8.3}±{:<5.3} {:>8.2}±{:<5.2} {:>10} {:>12.0}",
+            name, drift.mean, drift.ci98, pct.mean, pct.ci98, misses, heap.mean
+        );
+        assert_eq!(misses, 0, "no scheme may miss a deadline here");
+    }
+
+    println!(
+        "\nthe paper's headline (§5): PD2-OI tracks the instantaneous ideal more closely than"
+    );
+    println!("PD2-LJ at every speed, and the gap widens as the speakers move faster.");
+}

@@ -1,0 +1,25 @@
+//! # pfair-repro
+//!
+//! Umbrella crate for the reproduction of *Fine-Grained Task Reweighting
+//! on Multiprocessors* (Block, Anderson & Bishop; the extended version
+//! of the IPPS/WPDRTS 2005 "Task Reweighting on Multiprocessors:
+//! Efficiency versus Accuracy" work). It re-exports the workspace crates
+//! and hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`).
+//!
+//! * [`core`] — task model, exact arithmetic, ideal schedules, drift.
+//! * [`sched`] — PD² engine with PD²-OI / PD²-LJ / hybrid reweighting,
+//!   plus EPDF and EDF baselines.
+//! * [`exec`] — a quantum-based real-time executor running closures
+//!   on worker threads under PD² with live reweighting.
+//! * [`whisper`] — the Whisper acoustic-tracking workload generator.
+
+pub use pfair_core as core;
+pub use pfair_sched as sched;
+pub use pfair_exec as exec;
+pub use whisper_sim as whisper;
+
+/// Convenience prelude re-exporting the scheduler prelude.
+pub mod prelude {
+    pub use pfair_sched::prelude::*;
+}

@@ -1,0 +1,71 @@
+//! Integration tests of the baseline schedulers (global EDF,
+//! partitioned EDF, projected-deadline EPDF) against the Whisper
+//! workload — the cross-scheme comparison of the companion papers.
+
+use pfair_repro::sched::edf::{run_global_edf, EdfReweightMode};
+use pfair_repro::sched::partitioned::run_partitioned_edf;
+use pfair_repro::whisper::{generate_workload, Scenario, HORIZON, PROCESSORS};
+
+/// Global EDF with boundary reweighting runs the Whisper workload
+/// without deadline misses (it is never over-utilized after policing is
+/// unnecessary: requested total stays under M).
+#[test]
+fn global_edf_boundary_handles_whisper() {
+    let w = generate_workload(&Scenario::new(2.0, 0.25, true, 3));
+    let run = run_global_edf(PROCESSORS, HORIZON, &w, EdfReweightMode::AtBoundary);
+    assert!(run.misses.is_empty(), "misses: {:?}", run.misses.len());
+    // Every task completed a substantial share of its ideal.
+    for pct in run.pct_of_ideal() {
+        assert!(pct > 50.0, "pct {}", pct);
+    }
+}
+
+/// Immediate EDF reweighting tracks the ideal at least as well as
+/// boundary reweighting on matched seeds (the accuracy side of the
+/// companion paper's trade-off).
+#[test]
+fn global_edf_immediate_is_more_accurate() {
+    let mut wins = 0;
+    const SEEDS: u64 = 5;
+    for seed in 0..SEEDS {
+        let w = generate_workload(&Scenario::new(2.9, 0.25, true, seed));
+        let imm = run_global_edf(PROCESSORS, HORIZON, &w, EdfReweightMode::Immediate);
+        let bnd = run_global_edf(PROCESSORS, HORIZON, &w, EdfReweightMode::AtBoundary);
+        let mean = |r: &pfair_repro::sched::edf::EdfRun| {
+            let p = r.pct_of_ideal();
+            p.iter().sum::<f64>() / p.len() as f64
+        };
+        if mean(&imm) >= mean(&bnd) - 0.5 {
+            wins += 1;
+        }
+    }
+    assert!(wins >= SEEDS - 1, "immediate won only {}/{}", wins, SEEDS);
+}
+
+/// Partitioned EDF on Whisper: the weight swings force repartitioning
+/// migrations or clamped grants — the "fine-grained reweighting is
+/// provably impossible under partitioning" friction made visible.
+#[test]
+fn partitioned_edf_pays_migrations_or_clamps() {
+    let mut total_friction = 0u64;
+    for seed in 0..4 {
+        let w = generate_workload(&Scenario::new(2.9, 0.40, true, seed));
+        let run = run_partitioned_edf(PROCESSORS, HORIZON, &w);
+        total_friction += run.migrations + run.clamped + run.rejected_joins;
+    }
+    assert!(
+        total_friction > 0,
+        "the adaptive workload should stress the partitioning"
+    );
+}
+
+/// Partitioned EDF still schedules the bulk of the ideal work — it is a
+/// *trade-off*, not a strawman.
+#[test]
+fn partitioned_edf_completes_most_work() {
+    let w = generate_workload(&Scenario::new(2.0, 0.25, true, 9));
+    let run = run_partitioned_edf(PROCESSORS, HORIZON, &w);
+    let pcts = run.pct_of_ideal();
+    let mean = pcts.iter().sum::<f64>() / pcts.len() as f64;
+    assert!(mean > 60.0, "mean pct {}", mean);
+}
