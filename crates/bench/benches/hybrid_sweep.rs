@@ -20,7 +20,7 @@ fn bursty_workload(horizon: i64) -> Workload {
     let mut w = Workload::new();
     for i in 0..16u32 {
         w.join(i, 0, 1, 40);
-        let phase = 53 * (i as i64 + 1);
+        let phase = 53 * (i64::from(i) + 1);
         let mut t = phase;
         while t + 150 < horizon {
             w.reweight(i, t, 1, 5);
@@ -47,7 +47,10 @@ fn bench_hybrid_ladder(c: &mut Criterion) {
         ),
         (
             "budget2per100",
-            Scheme::Hybrid(HybridPolicy::OiBudget { budget: 2, window: 100 }),
+            Scheme::Hybrid(HybridPolicy::OiBudget {
+                budget: 2,
+                window: 100,
+            }),
         ),
         ("oi", Scheme::Oi),
     ];

@@ -17,7 +17,7 @@ fn bench_isw_advance(c: &mut Criterion) {
     let mut group = c.benchmark_group("isw_tracker");
     for &(num, den) in &[(1i128, 3i128), (3, 20), (25, 2520)] {
         group.bench_with_input(
-            BenchmarkId::new("advance_1000_slots", format!("w{}_{}", num, den)),
+            BenchmarkId::new("advance_1000_slots", format!("w{num}_{den}")),
             &(num, den),
             |b, &(num, den)| {
                 let w = Weight::new(rat(num, den));
@@ -53,7 +53,7 @@ fn bench_ps_advance(c: &mut Criterion) {
             let mut ps = PsTracker::new(rat(841, 2520), 0);
             for t in 0..1000i64 {
                 if t % 17 == 0 {
-                    ps.set_wt(rat(600 + (t % 200) as i128, 2520));
+                    ps.set_wt(rat(600 + i128::from(t % 200), 2520));
                 }
                 black_box(ps.advance(t));
             }
@@ -70,7 +70,7 @@ fn bench_rational_ops(c: &mut Criterion) {
     group.bench_function("mul", |b| b.iter(|| black_box(black_box(a) * black_box(d))));
     group.bench_function("cmp", |b| b.iter(|| black_box(black_box(a) < black_box(d))));
     group.bench_function("div_ceil_int", |b| {
-        b.iter(|| black_box(black_box(d).div_ceil_int(black_box(7))))
+        b.iter(|| black_box(black_box(d).div_ceil_int(black_box(7))));
     });
     group.bench_function("accumulate_1000", |b| {
         b.iter(|| {
@@ -79,10 +79,15 @@ fn bench_rational_ops(c: &mut Criterion) {
                 acc += black_box(a);
             }
             black_box(acc)
-        })
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_isw_advance, bench_ps_advance, bench_rational_ops);
+criterion_group!(
+    benches,
+    bench_isw_advance,
+    bench_ps_advance,
+    bench_rational_ops
+);
 criterion_main!(benches);

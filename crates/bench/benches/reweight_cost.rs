@@ -27,10 +27,7 @@ fn single_event_workload(n: u32, m: u32) -> Workload {
 
 /// Engine advanced to the slot *before* the events fire.
 fn prepared(w: &Workload, m: u32, scheme: Scheme) -> Engine {
-    let mut e = Engine::new(
-        SimConfig::oi(m, 1_000_000).with_scheme(scheme),
-        w,
-    );
+    let mut e = Engine::new(SimConfig::oi(m, 1_000_000).with_scheme(scheme), w);
     for _ in 0..BURST_AT {
         e.step();
     }

@@ -26,7 +26,7 @@ fn bench_slot_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("slot_decision");
     for &(n, m) in &[(12u32, 4u32), (48, 8), (192, 16)] {
         group.bench_with_input(
-            BenchmarkId::new("pd2_step", format!("{}tasks_{}cpus", n, m)),
+            BenchmarkId::new("pd2_step", format!("{n}tasks_{m}cpus")),
             &(n, m),
             |b, &(n, m)| {
                 let engine = prepared_engine(n, m, 64);
@@ -50,7 +50,7 @@ fn bench_sustained_throughput(c: &mut Criterion) {
     group.sample_size(20);
     for &(n, m) in &[(12u32, 4u32), (48, 8)] {
         group.bench_with_input(
-            BenchmarkId::new("pd2_256slots", format!("{}tasks_{}cpus", n, m)),
+            BenchmarkId::new("pd2_256slots", format!("{n}tasks_{m}cpus")),
             &(n, m),
             |b, &(n, m)| {
                 b.iter_batched(

@@ -49,7 +49,7 @@ fn bench_speed_scaling(c: &mut Criterion) {
     group.sample_size(15);
     for &speed in &[0.5, 2.0, 3.5] {
         group.bench_with_input(
-            BenchmarkId::new("oi", format!("{}mps", speed)),
+            BenchmarkId::new("oi", format!("{speed}mps")),
             &speed,
             |b, &speed| {
                 b.iter(|| {

@@ -1,0 +1,259 @@
+//! pfair-audit: workspace-wide static analysis for the Pfair
+//! reproduction.
+//!
+//! The repository's claim to reproduce "Task Reweighting on
+//! Multiprocessors: Efficiency versus Accuracy" rests on invariants the
+//! compiler cannot check: lag/drift/weight arithmetic is *exact*
+//! (no floats), quantities cross integer widths only through checked
+//! conversions, scheduling library code never panics on malformed
+//! input, and unchecked wide-integer arithmetic stays quarantined in
+//! the two modules whose overflow behavior is documented policy.
+//!
+//! This crate enforces those invariants as a standalone binary:
+//!
+//! ```text
+//! cargo run -p pfair-audit -- check .
+//! ```
+//!
+//! It exits nonzero with `file:line` diagnostics when any invariant is
+//! violated. Scope and path-level exemptions live in the checked-in
+//! `audit.toml`; line-level exemptions are `// audit: allow(<lint>,
+//! <reason>)` comments, which must carry a reason and must actually
+//! suppress something.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use lexer::LexFile;
+use lints::{parse_allows, run_lint, RawFinding, BAD_ANNOTATION, CATALOG};
+
+/// One diagnostic attributed to a file.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the audited root, `/`-separated.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Canonical lint name.
+    pub lint: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Audits one file's source text against every configured lint.
+///
+/// `rel_path` decides which lints apply (via `cfg`); the returned
+/// findings are deduplicated per `(line, lint)` and sorted.
+pub fn audit_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let file = LexFile::lex(src);
+    let allows = parse_allows(&file);
+    let mut used_allow = vec![false; allows.len()];
+    let mut out: Vec<Finding> = Vec::new();
+
+    for (lint, _) in CATALOG {
+        if !cfg.lint_applies(lint, rel_path) {
+            continue;
+        }
+        let mut raw = run_lint(lint, &file);
+        raw.dedup_by(|a, b| a.line == b.line && a.lint == b.lint);
+        for RawFinding {
+            line,
+            lint,
+            message,
+        } in raw
+        {
+            // An allow annotation covers findings on its own line
+            // (trailing comment) or the line directly below it.
+            let allowed = allows
+                .iter()
+                .enumerate()
+                .find(|(_, a)| a.lint == Ok(lint) && (a.line == line || a.line + 1 == line));
+            match allowed {
+                Some((idx, a)) if !a.reason.is_empty() => used_allow[idx] = true,
+                Some((idx, _)) => {
+                    // Reason missing: the finding stands, plus a nudge.
+                    used_allow[idx] = true;
+                    out.push(finding(rel_path, line, lint, message));
+                    out.push(Finding {
+                        path: rel_path.to_string(),
+                        line,
+                        lint: BAD_ANNOTATION.to_string(),
+                        message: format!(
+                            "allow({lint}) must carry a justification: \
+                             `// audit: allow({lint}, <reason>)`"
+                        ),
+                    });
+                }
+                None => out.push(finding(rel_path, line, lint, message)),
+            }
+        }
+    }
+
+    // Annotations must stay honest: unknown lint names and allows that
+    // no longer suppress anything are findings themselves.
+    for (idx, a) in allows.iter().enumerate() {
+        match &a.lint {
+            Err(unknown) => out.push(Finding {
+                path: rel_path.to_string(),
+                line: a.line,
+                lint: BAD_ANNOTATION.to_string(),
+                message: format!(
+                    "unknown lint `{unknown}` in audit: allow(..); known lints: {}",
+                    CATALOG
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            }),
+            Ok(lint) if !used_allow[idx] && cfg.lint_applies(lint, rel_path) => {
+                out.push(Finding {
+                    path: rel_path.to_string(),
+                    line: a.line,
+                    lint: BAD_ANNOTATION.to_string(),
+                    message: format!(
+                        "allow({lint}) suppresses nothing on the next line; remove it"
+                    ),
+                });
+            }
+            Ok(_) => {}
+        }
+    }
+
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn finding(path: &str, line: u32, lint: &str, message: String) -> Finding {
+    Finding {
+        path: path.to_string(),
+        line,
+        lint: lint.to_string(),
+        message,
+    }
+}
+
+/// Recursively audits every `.rs` file under `root`, honoring the
+/// config's `exclude` list. Paths in findings are relative to `root`.
+pub fn audit_root(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        out.extend(audit_source(&rel, &src, cfg));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = rel_path(root, &path);
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if cfg.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all() -> Config {
+        let mut cfg = Config::default();
+        for (lint, _) in CATALOG {
+            cfg.lints.entry(lint.to_string()).or_default();
+        }
+        cfg
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_one_line() {
+        let src = "\
+// audit: allow(lossy-cast, u32 -> usize is lossless on 64-bit targets)
+let a = x as usize;
+let b = y as usize;
+";
+        let found = audit_source("src/lib.rs", src, &cfg_all());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let src = "let a = x as usize; // audit: allow(lossy-cast)\n";
+        let found = audit_source("src/lib.rs", src, &cfg_all());
+        let lints: Vec<&str> = found.iter().map(|f| f.lint.as_str()).collect();
+        assert!(lints.contains(&lints::NO_LOSSY_CASTS));
+        assert!(lints.contains(&BAD_ANNOTATION));
+    }
+
+    #[test]
+    fn unused_allow_is_rejected() {
+        let src = "// audit: allow(float, stale justification)\nlet a = 1;\n";
+        let found = audit_source("src/lib.rs", src, &cfg_all());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].lint, BAD_ANNOTATION);
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_clean() {
+        let mut cfg = cfg_all();
+        cfg.lints
+            .get_mut(lints::NO_LOSSY_CASTS)
+            .unwrap()
+            .paths
+            .push("crates/pfair-core".into());
+        let src = "let a = x as u32;\n";
+        assert!(audit_source("crates/whisper-sim/src/lib.rs", src, &cfg).is_empty());
+        assert_eq!(
+            audit_source("crates/pfair-core/src/lag.rs", src, &cfg).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! The lint catalog.
+//!
+//! Each lint enforces one invariant the paper's correctness story rests
+//! on (see DESIGN.md, "Invariant catalog & static audit"):
+//!
+//! - [`NO_FLOAT`]: lag/drift/weight reasoning is exact rational
+//!   arithmetic; a float anywhere near it silently breaks Theorems 3–5.
+//! - [`NO_LOSSY_CASTS`]: time, weight, and lag quantities travel between
+//!   integer widths only through `From`/`TryFrom`/checked helpers.
+//! - [`NO_PANIC`]: library code in the scheduling crates must surface
+//!   errors, not `unwrap()`; the executor is meant to run unattended.
+//! - [`RAW_ARITH`]: unchecked `+`/`-`/`*` on raw `i64`/`i128` operands
+//!   belongs in `rational.rs`/`time.rs`, where overflow is documented
+//!   policy, and nowhere else.
+//!
+//! Any lint can be suppressed for one line with
+//! `// audit: allow(<lint>, <reason>)` — on the same line or the line
+//! directly above. The annotation **must** carry a reason; a bare allow
+//! or an allow that suppresses nothing is itself a finding, so the
+//! escape hatch cannot rot silently.
+
+use crate::lexer::{LexFile, Tok, TokKind};
+
+/// Canonical name of the float lint.
+pub const NO_FLOAT: &str = "no-float-in-scheduling";
+/// Canonical name of the cast lint.
+pub const NO_LOSSY_CASTS: &str = "no-lossy-casts";
+/// Canonical name of the panic lint.
+pub const NO_PANIC: &str = "no-panic-in-library";
+/// Canonical name of the raw-arithmetic lint.
+pub const RAW_ARITH: &str = "raw-arithmetic-quarantine";
+/// Pseudo-lint reporting malformed or unused `audit: allow` annotations.
+pub const BAD_ANNOTATION: &str = "audit-annotation";
+
+/// All real lints, with one-line descriptions (shown by `list-lints`).
+pub const CATALOG: &[(&str, &str)] = &[
+    (
+        NO_FLOAT,
+        "f32/f64 are forbidden where exact rational arithmetic is required",
+    ),
+    (
+        NO_LOSSY_CASTS,
+        "bare `as` numeric casts must be From/TryFrom or a checked helper",
+    ),
+    (
+        NO_PANIC,
+        "unwrap()/expect()/panic! are forbidden in scheduling library code",
+    ),
+    (
+        RAW_ARITH,
+        "unchecked +,-,* on raw i64/i128 operands outside rational.rs/time.rs",
+    ),
+];
+
+/// Short aliases accepted inside `audit: allow(..)` annotations.
+pub fn canonical_lint(name: &str) -> Option<&'static str> {
+    match name {
+        NO_FLOAT | "float" => Some(NO_FLOAT),
+        NO_LOSSY_CASTS | "lossy-cast" => Some(NO_LOSSY_CASTS),
+        NO_PANIC | "panic" => Some(NO_PANIC),
+        RAW_ARITH | "raw-arithmetic" => Some(RAW_ARITH),
+        _ => None,
+    }
+}
+
+/// One diagnostic, before path-level filtering.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RawFinding {
+    /// 1-based source line.
+    pub line: u32,
+    /// Canonical lint name.
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+const NUMERIC_TYPES: &[&str] = &[
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize", "f32",
+    "f64",
+];
+
+/// Runs `lint` over a lexed file, returning findings in source order.
+/// Test regions (`#[cfg(test)]` / `#[test]` / `#[bench]` items) are
+/// skipped for every lint: test code may take shortcuts.
+pub fn run_lint(lint: &str, file: &LexFile) -> Vec<RawFinding> {
+    match lint {
+        NO_FLOAT => no_float(file),
+        NO_LOSSY_CASTS => no_lossy_casts(file),
+        NO_PANIC => no_panic(file),
+        RAW_ARITH => raw_arith(file),
+        _ => Vec::new(),
+    }
+}
+
+fn live(file: &LexFile) -> impl Iterator<Item = (usize, &Tok)> {
+    file.toks
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !file.in_test[*i])
+}
+
+fn no_float(file: &LexFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (_, t) in live(file) {
+        let hit = match &t.kind {
+            TokKind::Ident => t.text == "f32" || t.text == "f64",
+            TokKind::Float => true,
+            _ => false,
+        };
+        if hit {
+            out.push(RawFinding {
+                line: t.line,
+                lint: NO_FLOAT,
+                message: "floating point where exact rational arithmetic is required \
+                          (use pfair_core::Rational)"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+fn no_lossy_casts(file: &LexFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in live(file) {
+        if t.kind != TokKind::Ident || t.text != "as" {
+            continue;
+        }
+        let Some(next) = file.toks.get(i + 1) else {
+            continue;
+        };
+        if next.kind == TokKind::Ident && NUMERIC_TYPES.contains(&next.text.as_str()) {
+            out.push(RawFinding {
+                line: t.line,
+                lint: NO_LOSSY_CASTS,
+                message: format!(
+                    "bare `as {}` cast on a scheduling quantity; use From/TryFrom \
+                     or a checked helper",
+                    next.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn no_panic(file: &LexFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in live(file) {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let after_dot = i > 0 && file.toks[i - 1].text == ".";
+                let called = file.toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if after_dot && called {
+                    out.push(RawFinding {
+                        line: t.line,
+                        lint: NO_PANIC,
+                        message: format!(
+                            ".{}() in scheduling library code; propagate the error \
+                             or document the invariant with an audited expect",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            "panic" if file.toks.get(i + 1).is_some_and(|n| n.text == "!") => {
+                out.push(RawFinding {
+                    line: t.line,
+                    lint: NO_PANIC,
+                    message: "panic! in scheduling library code; return an error instead".into(),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True when the token can end an operand expression, making a
+/// following `-`/`*` a binary operator rather than a unary one.
+fn ends_operand(t: &Tok) -> bool {
+    matches!(
+        t.kind,
+        TokKind::Ident | TokKind::Int { .. } | TokKind::Float
+    ) || t.text == ")"
+        || t.text == "]"
+}
+
+/// True when token `i` is a raw wide-integer operand: a suffixed
+/// `i64`/`i128` literal, or the `i64`/`i128` of an `as` cast.
+fn wide_raw_operand(file: &LexFile, i: usize) -> bool {
+    match &file.toks[i].kind {
+        TokKind::Int { suffix: Some(s) } => s == "i64" || s == "i128",
+        TokKind::Ident => {
+            (file.toks[i].text == "i64" || file.toks[i].text == "i128")
+                && i > 0
+                && file.toks[i - 1].text == "as"
+        }
+        _ => false,
+    }
+}
+
+fn raw_arith(file: &LexFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in live(file) {
+        if t.kind != TokKind::Punct || !matches!(t.text.as_str(), "+" | "-" | "*") {
+            continue;
+        }
+        let binary = i > 0 && ends_operand(&file.toks[i - 1]);
+        if !binary {
+            continue;
+        }
+        let lhs_wide = wide_raw_operand(file, i - 1);
+        // The right operand is wide when it is itself a suffixed
+        // literal, or a simple operand immediately cast (`* t as i128`).
+        let rhs_wide = (file.toks.get(i + 1).is_some() && wide_raw_operand(file, i + 1))
+            || (matches!(
+                file.toks.get(i + 1).map(|t| &t.kind),
+                Some(TokKind::Ident | TokKind::Int { .. })
+            ) && file.toks.get(i + 2).is_some_and(|t| t.text == "as")
+                && file
+                    .toks
+                    .get(i + 3)
+                    .is_some_and(|t| t.text == "i64" || t.text == "i128"));
+        if lhs_wide || rhs_wide {
+            out.push(RawFinding {
+                line: t.line,
+                lint: RAW_ARITH,
+                message: format!(
+                    "unchecked `{}` on a raw i64/i128 operand; quarantine wide \
+                     arithmetic in rational.rs/time.rs or use checked_* methods",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// A parsed `audit: allow(lint, reason)` annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// 1-based line the annotation comment starts on.
+    pub line: u32,
+    /// Canonical lint name, or `Err(raw)` for an unknown lint.
+    pub lint: Result<&'static str, String>,
+    /// The justification, possibly empty.
+    pub reason: String,
+}
+
+/// Extracts `audit: allow(..)` annotations from a file's comments.
+pub fn parse_allows(file: &LexFile) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in &file.comments {
+        let Some(idx) = c.text.find("audit:") else {
+            continue;
+        };
+        let rest = c.text[idx + "audit:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let inner = &rest[..close];
+        let (name, reason) = match inner.split_once(',') {
+            Some((n, r)) => (n.trim(), r.trim()),
+            None => (inner.trim(), ""),
+        };
+        out.push(Allow {
+            line: c.line,
+            lint: canonical_lint(name).ok_or_else(|| name.to_string()),
+            reason: reason.to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(lint: &str, src: &str) -> Vec<u32> {
+        run_lint(lint, &LexFile::lex(src))
+            .iter()
+            .map(|f| f.line)
+            .collect()
+    }
+
+    #[test]
+    fn float_lint_sees_types_and_literals() {
+        let src = "fn f(x: f64) -> f32 {\n    0.5\n}";
+        assert_eq!(lines(NO_FLOAT, src), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn float_lint_skips_tests_and_comments() {
+        let src = "// f64 here\n#[cfg(test)]\nmod tests {\n    fn t() -> f64 { 1.0 }\n}";
+        assert!(lines(NO_FLOAT, src).is_empty());
+    }
+
+    #[test]
+    fn cast_lint_flags_numeric_targets_only() {
+        let src = "let a = x as u32;\nlet b = y as Weight;\nlet c = z as usize;";
+        assert_eq!(lines(NO_LOSSY_CASTS, src), vec![1, 3]);
+    }
+
+    #[test]
+    fn panic_lint_flags_method_calls_not_names() {
+        let src = "let a = x.unwrap();\nlet b = Foo::unwrap;\nfn expect() {}\npanic!(\"boom\");\nlet c = y.expect(\"msg\");";
+        assert_eq!(lines(NO_PANIC, src), vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn raw_arith_needs_a_wide_operand() {
+        let src = "let a = x as i128 * y;\nlet b = p + 1i64;\nlet c = p + 1;\nlet d = -x;\nlet e = a * b;\nlet f = num * t as i128;";
+        assert_eq!(lines(RAW_ARITH, src), vec![1, 2, 6]);
+    }
+
+    #[test]
+    fn raw_arith_ignores_deref_and_arrows() {
+        let src = "fn f(x: &i64) -> i64 { *x }\nlet c: fn() -> i128 = f;";
+        assert!(lines(RAW_ARITH, src).is_empty());
+    }
+
+    #[test]
+    fn allows_parse_with_and_without_reason() {
+        let f = LexFile::lex(
+            "// audit: allow(lossy-cast, u32 -> usize is lossless here)\nlet x = 1;\n// audit: allow(float)\n// audit: allow(bogus, hm)",
+        );
+        let allows = parse_allows(&f);
+        assert_eq!(allows.len(), 3);
+        assert_eq!(allows[0].lint, Ok(NO_LOSSY_CASTS));
+        assert!(!allows[0].reason.is_empty());
+        assert_eq!(allows[1].lint, Ok(NO_FLOAT));
+        assert!(allows[1].reason.is_empty());
+        assert!(allows[2].lint.is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Command-line front end: `pfair-audit check [ROOT] [--config PATH]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pfair_audit::config::Config;
+use pfair_audit::{audit_root, lints};
+
+const USAGE: &str = "\
+usage: pfair-audit <command>
+
+commands:
+  check [ROOT] [--config PATH]   audit the tree at ROOT (default `.`)
+                                 against PATH (default ROOT/audit.toml);
+                                 exits 1 when findings exist
+  list-lints                     print the lint catalog
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("list-lints") => {
+            for (name, desc) in lints::CATALOG {
+                println!("{name:<28} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => match it.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("pfair-audit: --config needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("pfair-audit: unknown flag `{flag}`");
+                return ExitCode::from(2);
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("audit.toml"));
+    let config_src = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pfair-audit: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::parse(&config_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pfair-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The config must stay as honest as the annotations: a typo'd
+    // `[lint.*]` section would otherwise silently audit nothing.
+    for name in cfg.lints.keys() {
+        if !lints::CATALOG.iter().any(|(known, _)| known == name) {
+            eprintln!(
+                "pfair-audit: unknown lint `{name}` in {}; known lints: {}",
+                config_path.display(),
+                lints::CATALOG
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+    match audit_root(&root, &cfg) {
+        Ok(findings) if findings.is_empty() => {
+            println!("pfair-audit: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("pfair-audit: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("pfair-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Runs the audit over the known-bad fixture corpus and asserts the
+//! exact set of diagnostics, per fixture, line by line.
+
+use std::path::Path;
+
+use pfair_audit::audit_root;
+use pfair_audit::config::Config;
+use pfair_audit::lints::{BAD_ANNOTATION, CATALOG, NO_FLOAT, NO_LOSSY_CASTS, NO_PANIC, RAW_ARITH};
+
+/// A config mirroring the real audit.toml's shape, scoped to the
+/// fixture tree: `sched/` plays the scheduling crates, `allowed/` the
+/// float-exempt report code.
+fn fixture_config() -> Config {
+    let mut cfg = Config::default();
+    for (lint, _) in CATALOG {
+        cfg.lints.entry((*lint).to_string()).or_default();
+    }
+    cfg.lints
+        .get_mut(NO_FLOAT)
+        .unwrap()
+        .allow_paths
+        .push("allowed".into());
+    for lint in [NO_LOSSY_CASTS, NO_PANIC, RAW_ARITH] {
+        cfg.lints.get_mut(lint).unwrap().paths.push("sched".into());
+    }
+    cfg
+}
+
+#[test]
+fn corpus_produces_exactly_the_expected_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+
+    let got: Vec<(String, u32, String)> = findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.lint.clone()))
+        .collect();
+
+    let expected: Vec<(String, u32, String)> = [
+        ("sched/bad_annotation.rs", 4, BAD_ANNOTATION),
+        ("sched/float_in_kernel.rs", 5, NO_FLOAT),
+        ("sched/float_in_kernel.rs", 6, NO_FLOAT),
+        ("sched/float_in_kernel.rs", 9, NO_FLOAT),
+        ("sched/float_in_kernel.rs", 10, NO_FLOAT),
+        ("sched/float_in_kernel.rs", 10, NO_LOSSY_CASTS),
+        ("sched/lossy_casts.rs", 5, NO_LOSSY_CASTS),
+        ("sched/lossy_casts.rs", 12, BAD_ANNOTATION),
+        ("sched/lossy_casts.rs", 12, NO_LOSSY_CASTS),
+        ("sched/panics.rs", 4, NO_PANIC),
+        ("sched/panics.rs", 9, NO_PANIC),
+        ("sched/panics.rs", 13, NO_PANIC),
+        ("sched/raw_arithmetic.rs", 6, NO_LOSSY_CASTS),
+        ("sched/raw_arithmetic.rs", 6, RAW_ARITH),
+        ("sched/raw_arithmetic.rs", 11, RAW_ARITH),
+        ("sched/raw_arithmetic.rs", 18, BAD_ANNOTATION),
+    ]
+    .into_iter()
+    .map(|(p, l, lint)| (p.to_string(), l, lint.to_string()))
+    .collect();
+
+    let pretty = findings
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_eq!(got, expected, "full diagnostics:\n{pretty}");
+}
+
+#[test]
+fn allowed_paths_are_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    assert!(
+        !findings.iter().any(|f| f.path.starts_with("allowed/")),
+        "float-exempt path should produce no findings"
+    );
+}

@@ -1,0 +1,5 @@
+// Fixture: a path exempted from the float lint via allow-paths.
+// Expected: clean.
+pub fn to_plot_coords(x: f64, y: f64) -> (f64, f64) {
+    (x * 10.0, y * 10.0)
+}

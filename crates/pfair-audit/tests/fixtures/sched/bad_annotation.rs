@@ -1,0 +1,4 @@
+// Fixture: annotation hygiene.
+// Expected: audit-annotation at line 4 (unknown lint name).
+pub fn noop() {}
+// audit: allow(flaot, typo in the lint name)

@@ -1,0 +1,19 @@
+// Fixture: floating point leaking into scheduling code.
+// Expected: no-float-in-scheduling at lines 5, 6, 9, 10;
+//           no-lossy-casts at line 10.
+pub struct LagEstimate {
+    pub approx: f64,
+    pub tolerance: f32,
+}
+
+pub fn mean_lag(total: i64, n: i64) -> f64 {
+    total as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may approximate; not flagged.
+    pub fn pct(x: f64) -> f64 {
+        x * 100.0
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: bare `as` casts on scheduling quantities.
+// Expected: no-lossy-casts at lines 5, 12;
+//           audit-annotation at line 12 (allow without reason).
+pub fn truncate_slot(t: i64) -> u32 {
+    t as u32
+}
+
+pub fn widen_checked(t: u32) -> i64 {
+    i64::from(t) // the blessed spelling; not flagged
+}
+
+pub fn annotated_badly(t: i64) -> usize { t as usize } // audit: allow(lossy-cast)
+
+// audit: allow(lossy-cast, index already bounds-checked against the task table)
+pub fn annotated_well(t: u32) -> usize { t as usize }

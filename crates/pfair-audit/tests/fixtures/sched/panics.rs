@@ -1,0 +1,23 @@
+// Fixture: panicking calls in library code.
+// Expected: no-panic-in-library at lines 4, 9, 13.
+pub fn pick(v: &[u64]) -> u64 {
+    let first = v.first().unwrap();
+    *first
+}
+
+pub fn must(v: Option<u64>) -> u64 {
+    v.expect("scheduling state corrupted")
+}
+
+pub fn bail() {
+    panic!("unreachable slot");
+}
+
+// audit: allow(panic, overflow here is documented API contract, as in rational.rs)
+pub fn documented(v: Option<u64>) -> u64 { v.expect("documented invariant") }
+
+#[test]
+fn in_test_code_unwrap_is_fine() {
+    let v = Some(3u64).unwrap();
+    assert_eq!(v, 3);
+}

@@ -1,0 +1,29 @@
+//! The workspace must pass its own audit: `cargo test -p pfair-audit`
+//! fails the moment a float, bare cast, panic, or stray wide-integer
+//! operation sneaks into the scheduling crates without justification.
+
+use std::path::Path;
+
+use pfair_audit::audit_root;
+use pfair_audit::config::Config;
+
+#[test]
+fn workspace_passes_its_own_audit() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root");
+    let config_src =
+        std::fs::read_to_string(root.join("audit.toml")).expect("audit.toml at workspace root");
+    let cfg = Config::parse(&config_src).expect("audit.toml parses");
+    let findings = audit_root(root, &cfg).expect("workspace tree readable");
+    let pretty = findings
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        findings.is_empty(),
+        "the workspace must be audit-clean; findings:\n{pretty}"
+    );
+}

@@ -22,9 +22,11 @@ pub struct RunOptions {
 }
 
 /// Serializes a full result (exact rationals included) as JSON, for
-/// downstream tooling.
+/// downstream tooling. The codec is integer-exact (`pfair-json`), so
+/// rational components survive beyond `f64` precision.
 pub fn to_json(result: &SimResult) -> String {
-    serde_json::to_string_pretty(result).expect("SimResult serializes")
+    use pfair_json::ToJson;
+    result.to_json().to_string_pretty()
 }
 
 /// Parses and runs a workload file's contents; returns the formatted
@@ -44,7 +46,7 @@ pub fn run_str(input: &str, opts: RunOptions) -> Result<(String, SimResult), par
         } else {
             out.push_str("\nverification FAILED:\n");
             for violation in violations {
-                out.push_str(&format!("  - {}\n", violation));
+                out.push_str(&format!("  - {violation}\n"));
             }
         }
     }
@@ -53,8 +55,8 @@ pub fn run_str(input: &str, opts: RunOptions) -> Result<(String, SimResult), par
 
 /// [`run_str`] over a file path.
 pub fn run_file(path: &str, opts: RunOptions) -> Result<(String, SimResult), String> {
-    let input = std::fs::read_to_string(path).map_err(|e| format!("reading {}: {}", path, e))?;
-    run_str(&input, opts).map_err(|e| format!("{}: {}", path, e))
+    let input = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    run_str(&input, opts).map_err(|e| format!("{path}: {e}"))
 }
 
 #[cfg(test)]
@@ -65,7 +67,10 @@ mod tests {
     fn example_runs_clean() {
         let (out, result) = run_str(
             parser::EXAMPLE,
-            RunOptions { render: true, verify: true },
+            RunOptions {
+                render: true,
+                verify: true,
+            },
         )
         .unwrap();
         assert!(result.is_miss_free());
@@ -82,9 +87,11 @@ mod tests {
 
     #[test]
     fn json_export_roundtrips() {
+        use pfair_json::{FromJson, Json};
         let (_, result) = run_str(parser::EXAMPLE, RunOptions::default()).unwrap();
         let json = to_json(&result);
-        let back: pfair_sched::trace::SimResult = serde_json::from_str(&json).unwrap();
+        let parsed = Json::parse(&json).unwrap();
+        let back = pfair_sched::trace::SimResult::from_json(&parsed).unwrap();
         assert_eq!(back.horizon, result.horizon);
         assert_eq!(back.misses.len(), result.misses.len());
     }

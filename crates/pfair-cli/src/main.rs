@@ -30,24 +30,24 @@ fn main() {
                 .cloned();
             match run_file(path, opts) {
                 Ok((report, result)) => {
-                    print!("{}", report);
+                    print!("{report}");
                     if let Some(p) = json_path {
                         std::fs::write(&p, pfair_cli::to_json(&result))
-                            .unwrap_or_else(|e| die(&format!("writing {}: {}", p, e)));
-                        println!("wrote {}", p);
+                            .unwrap_or_else(|e| die(&format!("writing {p}: {e}")));
+                        println!("wrote {p}");
                     }
                     if let Some(p) = svg_path {
                         let svg = pfair_sched::svg::render_svg(&result, result.horizon);
                         std::fs::write(&p, svg)
-                            .unwrap_or_else(|e| die(&format!("writing {}: {}", p, e)));
-                        println!("wrote {}", p);
+                            .unwrap_or_else(|e| die(&format!("writing {p}: {e}")));
+                        println!("wrote {p}");
                     }
                     if !result.is_miss_free() {
                         std::process::exit(1);
                     }
                 }
                 Err(e) => {
-                    eprintln!("error: {}", e);
+                    eprintln!("error: {e}");
                     std::process::exit(2);
                 }
             }
@@ -55,7 +55,7 @@ fn main() {
         Some("example") => print!("{}", parser::EXAMPLE),
         Some("--help") | Some("-h") | None => usage(),
         Some(other) => {
-            eprintln!("error: unknown command '{}'", other);
+            eprintln!("error: unknown command '{other}'");
             usage();
             std::process::exit(2);
         }
@@ -68,7 +68,7 @@ fn usage() {
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("error: {}", msg);
+    eprintln!("error: {msg}");
     usage();
     std::process::exit(2)
 }

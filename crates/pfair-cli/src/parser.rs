@@ -56,21 +56,24 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, what: impl Into<String>) -> ParseError {
-    ParseError { line, what: what.into() }
+    ParseError {
+        line,
+        what: what.into(),
+    }
 }
 
 fn parse_fraction(s: &str, line: usize) -> Result<Rational, ParseError> {
     let (num, den) = s
         .split_once('/')
-        .ok_or_else(|| err(line, format!("expected num/den fraction, got '{}'", s)))?;
+        .ok_or_else(|| err(line, format!("expected num/den fraction, got '{s}'")))?;
     let num: i128 = num
         .trim()
         .parse()
-        .map_err(|_| err(line, format!("bad numerator '{}'", num)))?;
+        .map_err(|_| err(line, format!("bad numerator '{num}'")))?;
     let den: i128 = den
         .trim()
         .parse()
-        .map_err(|_| err(line, format!("bad denominator '{}'", den)))?;
+        .map_err(|_| err(line, format!("bad denominator '{den}'")))?;
     if den == 0 {
         return Err(err(line, "zero denominator"));
     }
@@ -90,7 +93,7 @@ fn parse_scheme(s: &str, line: usize) -> Result<Scheme, ParseError> {
             if let Some(rest) = s.strip_prefix("hybrid-nth:") {
                 let n: u32 = rest
                     .parse()
-                    .map_err(|_| err(line, format!("bad hybrid-nth value '{}'", rest)))?;
+                    .map_err(|_| err(line, format!("bad hybrid-nth value '{rest}'")))?;
                 Ok(Scheme::Hybrid(HybridPolicy::EveryNth(n.max(1))))
             } else if let Some(rest) = s.strip_prefix("hybrid-threshold:") {
                 Ok(Scheme::Hybrid(HybridPolicy::MagnitudeThreshold(
@@ -102,13 +105,16 @@ fn parse_scheme(s: &str, line: usize) -> Result<Scheme, ParseError> {
                     .ok_or_else(|| err(line, "hybrid-budget needs budget/window"))?;
                 let budget: u32 = b
                     .parse()
-                    .map_err(|_| err(line, format!("bad budget '{}'", b)))?;
+                    .map_err(|_| err(line, format!("bad budget '{b}'")))?;
                 let window: i64 = w
                     .parse()
-                    .map_err(|_| err(line, format!("bad window '{}'", w)))?;
-                Ok(Scheme::Hybrid(HybridPolicy::OiBudget { budget, window: window.max(1) }))
+                    .map_err(|_| err(line, format!("bad window '{w}'")))?;
+                Ok(Scheme::Hybrid(HybridPolicy::OiBudget {
+                    budget,
+                    window: window.max(1),
+                }))
             } else {
-                Err(err(line, format!("unknown scheme '{}'", s)))
+                Err(err(line, format!("unknown scheme '{s}'")))
             }
         }
     }
@@ -136,7 +142,10 @@ pub fn parse(input: &str) -> Result<Spec, ParseError> {
             if rest.len() == n {
                 Ok(())
             } else {
-                Err(err(line_no, format!("'{}' needs {} arguments, got {}", keyword, n, rest.len())))
+                Err(err(
+                    line_no,
+                    format!("'{}' needs {} arguments, got {}", keyword, n, rest.len()),
+                ))
             }
         };
         match keyword {
@@ -167,7 +176,7 @@ pub fn parse(input: &str) -> Result<Spec, ParseError> {
                 tie_break = match rest[0] {
                     "asc" => TieBreak::TaskIdAsc,
                     "desc" => TieBreak::TaskIdDesc,
-                    other => return Err(err(line_no, format!("unknown tiebreak '{}'", other))),
+                    other => return Err(err(line_no, format!("unknown tiebreak '{other}'"))),
                 };
             }
             "admission" => {
@@ -175,7 +184,7 @@ pub fn parse(input: &str) -> Result<Spec, ParseError> {
                 admission = match rest[0] {
                     "police" => AdmissionPolicy::Police,
                     "trusting" => AdmissionPolicy::Trusting,
-                    other => return Err(err(line_no, format!("unknown admission '{}'", other))),
+                    other => return Err(err(line_no, format!("unknown admission '{other}'"))),
                 };
             }
             "join" | "reweight" => {
@@ -217,7 +226,7 @@ pub fn parse(input: &str) -> Result<Spec, ParseError> {
                     .map_err(|_| err(line_no, format!("bad delay '{}'", rest[2])))?;
                 workload.delay(task, at, by);
             }
-            other => return Err(err(line_no, format!("unknown directive '{}'", other))),
+            other => return Err(err(line_no, format!("unknown directive '{other}'"))),
         }
     }
 
@@ -273,18 +282,24 @@ mod tests {
         for (text, expect) in [
             ("scheme oi", Scheme::Oi),
             ("scheme lj", Scheme::LeaveJoin),
-            ("scheme hybrid-nth:3", Scheme::Hybrid(HybridPolicy::EveryNth(3))),
+            (
+                "scheme hybrid-nth:3",
+                Scheme::Hybrid(HybridPolicy::EveryNth(3)),
+            ),
             (
                 "scheme hybrid-threshold:1/2",
                 Scheme::Hybrid(HybridPolicy::MagnitudeThreshold(Rational::new(1, 2))),
             ),
             (
                 "scheme hybrid-budget:2/100",
-                Scheme::Hybrid(HybridPolicy::OiBudget { budget: 2, window: 100 }),
+                Scheme::Hybrid(HybridPolicy::OiBudget {
+                    budget: 2,
+                    window: 100,
+                }),
             ),
         ] {
             let spec = parse(text).unwrap();
-            assert_eq!(spec.config.scheme, expect, "{}", text);
+            assert_eq!(spec.config.scheme, expect, "{text}");
         }
     }
 

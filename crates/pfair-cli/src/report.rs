@@ -28,8 +28,7 @@ pub fn summary(result: &SimResult) -> String {
             task.scheduled_count,
             format_rat(task.ps_total),
             task.pct_of_ideal()
-                .map(|p| format!("{:.2}", p))
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |p| format!("{p:.2}")),
             format_rat(task.drift.at(result.horizon)),
             format_rat(task.drift.max_abs_delta()),
         );

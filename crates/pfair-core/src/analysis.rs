@@ -33,18 +33,20 @@ pub fn total_weight(weights: &[Weight]) -> Rational {
 /// total weight is at most `M` (and, trivially, every weight ≤ 1,
 /// which [`Weight`] already guarantees).
 pub fn is_feasible(weights: &[Weight], processors: u32) -> bool {
-    total_weight(weights) <= Rational::from_int(processors as i128)
+    total_weight(weights) <= Rational::from_int(i128::from(processors))
 }
 
 /// The minimum number of processors on which the set is feasible:
 /// `⌈Σ weights⌉`.
 pub fn min_processors(weights: &[Weight]) -> u32 {
-    total_weight(weights).ceil().max(0) as u32
+    // Saturating: a set whose total weight exceeds u32::MAX processors
+    // is out of scope for every caller (and for the paper).
+    u32::try_from(total_weight(weights).ceil().max(0)).unwrap_or(u32::MAX)
 }
 
 /// Spare capacity on `processors` processors (negative when infeasible).
 pub fn spare_capacity(weights: &[Weight], processors: u32) -> Rational {
-    Rational::from_int(processors as i128) - total_weight(weights)
+    Rational::from_int(i128::from(processors)) - total_weight(weights)
 }
 
 /// Least common multiple of two positive integers.
@@ -69,17 +71,14 @@ fn lcm(a: i128, b: i128) -> i128 {
 /// Panics on an empty set (no hyperperiod exists).
 pub fn hyperperiod(weights: &[Weight]) -> i128 {
     assert!(!weights.is_empty(), "hyperperiod of an empty task set");
-    weights
-        .iter()
-        .map(|w| w.value().denom())
-        .fold(1i128, lcm)
+    weights.iter().map(|w| w.value().denom()).fold(1i128, lcm)
 }
 
 /// Exact quanta a task of weight `w` receives over `slots` slots of an
 /// ideal schedule (`w · slots`; integral whenever `slots` is a multiple
 /// of the period).
 pub fn ideal_quanta(weight: Weight, slots: i64) -> Rational {
-    weight.value() * (slots as i128)
+    weight.value() * i128::from(slots)
 }
 
 /// Classifies a task set for the reweighting rules: all-light sets can

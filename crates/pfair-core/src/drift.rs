@@ -38,7 +38,6 @@ use crate::time::Slot;
 
 /// Drift value established at an era boundary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DriftSample {
     /// `u`: the release slot of the era-opening subtask.
     pub at: Slot,
@@ -48,15 +47,50 @@ pub struct DriftSample {
 
 /// Piecewise-constant drift history of a single task.
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DriftTrack {
     samples: Vec<DriftSample>,
+}
+
+impl pfair_json::ToJson for DriftSample {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([("at", self.at.to_json()), ("drift", self.drift.to_json())])
+    }
+}
+
+impl pfair_json::FromJson for DriftSample {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        Ok(DriftSample {
+            at: value.field("at")?,
+            drift: value.field("drift")?,
+        })
+    }
+}
+
+impl pfair_json::ToJson for DriftTrack {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([("samples", self.samples.to_json())])
+    }
+}
+
+impl pfair_json::FromJson for DriftTrack {
+    /// Re-validates the time-ordering invariant of the samples.
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let samples: Vec<DriftSample> = value.field("samples")?;
+        if samples.windows(2).any(|w| w[0].at > w[1].at) {
+            return Err(pfair_json::JsonError::new(
+                "drift samples out of time order",
+            ));
+        }
+        Ok(DriftTrack { samples })
+    }
 }
 
 impl DriftTrack {
     /// An empty track (drift 0 everywhere).
     pub fn new() -> DriftTrack {
-        DriftTrack { samples: Vec::new() }
+        DriftTrack {
+            samples: Vec::new(),
+        }
     }
 
     /// Records the drift established at era boundary `u`:
@@ -68,7 +102,10 @@ impl DriftTrack {
         if let Some(last) = self.samples.last() {
             assert!(last.at <= u, "drift samples must be recorded in time order");
         }
-        self.samples.push(DriftSample { at: u, drift: ps_total - icsw_total });
+        self.samples.push(DriftSample {
+            at: u,
+            drift: ps_total - icsw_total,
+        });
     }
 
     /// `drift(T, t)`: the most recent sample at or before `t`, or zero if
@@ -78,8 +115,7 @@ impl DriftTrack {
             .iter()
             .rev()
             .find(|s| s.at <= t)
-            .map(|s| s.drift)
-            .unwrap_or(Rational::ZERO)
+            .map_or(Rational::ZERO, |s| s.drift)
     }
 
     /// All recorded samples, in time order.
@@ -116,7 +152,7 @@ impl DriftTrack {
     pub fn max_abs_delta(&self) -> Rational {
         self.per_event_deltas()
             .into_iter()
-            .map(|d| d.abs())
+            .map(Rational::abs)
             .max()
             .unwrap_or(Rational::ZERO)
     }
@@ -147,8 +183,8 @@ mod tests {
         let mut track = DriftTrack::new();
         track.record(0, Rational::ZERO, Rational::ZERO);
         track.record(4, rat(2, 5) + rat(3, 3 * 20), Rational::ONE); // placeholder values
-        // What matters structurally: negative drift is representable and
-        // max_abs sees it.
+                                                                    // What matters structurally: negative drift is representable and
+                                                                    // max_abs sees it.
         let mut t2 = DriftTrack::new();
         t2.record(4, rat(17, 20), Rational::ONE);
         assert_eq!(t2.at(4), rat(-3, 20));

@@ -10,7 +10,7 @@
 
 use crate::ideal::isw::IswTracker;
 use crate::rational::Rational;
-use crate::time::Slot;
+use crate::time::{index_from_rank, rank_from_index, slot_index, Slot};
 use crate::weight::Weight;
 use crate::window::{b_bit, window_in_era};
 
@@ -42,33 +42,38 @@ pub fn is_ideal_table(weight: Weight, offsets: &[i64], horizon: Slot) -> IsIdeal
     // Build the release chain: r(T_{i+1}) = d(T_i) − b(T_i) + (θ_{i+1} − θ_i).
     let mut windows = Vec::with_capacity(n);
     let mut release = *offsets.first().unwrap_or(&0);
-    for i in 1..=n as u64 {
+    for i in 1..=rank_from_index(n) {
         let win = window_in_era(weight, i, release);
         windows.push((win.release, win.deadline));
         tracker.add_subtask(i, win.release, i == 1, i > 1 && b_bit(weight, i - 1));
-        if (i as usize) < n {
-            release = win.next_release() + (offsets[i as usize] - offsets[i as usize - 1]);
+        let idx = index_from_rank(i);
+        if idx < n {
+            release = win.next_release() + (offsets[idx] - offsets[idx - 1]);
         }
     }
     // Advance slot by slot, recovering per-subtask allocations from the
     // tracker's cumulative values.
-    let mut per_subtask = vec![vec![Rational::ZERO; horizon as usize]; n];
-    let mut per_task = vec![Rational::ZERO; horizon as usize];
+    let mut per_subtask = vec![vec![Rational::ZERO; slot_index(horizon)]; n];
+    let mut per_task = vec![Rational::ZERO; slot_index(horizon)];
     let mut prev_cum = vec![Rational::ZERO; n];
     for t in 0..horizon {
         let (slot_total, _) = tracker.advance(t);
-        per_task[t as usize] = slot_total;
+        per_task[slot_index(t)] = slot_total;
         for j in 0..n {
-            if let Some(cum) = tracker.subtask_cum(j as u64 + 1) {
+            if let Some(cum) = tracker.subtask_cum(rank_from_index(j) + 1) {
                 let delta = cum - prev_cum[j];
                 if !delta.is_zero() {
-                    per_subtask[j][t as usize] = delta;
+                    per_subtask[j][slot_index(t)] = delta;
                     prev_cum[j] = cum;
                 }
             }
         }
     }
-    IsIdealTable { per_subtask, per_task, windows }
+    IsIdealTable {
+        per_subtask,
+        per_task,
+        windows,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +103,14 @@ mod tests {
             let table = is_ideal_table(w, &[0; 4], 4 * den as i64);
             for (j, rows) in table.per_subtask.iter().enumerate() {
                 let sum = rows.iter().fold(Rational::ZERO, |a, b| a + *b);
-                assert_eq!(sum, Rational::ONE, "weight {}/{} subtask {}", num, den, j + 1);
+                assert_eq!(
+                    sum,
+                    Rational::ONE,
+                    "weight {}/{} subtask {}",
+                    num,
+                    den,
+                    j + 1
+                );
             }
         }
     }
@@ -133,7 +145,7 @@ mod tests {
             let w = Weight::new(rat(num, den));
             let table = is_ideal_table(w, &[0; 6], 6 * den as i64);
             for (t, a) in table.per_task.iter().enumerate() {
-                assert!(*a <= rat(num, den), "weight {}/{} slot {}: {}", num, den, t, a);
+                assert!(*a <= rat(num, den), "weight {num}/{den} slot {t}: {a}");
             }
         }
     }

@@ -203,6 +203,7 @@ impl IswTracker {
                 .rev()
                 .find(|s| s.index < index && s.halted_at == NEVER)
                 .map(|s| s.index)
+                // audit: allow(panic, caller-contract violation; documented precondition of add_subtask)
                 .expect("non-era-first subtask with b=1 predecessor must have a live predecessor");
             ReleaseRule::SharedWithPred(pred)
         };
@@ -234,6 +235,7 @@ impl IswTracker {
             .subs
             .iter_mut()
             .find(|s| s.index == index)
+            // audit: allow(panic, caller-contract violation; documented precondition of halt)
             .expect("halting unknown subtask");
         assert!(sub.complete_at.is_none(), "halting a complete subtask");
         assert!(sub.halted_at == NEVER, "halting a halted subtask");
@@ -285,12 +287,11 @@ impl IswTracker {
                             .subs
                             .iter()
                             .find(|s| s.index == p)
+                            // audit: allow(panic, tracker invariant; a missing predecessor means corrupted state)
                             .expect("predecessor retired too early");
                         assert!(
                             pred.complete_at.is_some(),
-                            "predecessor T_{} not complete at successor release {}",
-                            p,
-                            t
+                            "predecessor T_{p} not complete at successor release {t}"
                         );
                         self.swt - pred.final_slot_alloc
                     }
@@ -345,8 +346,8 @@ impl IswTracker {
 mod tests {
     use super::*;
     use crate::rational::rat;
-    use crate::window::{b_bit, periodic_window};
     use crate::weight::Weight;
+    use crate::window::{b_bit, periodic_window};
 
     /// Drives a constant-weight periodic task through the tracker and
     /// collects the per-slot task allocations.
@@ -368,7 +369,7 @@ mod tests {
     fn fig1a_periodic_5_16_per_slot_allocations() {
         let allocs = run_periodic(5, 16, 5, 16);
         for (t, a) in allocs.iter().enumerate() {
-            assert_eq!(*a, rat(5, 16), "slot {}", t);
+            assert_eq!(*a, rat(5, 16), "slot {t}");
         }
     }
 

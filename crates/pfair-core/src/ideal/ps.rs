@@ -30,7 +30,12 @@ pub struct PsTracker {
 impl PsTracker {
     /// A task of initial weight `wt` joining at `join_at`.
     pub fn new(wt: Rational, join_at: Slot) -> PsTracker {
-        PsTracker { wt, total: Rational::ZERO, now: join_at, suspensions: Vec::new() }
+        PsTracker {
+            wt,
+            total: Rational::ZERO,
+            now: join_at,
+            suspensions: Vec::new(),
+        }
     }
 
     /// Suspends allocation for slots in `[from, until)` (IS separation:
@@ -74,7 +79,11 @@ impl PsTracker {
     pub fn advance(&mut self, t: Slot) -> Rational {
         assert_eq!(t, self.now, "slots must be advanced in order");
         self.now = t + 1;
-        if self.suspensions.iter().any(|(from, until)| *from <= t && t < *until) {
+        if self
+            .suspensions
+            .iter()
+            .any(|(from, until)| *from <= t && t < *until)
+        {
             // Drop intervals entirely in the past to keep the scan short.
             self.suspensions.retain(|(_, until)| *until > t);
             return Rational::ZERO;

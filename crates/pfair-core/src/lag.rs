@@ -29,7 +29,7 @@ pub fn lag_series(ideal: &[Rational], actual: &[u32]) -> Vec<Rational> {
     let mut lag = Rational::ZERO;
     lags.push(lag);
     for (i, a) in ideal.iter().zip(actual.iter()) {
-        lag += *i - Rational::from_int(*a as i128);
+        lag += *i - Rational::from_int(i128::from(*a));
         lags.push(lag);
     }
     lags
@@ -80,13 +80,16 @@ mod tests {
         let ideal = vec![rat(1, 2); 4];
         let actual = vec![1, 0, 1, 0];
         let lags = lag_series(&ideal, &actual);
-        assert_eq!(lags, vec![
-            Rational::ZERO,
-            rat(-1, 2),
-            Rational::ZERO,
-            rat(-1, 2),
-            Rational::ZERO,
-        ]);
+        assert_eq!(
+            lags,
+            vec![
+                Rational::ZERO,
+                rat(-1, 2),
+                Rational::ZERO,
+                rat(-1, 2),
+                Rational::ZERO,
+            ]
+        );
         assert!(within_open_bound(&lags, Rational::ONE));
     }
 

@@ -36,6 +36,11 @@
 //! new **era**, inside which windows are those of a fresh task with the
 //! new weight (the `z = Id(T_j) − 1` shift in Eqns (2)–(4)).
 
+// Conventional-lint mirror of the audit's no-float-in-scheduling and
+// no-panic-in-library invariants (types/methods listed in the root
+// clippy.toml). Test code is exempt, as under audit.toml.
+#![cfg_attr(not(test), warn(clippy::disallowed_types, clippy::disallowed_methods))]
+
 pub mod analysis;
 pub mod drift;
 pub mod ideal;
@@ -53,4 +58,6 @@ pub use rational::{rat, Rational};
 pub use task::{SubtaskRef, TaskId, TaskSpec};
 pub use time::{Slot, SlotRange, NEVER};
 pub use weight::{Weight, WeightRangeError};
-pub use window::{b_bit, periodic_window, periodic_windows, window_in_era, window_len, SubtaskWindow};
+pub use window::{
+    b_bit, periodic_window, periodic_windows, window_in_era, window_len, SubtaskWindow,
+};

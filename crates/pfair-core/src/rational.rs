@@ -37,38 +37,42 @@ use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// An exact rational number `num/den` with `den > 0` and `gcd(|num|, den) == 1`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Rational {
     num: i128,
     den: i128,
 }
 
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Rational {
-    /// Deserialization validates and renormalizes: a zero denominator is
-    /// rejected and unreduced or negative-denominator input is brought
-    /// to canonical form, so the type invariants survive untrusted data.
-    fn deserialize<D>(deserializer: D) -> Result<Rational, D::Error>
-    where
-        D: serde::Deserializer<'de>,
-    {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            num: i128,
-            den: i128,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        if raw.den == 0 {
-            return Err(serde::de::Error::custom("Rational with zero denominator"));
-        }
-        Ok(Rational::new(raw.num, raw.den))
+impl pfair_json::ToJson for Rational {
+    /// Serializes structurally as `{"num": …, "den": …}` — the codec is
+    /// integer-exact, so components survive beyond `f64` precision.
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([
+            ("num", pfair_json::Json::Int(self.num)),
+            ("den", pfair_json::Json::Int(self.den)),
+        ])
     }
 }
 
-/// Greatest common divisor of two non-negative integers (binary Euclid).
+impl pfair_json::FromJson for Rational {
+    /// Deserialization validates and renormalizes: a zero denominator is
+    /// rejected and unreduced or negative-denominator input is brought
+    /// to canonical form, so the type invariants survive untrusted data.
+    fn from_json(value: &pfair_json::Json) -> Result<Rational, pfair_json::JsonError> {
+        let num: i128 = value.field("num")?;
+        let den: i128 = value.field("den")?;
+        if den == 0 {
+            return Err(pfair_json::JsonError::new("Rational with zero denominator"));
+        }
+        Ok(Rational::new(num, den))
+    }
+}
+
+/// Greatest common divisor of two unsigned integers (Euclid).
+///
+/// Operates on `u128` so that `i128::MIN.unsigned_abs()` (= 2^127) is a
+/// valid operand — taking magnitudes in the signed domain would wrap.
 #[inline]
-fn gcd(mut a: i128, mut b: i128) -> i128 {
-    debug_assert!(a >= 0 && b >= 0);
+fn gcd(mut a: u128, mut b: u128) -> u128 {
     while b != 0 {
         let r = a % b;
         a = b;
@@ -90,12 +94,29 @@ impl Rational {
     #[inline]
     pub fn new(num: i128, den: i128) -> Rational {
         assert!(den != 0, "Rational with zero denominator");
-        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
-        let g = gcd(num.unsigned_abs() as i128, den);
+        let (num, den) = if den < 0 {
+            (
+                num.checked_neg()
+                    // audit: allow(panic, documented overflow contract: ±i128::MIN inputs)
+                    .expect("Rational::new overflow: numerator is i128::MIN"),
+                den.checked_neg()
+                    // audit: allow(panic, documented overflow contract: ±i128::MIN inputs)
+                    .expect("Rational::new overflow: denominator is i128::MIN"),
+            )
+        } else {
+            (num, den)
+        };
+        // g divides the (positive) denominator, so it always fits in i128.
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        // audit: allow(panic, unreachable: gcd divides the positive denominator)
+        let g = i128::try_from(g).expect("Rational::new: gcd exceeds i128");
         if g <= 1 {
             Rational { num, den }
         } else {
-            Rational { num: num / g, den: den / g }
+            Rational {
+                num: num / g,
+                den: den / g,
+            }
         }
     }
 
@@ -142,9 +163,17 @@ impl Rational {
     }
 
     /// Absolute value.
+    ///
+    /// # Panics
+    /// Panics if the numerator is `i128::MIN`.
     #[inline]
     pub fn abs(self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den }
+        let num = self
+            .num
+            .checked_abs()
+            // audit: allow(panic, documented overflow contract: numerator i128::MIN)
+            .expect("Rational::abs overflow: numerator is i128::MIN");
+        Rational { num, den: self.den }
     }
 
     /// Largest integer `≤ self` (mathematical floor, correct for negatives).
@@ -156,7 +185,15 @@ impl Rational {
     /// Smallest integer `≥ self` (mathematical ceiling, correct for negatives).
     #[inline]
     pub fn ceil(self) -> i128 {
-        -((-self.num).div_euclid(self.den))
+        // floor + 1 unless exact; avoids negating the numerator, which
+        // would overflow for i128::MIN. `q + 1` cannot overflow: den ≥ 2
+        // whenever the remainder is nonzero, so q < i128::MAX.
+        let q = self.num.div_euclid(self.den);
+        if self.num % self.den == 0 {
+            q
+        } else {
+            q + 1
+        }
     }
 
     /// Reciprocal `den/num`.
@@ -174,13 +211,17 @@ impl Rational {
     fn checked_add(self, rhs: Rational) -> Rational {
         // a/b + c/d = (a*d + c*b) / (b*d); reduce via g = gcd(b, d) first to
         // keep intermediates small (the classic Knuth trick).
-        let g = gcd(self.den, rhs.den);
+        let g = i128::try_from(gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs()))
+            // audit: allow(panic, unreachable: gcd divides the positive denominator)
+            .expect("Rational add: gcd exceeds i128");
         let (b, d) = (self.den / g, rhs.den / g);
         let num = self
             .num
             .checked_mul(d)
             .and_then(|x| rhs.num.checked_mul(b).and_then(|y| x.checked_add(y)))
+            // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational add overflow");
+        // audit: allow(panic, documented overflow contract of Rational arithmetic)
         let den = self.den.checked_mul(d).expect("Rational add overflow");
         Rational::new(num, den)
     }
@@ -189,13 +230,20 @@ impl Rational {
     #[inline]
     fn checked_mul(self, rhs: Rational) -> Rational {
         // Cross-reduce before multiplying to keep intermediates small.
-        let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den);
-        let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den);
+        // Each gcd divides a positive denominator, so both fit in i128.
+        let g1 = i128::try_from(gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs()))
+            // audit: allow(panic, unreachable: gcd divides the positive denominator)
+            .expect("Rational mul: gcd exceeds i128");
+        let g2 = i128::try_from(gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs()))
+            // audit: allow(panic, unreachable: gcd divides the positive denominator)
+            .expect("Rational mul: gcd exceeds i128");
         let num = (self.num / g1)
             .checked_mul(rhs.num / g2)
+            // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational mul overflow");
         let den = (self.den / g2)
             .checked_mul(rhs.den / g1)
+            // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational mul overflow");
         Rational::new(num, den)
     }
@@ -223,8 +271,11 @@ impl Rational {
     /// Lossy conversion to `f64` (for statistics and plotting only; never
     /// used in scheduling decisions).
     #[inline]
+    #[allow(clippy::disallowed_types)]
+    // audit: allow(float, report-only conversion; never feeds scheduling)
     pub fn to_f64(self) -> f64 {
-        self.num as f64 / self.den as f64
+        // audit: allow(float, report-only conversion; never feeds scheduling)
+        self.num as f64 / self.den as f64 // audit: allow(lossy-cast, i128→f64 for reporting only)
     }
 
     /// `⌊n / self⌋` for an integer `n` — the floor of `n` divided by this
@@ -237,6 +288,7 @@ impl Rational {
     pub fn div_floor_int(self, n: i128) -> i128 {
         assert!(self.is_positive(), "div_floor_int by non-positive rational");
         // n / (num/den) = n*den / num
+        // audit: allow(panic, documented overflow contract of Rational arithmetic)
         let prod = n.checked_mul(self.den).expect("div_floor_int overflow");
         prod.div_euclid(self.num)
     }
@@ -250,8 +302,15 @@ impl Rational {
     #[inline]
     pub fn div_ceil_int(self, n: i128) -> i128 {
         assert!(self.is_positive(), "div_ceil_int by non-positive rational");
+        // audit: allow(panic, documented overflow contract of Rational arithmetic)
         let prod = n.checked_mul(self.den).expect("div_ceil_int overflow");
-        -(-prod).div_euclid(self.num)
+        // Same negation-free ceiling as `Rational::ceil`.
+        let q = prod.div_euclid(self.num);
+        if prod % self.num == 0 {
+            q
+        } else {
+            q + 1
+        }
     }
 }
 
@@ -269,13 +328,13 @@ impl From<i128> for Rational {
 
 impl From<i64> for Rational {
     fn from(n: i64) -> Self {
-        Rational::from_int(n as i128)
+        Rational::from_int(i128::from(n))
     }
 }
 
 impl From<u32> for Rational {
     fn from(n: u32) -> Self {
-        Rational::from_int(n as i128)
+        Rational::from_int(i128::from(n))
     }
 }
 
@@ -311,9 +370,16 @@ impl SubAssign for Rational {
 
 impl Neg for Rational {
     type Output = Rational;
+    /// # Panics
+    /// Panics if the numerator is `i128::MIN`.
     #[inline]
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        let num = self
+            .num
+            .checked_neg()
+            // audit: allow(panic, documented overflow contract: numerator i128::MIN)
+            .expect("Rational::neg overflow: numerator is i128::MIN");
+        Rational { num, den: self.den }
     }
 }
 
@@ -355,10 +421,12 @@ impl Ord for Rational {
         let lhs = self
             .num
             .checked_mul(other.den)
+            // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational cmp overflow");
         let rhs = other
             .num
             .checked_mul(self.den)
+            // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational cmp overflow");
         lhs.cmp(&rhs)
     }
@@ -366,7 +434,7 @@ impl Ord for Rational {
 
 impl fmt::Debug for Rational {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self)
+        write!(f, "{self}")
     }
 }
 
@@ -471,35 +539,49 @@ mod tests {
     }
 }
 
-#[cfg(all(test, feature = "serde"))]
-mod serde_tests {
+#[cfg(test)]
+mod json_tests {
     use super::*;
+    use pfair_json::{FromJson, Json, ToJson};
+
+    fn from_str<T: FromJson>(text: &str) -> Result<T, pfair_json::JsonError> {
+        T::from_json(&Json::parse(text).expect("test JSON parses"))
+    }
 
     #[test]
     fn roundtrip_and_normalization() {
         let a = rat(-3, 19);
-        let json = serde_json::to_string(&a).unwrap();
-        let back: Rational = serde_json::from_str(&json).unwrap();
+        let json = a.to_json().to_string();
+        let back: Rational = from_str(&json).unwrap();
         assert_eq!(back, a);
         // Unreduced / sign-denormalized input is canonicalized.
-        let odd: Rational = serde_json::from_str(r#"{"num":2,"den":-4}"#).unwrap();
+        let odd: Rational = from_str(r#"{"num":2,"den":-4}"#).unwrap();
         assert_eq!(odd, rat(-1, 2));
     }
 
     #[test]
     fn zero_denominator_rejected() {
-        let r: Result<Rational, _> = serde_json::from_str(r#"{"num":1,"den":0}"#);
+        let r: Result<Rational, _> = from_str(r#"{"num":1,"den":0}"#);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn huge_components_survive_exactly() {
+        // Beyond f64's 2^53 integer precision: a float-backed codec
+        // would corrupt these; the exact-integer codec must not.
+        let big = Rational::new(i128::MAX - 1, i128::MAX);
+        let back: Rational = from_str(&big.to_json().to_string()).unwrap();
+        assert_eq!(back, big);
     }
 
     #[test]
     fn out_of_range_weight_rejected() {
         use crate::weight::Weight;
-        let ok: Weight = serde_json::from_str(r#"{"num":1,"den":2}"#).unwrap();
+        let ok: Weight = from_str(r#"{"num":1,"den":2}"#).unwrap();
         assert_eq!(ok.value(), rat(1, 2));
-        let bad: Result<Weight, _> = serde_json::from_str(r#"{"num":3,"den":2}"#);
+        let bad: Result<Weight, _> = from_str(r#"{"num":3,"den":2}"#);
         assert!(bad.is_err());
-        let zero: Result<Weight, _> = serde_json::from_str(r#"{"num":0,"den":2}"#);
+        let zero: Result<Weight, _> = from_str(r#"{"num":0,"den":2}"#);
         assert!(zero.is_err());
     }
 }

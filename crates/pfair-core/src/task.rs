@@ -13,14 +13,35 @@ use core::fmt;
 /// Dense, copyable task identifier. Task ids index per-task state
 /// vectors inside the schedulers, so they are assigned densely from 0.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskId(pub u32);
+
+impl pfair_json::ToJson for TaskId {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::Json::Int(i128::from(self.0))
+    }
+}
+
+impl pfair_json::FromJson for TaskId {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        u32::from_json(value).map(TaskId)
+    }
+}
 
 impl TaskId {
     /// The id as a `usize` index.
     #[inline]
     pub fn idx(self) -> usize {
-        self.0 as usize
+        self.0 as usize // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+    }
+
+    /// Builds an id from a container index (inverse of [`TaskId::idx`]).
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(i: usize) -> TaskId {
+        // audit: allow(panic, task counts are u32-bounded by construction)
+        TaskId(u32::try_from(i).expect("task index exceeds u32"))
     }
 }
 
@@ -39,7 +60,6 @@ impl fmt::Display for TaskId {
 /// A reference to subtask `T_i`: the `index`-th quantum of task `task`
 /// (1-based, as in the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubtaskRef {
     /// Owning task.
     pub task: TaskId,
@@ -72,7 +92,6 @@ impl fmt::Display for SubtaskRef {
 /// Everything dynamic — weight changes, intra-sporadic separations,
 /// halting — is expressed through scheduler events, not here.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskSpec {
     /// The task's identity.
     pub id: TaskId,
@@ -86,7 +105,11 @@ pub struct TaskSpec {
 impl TaskSpec {
     /// Convenience constructor.
     pub fn new(id: TaskId, weight: Weight, join_at: Slot) -> TaskSpec {
-        TaskSpec { id, weight, join_at }
+        TaskSpec {
+            id,
+            weight,
+            join_at,
+        }
     }
 
     /// A periodic task `(e, p)` joining at time 0, the classic Pfair
@@ -108,9 +131,9 @@ mod tests {
     #[test]
     fn ids_format_like_the_paper() {
         let t = TaskId(3);
-        assert_eq!(format!("{}", t), "T3");
+        assert_eq!(format!("{t}"), "T3");
         let s = SubtaskRef::new(t, 2);
-        assert_eq!(format!("{}", s), "T3_2");
+        assert_eq!(format!("{s}"), "T3_2");
         assert_eq!(s.task.idx(), 3);
     }
 

@@ -11,6 +11,42 @@
 /// A slot index / quantum-boundary time. Slot `t` is the interval `[t, t+1)`.
 pub type Slot = i64;
 
+// Checked narrowing between the domains slot math moves through: window
+// and lag quantities are computed exactly in `i128`, stored in `Slot`,
+// and used to index per-slot tables as `usize`, with subtask ranks in
+// `u64`. Each helper makes the narrowing explicit and loud — a value
+// outside the target range means corrupted scheduling state (horizons
+// in this repository are far below 2^63), and the panic says which
+// conversion failed.
+
+/// Narrows an exact `i128` window/lag quantity to a `Slot`.
+#[inline]
+pub fn slot_from_i128(x: i128) -> Slot {
+    // audit: allow(panic, window math is horizon-bounded; out-of-range means corrupted state)
+    Slot::try_from(x).expect("slot quantity exceeds the i64 range")
+}
+
+/// Converts a non-negative `Slot` to a container index.
+#[inline]
+pub fn slot_index(t: Slot) -> usize {
+    // audit: allow(panic, indexing requires a non-negative in-range slot; violation is a logic error)
+    usize::try_from(t).expect("slot is not a valid container index")
+}
+
+/// Converts a container index to the `u64` subtask-rank domain.
+#[inline]
+pub fn rank_from_index(i: usize) -> u64 {
+    // audit: allow(panic, infallible on the supported 64-bit targets)
+    u64::try_from(i).expect("index exceeds u64")
+}
+
+/// Converts a `u64` subtask index/rank to a container index.
+#[inline]
+pub fn index_from_rank(i: u64) -> usize {
+    // audit: allow(panic, ranks are horizon-bounded; out-of-range means corrupted state)
+    usize::try_from(i).expect("subtask rank exceeds usize")
+}
+
 /// Sentinel for "never" (e.g., the halt time of a subtask that is never
 /// halted, `H(T_j) = ∞` in the paper).
 pub const NEVER: Slot = Slot::MAX;
@@ -106,7 +142,7 @@ mod more_time_tests {
     #[test]
     fn never_is_max() {
         assert_eq!(NEVER, Slot::MAX);
-        assert!(NEVER > 1_000_000_000);
+        const { assert!(NEVER > 1_000_000_000) };
     }
 
     #[test]

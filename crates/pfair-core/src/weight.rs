@@ -13,19 +13,20 @@ use core::fmt;
 
 /// A validated task weight: a rational in `(0, 1]`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Weight(Rational);
 
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Weight {
+impl pfair_json::ToJson for Weight {
+    fn to_json(&self) -> pfair_json::Json {
+        self.0.to_json()
+    }
+}
+
+impl pfair_json::FromJson for Weight {
     /// Deserialization re-validates the `(0, 1]` range, so untrusted
     /// data cannot construct an out-of-range weight.
-    fn deserialize<D>(deserializer: D) -> Result<Weight, D::Error>
-    where
-        D: serde::Deserializer<'de>,
-    {
-        let value = Rational::deserialize(deserializer)?;
-        Weight::try_new(value).map_err(serde::de::Error::custom)
+    fn from_json(value: &pfair_json::Json) -> Result<Weight, pfair_json::JsonError> {
+        let value = Rational::from_json(value)?;
+        Weight::try_new(value).map_err(|e| pfair_json::JsonError::new(e.to_string()))
     }
 }
 
@@ -61,6 +62,7 @@ impl Weight {
     /// Constructs a weight, panicking when `value ∉ (0, 1]`. Preferred in
     /// tests and example code; library paths use [`Weight::try_new`].
     pub fn new(value: Rational) -> Weight {
+        // audit: allow(panic, documented panicking constructor; library paths use try_new)
         Weight::try_new(value).expect("weight out of range")
     }
 
@@ -91,6 +93,8 @@ impl Weight {
 
     /// Lossy conversion for statistics/plotting.
     #[inline]
+    #[allow(clippy::disallowed_types)]
+    // audit: allow(float, report-only conversion; never feeds scheduling)
     pub fn to_f64(self) -> f64 {
         self.0.to_f64()
     }
@@ -128,10 +132,7 @@ mod tests {
             Weight::try_new(Rational::ZERO),
             Err(WeightRangeError(Rational::ZERO))
         );
-        assert_eq!(
-            Weight::try_new(rat(3, 2)),
-            Err(WeightRangeError(rat(3, 2)))
-        );
+        assert_eq!(Weight::try_new(rat(3, 2)), Err(WeightRangeError(rat(3, 2))));
         assert_eq!(
             Weight::try_new(rat(-1, 2)),
             Err(WeightRangeError(rat(-1, 2)))
@@ -159,6 +160,6 @@ mod tests {
     fn display_and_error_display() {
         assert_eq!(format!("{}", Weight::from_ratio(3, 19)), "3/19");
         let err = Weight::try_new(rat(5, 2)).unwrap_err();
-        assert_eq!(format!("{}", err), "weight 5/2 outside (0, 1]");
+        assert_eq!(format!("{err}"), "weight 5/2 outside (0, 1]");
     }
 }

@@ -34,12 +34,11 @@
 //! ```
 
 use crate::rational::Rational;
-use crate::time::{Slot, SlotRange};
+use crate::time::{slot_from_i128, Slot, SlotRange};
 use crate::weight::Weight;
 
 /// A concrete subtask window: release, deadline, and b-bit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubtaskWindow {
     /// `r(T_i)`: the first slot in which the subtask may be scheduled.
     pub release: Slot,
@@ -51,6 +50,26 @@ pub struct SubtaskWindow {
     pub b: bool,
 }
 
+impl pfair_json::ToJson for SubtaskWindow {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([
+            ("release", self.release.to_json()),
+            ("deadline", self.deadline.to_json()),
+            ("b", self.b.to_json()),
+        ])
+    }
+}
+
+impl pfair_json::FromJson for SubtaskWindow {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        Ok(SubtaskWindow {
+            release: value.field("release")?,
+            deadline: value.field("deadline")?,
+            b: value.field("b")?,
+        })
+    }
+}
+
 impl SubtaskWindow {
     /// The window as a slot range `[r, d)`.
     #[inline]
@@ -58,7 +77,9 @@ impl SubtaskWindow {
         SlotRange::new(self.release, self.deadline)
     }
 
-    /// Window length `d − r` in slots.
+    /// Window length `d − r` in slots (always ≥ 1; windows are never
+    /// empty, so there is no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(&self) -> i64 {
         self.deadline - self.release
@@ -78,7 +99,7 @@ impl SubtaskWindow {
 #[inline]
 pub fn b_bit(weight: Weight, k: u64) -> bool {
     let w: Rational = weight.value();
-    w.div_ceil_int(k as i128) != w.div_floor_int(k as i128)
+    w.div_ceil_int(i128::from(k)) != w.div_floor_int(i128::from(k))
 }
 
 /// Window *length* of the `k`-th subtask of a task of weight `w`:
@@ -86,7 +107,7 @@ pub fn b_bit(weight: Weight, k: u64) -> bool {
 #[inline]
 pub fn window_len(weight: Weight, k: u64) -> i64 {
     let w: Rational = weight.value();
-    (w.div_ceil_int(k as i128) - w.div_floor_int(k as i128 - 1)) as i64
+    slot_from_i128(w.div_ceil_int(i128::from(k)) - w.div_floor_int(i128::from(k) - 1))
 }
 
 /// Window of the `k`-th subtask (within-era rank, 1-based) of an era with
@@ -111,10 +132,10 @@ pub fn window_in_era(weight: Weight, k: u64, release: Slot) -> SubtaskWindow {
 #[inline]
 pub fn periodic_window(weight: Weight, i: u64, join_at: Slot) -> SubtaskWindow {
     let w: Rational = weight.value();
-    let release = join_at + w.div_floor_int(i as i128 - 1) as i64;
+    let release = join_at + slot_from_i128(w.div_floor_int(i128::from(i) - 1));
     SubtaskWindow {
         release,
-        deadline: join_at + w.div_ceil_int(i as i128) as i64,
+        deadline: join_at + slot_from_i128(w.div_ceil_int(i128::from(i))),
         b: b_bit(weight, i),
     }
 }
@@ -122,7 +143,9 @@ pub fn periodic_window(weight: Weight, i: u64, join_at: Slot) -> SubtaskWindow {
 /// All windows of the first `n` subtasks of a periodic task (test and
 /// visualization helper).
 pub fn periodic_windows(weight: Weight, n: u64, join_at: Slot) -> Vec<SubtaskWindow> {
-    (1..=n).map(|i| periodic_window(weight, i, join_at)).collect()
+    (1..=n)
+        .map(|i| periodic_window(weight, i, join_at))
+        .collect()
 }
 
 /// The PD² *group deadline* `D(T_i)` of the rank-`k` subtask of an era
@@ -155,7 +178,7 @@ pub fn group_deadline(weight: Weight, k: u64, release: Slot) -> Slot {
     let mut rank = k;
     let mut w = win;
     loop {
-        if w.len() >= 3 && w.deadline - 1 >= d_i {
+        if w.len() >= 3 && w.deadline > d_i {
             return w.deadline - 1;
         }
         if !w.b && w.deadline >= d_i {
@@ -186,7 +209,7 @@ mod tests {
         assert_eq!((t2.release, t2.deadline), (3, 7));
         // b(T_i) = 1 for 1 ≤ i ≤ 4 and b(T_5) = 0.
         for i in 1..=4 {
-            assert!(b_bit(wt, i), "b(T_{}) should be 1", i);
+            assert!(b_bit(wt, i), "b(T_{i}) should be 1");
         }
         assert!(!b_bit(wt, 5));
         // r(T_2) = d(T_1) − b(T_1) = 4 − 1 = 3.
@@ -225,7 +248,7 @@ mod tests {
         for k in 1..=4u64 {
             let via_era = window_in_era(wt, k, release);
             let fresh = periodic_window(wt, k, join);
-            assert_eq!(via_era, fresh, "rank {}", k);
+            assert_eq!(via_era, fresh, "rank {k}");
             release = via_era.next_release();
         }
     }
@@ -265,7 +288,15 @@ mod tests {
     /// (used by Lemma 9 in the appendix).
     #[test]
     fn b1_windows_of_light_tasks_are_at_least_3_long() {
-        for (n, d) in [(1i128, 2i128), (2, 5), (3, 19), (5, 16), (3, 20), (1, 7), (1, 21)] {
+        for (n, d) in [
+            (1i128, 2i128),
+            (2, 5),
+            (3, 19),
+            (5, 16),
+            (3, 20),
+            (1, 7),
+            (1, 21),
+        ] {
             let wt = w(n, d);
             for k in 1..=(2 * d as u64) {
                 if b_bit(wt, k) {
@@ -334,7 +365,7 @@ mod group_deadline_tests {
     fn weight_8_11_group_deadlines() {
         let wt = w(8, 11);
         let ws = periodic_windows(wt, 8, 0);
-        let lens: Vec<i64> = ws.iter().map(|x| x.len()).collect();
+        let lens: Vec<i64> = ws.iter().map(super::SubtaskWindow::len).collect();
         assert_eq!(lens, vec![2, 2, 3, 2, 2, 3, 2, 2]);
         assert!(!ws[7].b);
         // T_1: d = 2; first absorber at or after 2 is d(T_3) − 1 = 4.
@@ -353,7 +384,10 @@ mod group_deadline_tests {
     fn weight_3_4_group_deadlines() {
         let wt = w(3, 4);
         let ws = periodic_windows(wt, 3, 0);
-        assert_eq!(ws.iter().map(|x| x.len()).collect::<Vec<_>>(), vec![2, 2, 2]);
+        assert_eq!(
+            ws.iter().map(super::SubtaskWindow::len).collect::<Vec<_>>(),
+            vec![2, 2, 2]
+        );
         assert!(!ws[2].b);
         // All of T_1..T_3 cascade to the b = 0 boundary at d(T_3) = 4.
         assert_eq!(group_deadline(wt, 1, ws[0].release), 4);
@@ -397,7 +431,7 @@ mod group_deadline_tests {
                 let win = window_in_era(wt, k, release);
                 let gd = group_deadline(wt, k, release);
                 assert!(gd >= win.deadline - 1, "gd before own window end");
-                assert!(gd >= last, "{}/{} rank {}: gd {} < prior {}", n, d, k, gd, last);
+                assert!(gd >= last, "{n}/{d} rank {k}: gd {gd} < prior {last}");
                 last = gd;
                 release = win.next_release();
             }

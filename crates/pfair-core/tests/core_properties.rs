@@ -6,19 +6,18 @@
 //!   trackers under randomized weights, separations, weight changes,
 //!   and halts.
 
-use proptest::prelude::*;
 use pfair_core::ideal::IswTracker;
 use pfair_core::rational::{rat, Rational};
 use pfair_core::weight::Weight;
 use pfair_core::window::{b_bit, group_deadline, window_in_era, window_len};
+use proptest::prelude::*;
 
 fn arb_rat() -> impl Strategy<Value = Rational> {
     (-2000i128..=2000, 1i128..=400).prop_map(|(n, d)| rat(n, d))
 }
 
 fn arb_weight() -> impl Strategy<Value = Weight> {
-    (1i128..=30, 2i128..=60)
-        .prop_map(|(n, d)| Weight::new(rat(n.min(d), d.max(n))))
+    (1i128..=30, 2i128..=60).prop_map(|(n, d)| Weight::new(rat(n.min(d), d.max(n))))
 }
 
 proptest! {
@@ -76,7 +75,7 @@ proptest! {
         let len = window_len(w, k);
         let inv = w.value().recip();
         // ⌈1/w⌉ ≤ |w(T_i)| ≤ ⌈1/w⌉ + 1 (standard Pfair fact).
-        prop_assert!(Rational::from_int(len as i128) >= inv.ceil().into());
+        prop_assert!(Rational::from_int(i128::from(len)) >= inv.ceil().into());
         prop_assert!(len <= inv.ceil() as i64 + 1);
     }
 
@@ -207,4 +206,149 @@ proptest! {
         }
         prop_assert_eq!(tr.icsw_total(), Rational::ZERO);
     }
+}
+
+// ---- overflow boundaries: operands near ±i128::MAX ----------------------
+//
+// The Rational contract is "exact or a descriptive panic — never a silent
+// wrap". These properties drive the constructor, Neg/abs, Div, ceiling,
+// and comparison paths with components within 10^6 of the i128 extremes,
+// where the pre-audit implementation either wrapped (`unsigned_abs() as
+// i128` on i128::MIN) or overflowed while negating (`-num` in Neg/ceil).
+
+fn arb_huge() -> impl Strategy<Value = i128> {
+    (0i128..=1_000_000).prop_map(|k| i128::MAX - k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn construction_normalizes_huge_components(n in arb_huge(), d in arb_huge()) {
+        let r = rat(n, d);
+        prop_assert!(r.denom() > 0);
+        // Reduced form: re-normalizing is a no-op.
+        prop_assert_eq!(rat(r.numer(), r.denom()), r);
+        // Sign normalization moves the sign to the numerator, exactly.
+        prop_assert_eq!(rat(n, -d), -r);
+        prop_assert_eq!(rat(-n, d), -r);
+    }
+
+    #[test]
+    fn neg_abs_roundtrip_huge(n in arb_huge(), d in arb_huge()) {
+        let r = rat(n, d);
+        prop_assert_eq!(-(-r), r);
+        prop_assert_eq!(r.abs(), r);
+        prop_assert_eq!((-r).abs(), r);
+    }
+
+    #[test]
+    fn identities_hold_at_huge_magnitudes(n in arb_huge(), d in arb_huge()) {
+        let r = rat(n, d);
+        prop_assert_eq!(r + Rational::ZERO, r);
+        prop_assert_eq!(r - r, Rational::ZERO);
+        prop_assert_eq!(r * Rational::ONE, r);
+        // Div cross-reduces, so even r/r with huge components is exact.
+        prop_assert_eq!(r / r, Rational::ONE);
+        prop_assert_eq!(r.recip().recip(), r);
+    }
+
+    #[test]
+    fn ordering_is_exact_at_the_extremes(a in arb_huge(), b in arb_huge()) {
+        // Huge numerators over den = 1: ordering matches the integers.
+        prop_assert_eq!(
+            Rational::from_int(a).cmp(&Rational::from_int(b)),
+            a.cmp(&b)
+        );
+        // Huge denominators: 1/a vs 1/b inverts the order.
+        prop_assert_eq!(rat(1, a).cmp(&rat(1, b)), b.cmp(&a));
+    }
+
+    #[test]
+    fn ceil_survives_min_numerator(k in 1i128..=500_000) {
+        // Odd denominator keeps the reduced numerator at exactly
+        // i128::MIN (gcd(2^127, odd) = 1); the old `-((-num).div_euclid(d))`
+        // ceiling overflowed here.
+        let d = 2 * k + 1;
+        let r = Rational::new(i128::MIN, d);
+        prop_assert_eq!(r.numer(), i128::MIN);
+        prop_assert_eq!(r.floor(), i128::MIN.div_euclid(d));
+        prop_assert_eq!(r.ceil(), r.floor() + 1); // never exact for d > 1 odd
+    }
+
+    #[test]
+    fn int_division_near_max(n in arb_huge(), k in 1i128..1000) {
+        let w = Rational::from_int(k);
+        let fl = w.div_floor_int(n);
+        let ce = w.div_ceil_int(n);
+        prop_assert_eq!(fl, n.div_euclid(k));
+        prop_assert!(ce == fl || ce == fl + 1);
+        prop_assert_eq!(ce == fl, n % k == 0);
+    }
+}
+
+/// The documented overflow panics fire with their advertised messages —
+/// overflow is loud, never a wrap.
+#[test]
+fn overflow_panics_are_descriptive() {
+    fn panics_with(f: impl FnOnce() + std::panic::UnwindSafe, needle: &str) {
+        let err = std::panic::catch_unwind(f).expect_err("operation should panic");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains(needle),
+            "panic message {msg:?} lacks {needle:?}"
+        );
+    }
+
+    let min = Rational::from_int(i128::MIN);
+    let max = Rational::from_int(i128::MAX);
+    panics_with(
+        || {
+            let _ = -min;
+        },
+        "Rational::neg overflow",
+    );
+    panics_with(
+        || {
+            let _ = min.abs();
+        },
+        "Rational::abs overflow",
+    );
+    panics_with(
+        || {
+            let _ = Rational::new(i128::MIN, -1);
+        },
+        "Rational::new overflow",
+    );
+    panics_with(
+        || {
+            let _ = max + max;
+        },
+        "Rational add overflow",
+    );
+    panics_with(
+        || {
+            let _ = max * max;
+        },
+        "Rational mul overflow",
+    );
+    // cmp cross-multiplies: MAX/2 vs (MAX-2)/3 needs MAX·3.
+    panics_with(
+        || {
+            let _ = rat(i128::MAX, 2).cmp(&rat(i128::MAX - 2, 3));
+        },
+        "Rational cmp overflow",
+    );
+}
+
+/// i128::MIN numerators that reduce stay exact.
+#[test]
+fn min_numerator_reduces_exactly() {
+    let r = Rational::new(i128::MIN, 2);
+    assert_eq!(r, Rational::from_int(i128::MIN / 2));
+    assert_eq!(Rational::new(i128::MIN, 4).denom(), 1);
 }

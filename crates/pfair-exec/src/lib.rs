@@ -45,6 +45,11 @@
 //! waits for every tick to finish before closing the slot, making runs
 //! deterministic for tests.
 
+// Conventional-lint mirror of the audit's no-float-in-scheduling and
+// no-panic-in-library invariants (types/methods listed in the root
+// clippy.toml). Test code is exempt, as under audit.toml.
+#![cfg_attr(not(test), warn(clippy::disallowed_types, clippy::disallowed_methods))]
+
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use pfair_core::task::TaskId;
@@ -127,7 +132,8 @@ impl ExecutorBuilder {
         weight: Weight,
         body: impl FnMut(Tick) + Send + 'static,
     ) -> TaskHandle {
-        let id = TaskId(self.tasks.len() as u32);
+        // audit: allow(panic, builder capacity limit; more than u32::MAX tasks is a caller error)
+        let id = TaskId(u32::try_from(self.tasks.len()).expect("more than u32::MAX tasks"));
         self.tasks.push((name.into(), weight, Box::new(body)));
         TaskHandle(id)
     }
@@ -139,7 +145,8 @@ impl ExecutorBuilder {
         for (i, (_, weight, _)) in self.tasks.iter().enumerate() {
             workload.push(Event {
                 at: 0,
-                task: TaskId(i as u32),
+                // audit: allow(panic, task count was bounded to u32 at registration)
+                task: TaskId(u32::try_from(i).expect("more than u32::MAX tasks")),
                 kind: EventKind::Join(*weight),
             });
         }
@@ -186,7 +193,7 @@ struct Job {
 
 fn spawn_worker(idx: u32, jobs: Receiver<Job>, done: Sender<usize>) -> JoinHandle<()> {
     std::thread::Builder::new()
-        .name(format!("pfair-worker-{}", idx))
+        .name(format!("pfair-worker-{idx}"))
         .spawn(move || {
             while let Ok(job) = jobs.recv() {
                 {
@@ -198,6 +205,7 @@ fn spawn_worker(idx: u32, jobs: Receiver<Job>, done: Sender<usize>) -> JoinHandl
                 let _ = done.send(job.task_idx);
             }
         })
+        // audit: allow(panic, OS thread-spawn failure is unrecoverable at this layer)
         .expect("spawning worker thread")
 }
 
@@ -281,7 +289,9 @@ pub struct Executor {
 impl Executor {
     /// A remote control usable from any thread.
     pub fn controller(&self) -> Controller {
-        Controller { tx: self.ctl_tx.clone() }
+        Controller {
+            tx: self.ctl_tx.clone(),
+        }
     }
 
     /// The next quantum index to run.
@@ -305,8 +315,16 @@ impl Executor {
             // Drain control requests; they fire in this slot.
             while let Ok(msg) = self.ctl_rx.try_recv() {
                 let event = match msg {
-                    CtlMsg::Reweight(task, w) => Event { at: t, task, kind: EventKind::Reweight(w) },
-                    CtlMsg::Leave(task) => Event { at: t, task, kind: EventKind::Leave },
+                    CtlMsg::Reweight(task, w) => Event {
+                        at: t,
+                        task,
+                        kind: EventKind::Reweight(w),
+                    },
+                    CtlMsg::Leave(task) => Event {
+                        at: t,
+                        task,
+                        kind: EventKind::Leave,
+                    },
                 };
                 self.engine.inject(event);
             }
@@ -327,12 +345,22 @@ impl Executor {
                 }
                 self.busy[idx] = true;
                 let task = &mut self.tasks[idx];
-                let tick = Tick { slot: t, seq: task.ticks, budget: self.quantum };
+                let tick = Tick {
+                    slot: t,
+                    seq: task.ticks,
+                    budget: self.quantum,
+                };
                 task.ticks += 1;
                 self.job_tx
                     .as_ref()
+                    // audit: allow(panic, dispatch after shutdown is a caller error)
                     .expect("executor already shut down")
-                    .send(Job { task_idx: idx, body: task.body.clone(), tick })
+                    .send(Job {
+                        task_idx: idx,
+                        body: task.body.clone(),
+                        tick,
+                    })
+                    // audit: allow(panic, a dead worker pool means a task body panicked; stop loudly)
                     .expect("worker pool gone");
                 dispatched += 1;
             }
@@ -342,6 +370,7 @@ impl Executor {
                 // ticks have completed.
                 let mut done = 0;
                 while done < dispatched {
+                    // audit: allow(panic, a dead worker pool means a task body panicked; stop loudly)
                     let idx = self.done_rx.recv().expect("worker pool gone");
                     self.busy[idx] = false;
                     done += 1;
@@ -441,8 +470,7 @@ mod tests {
         let after = c1.load(Ordering::Relaxed) - before;
         assert!(
             (48..=52).contains(&after),
-            "second phase ticks {} should be ≈ 50",
-            after
+            "second phase ticks {after} should be ≈ 50"
         );
         assert!(report.sim.is_miss_free());
         // The engine saw exactly one initiation, enacted fine-grained.
@@ -480,10 +508,7 @@ mod tests {
             let ideal = 0.4 * t as f64;
             assert!(
                 (ticks - ideal).abs() < 1.0 + 1e-9,
-                "t={}: ticks {} vs ideal {}",
-                t,
-                ticks,
-                ideal
+                "t={t}: ticks {ticks} vs ideal {ideal}"
             );
         }
         exec.shutdown();
@@ -565,8 +590,7 @@ mod concurrency_tests {
         let ticks = count.load(Ordering::Relaxed);
         assert!(
             ticks > 40,
-            "adaptive task should have grown past its initial 10% share: {} ticks",
-            ticks
+            "adaptive task should have grown past its initial 10% share: {ticks} ticks"
         );
         assert!(report.sim.max_abs_drift_delta() <= rat(2, 1));
     }

@@ -73,8 +73,13 @@ pub fn compare(speed: f64, radius: f64, runs: u64) -> Vec<BaselineRow> {
                     .collect::<Vec<_>>(),
             )
             .mean,
-            misses: summarize(&runs.iter().map(|r| r.misses.len() as f64).collect::<Vec<_>>())
-                .mean,
+            misses: summarize(
+                &runs
+                    .iter()
+                    .map(|r| r.misses.len() as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .mean,
             migrations: 0.0,
         });
     }
@@ -99,8 +104,13 @@ pub fn compare(speed: f64, radius: f64, runs: u64) -> Vec<BaselineRow> {
                     .collect::<Vec<_>>(),
             )
             .mean,
-            misses: summarize(&runs.iter().map(|r| r.misses.len() as f64).collect::<Vec<_>>())
-                .mean,
+            misses: summarize(
+                &runs
+                    .iter()
+                    .map(|r| r.misses.len() as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .mean,
             migrations: summarize(&runs.iter().map(|r| r.migrations as f64).collect::<Vec<_>>())
                 .mean,
         });

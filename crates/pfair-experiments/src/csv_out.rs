@@ -10,12 +10,12 @@ use std::path::Path;
 /// treats unwritable output as fatal.
 pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) {
     fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {}", dir.display(), e));
-    let path = dir.join(format!("{}.csv", name));
-    let mut f = fs::File::create(&path)
-        .unwrap_or_else(|e| panic!("creating {}: {}", path.display(), e));
-    writeln!(f, "{}", header).expect("writing csv header");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f =
+        fs::File::create(&path).unwrap_or_else(|e| panic!("creating {}: {}", path.display(), e));
+    writeln!(f, "{header}").expect("writing csv header");
     for row in rows {
-        writeln!(f, "{}", row).expect("writing csv row");
+        writeln!(f, "{row}").expect("writing csv row");
     }
     println!("  wrote {}", path.display());
 }

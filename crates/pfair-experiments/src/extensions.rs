@@ -15,10 +15,34 @@ use whisper_sim::Scenario;
 pub fn ladder() -> Vec<(&'static str, Relaxations)> {
     vec![
         ("paper assumptions", Relaxations::default()),
-        ("+ 3-D motion", Relaxations { vertical_amplitude: 0.15, ..Default::default() }),
-        ("+ ambient noise", Relaxations { ambient_noise: 0.4, ..Default::default() }),
-        ("+ interference", Relaxations { interference: true, ..Default::default() }),
-        ("+ variable speed", Relaxations { speed_variation: 0.5, ..Default::default() }),
+        (
+            "+ 3-D motion",
+            Relaxations {
+                vertical_amplitude: 0.15,
+                ..Default::default()
+            },
+        ),
+        (
+            "+ ambient noise",
+            Relaxations {
+                ambient_noise: 0.4,
+                ..Default::default()
+            },
+        ),
+        (
+            "+ interference",
+            Relaxations {
+                interference: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "+ variable speed",
+            Relaxations {
+                speed_variation: 0.5,
+                ..Default::default()
+            },
+        ),
         ("all lifted", Relaxations::all()),
     ]
 }

@@ -50,7 +50,11 @@ impl CurveKey {
         format!(
             "PD2-{}{}",
             if self.oi { "OI" } else { "LJ" },
-            if self.occlusion { " (occlusion)" } else { " (no occlusion)" }
+            if self.occlusion {
+                " (occlusion)"
+            } else {
+                " (no occlusion)"
+            }
         )
     }
 
@@ -65,10 +69,22 @@ impl CurveKey {
 
 /// The four curve variants, in the order the tables print them.
 pub const CURVES: [CurveKey; 4] = [
-    CurveKey { oi: true, occlusion: true },
-    CurveKey { oi: true, occlusion: false },
-    CurveKey { oi: false, occlusion: true },
-    CurveKey { oi: false, occlusion: false },
+    CurveKey {
+        oi: true,
+        occlusion: true,
+    },
+    CurveKey {
+        oi: true,
+        occlusion: false,
+    },
+    CurveKey {
+        oi: false,
+        occlusion: true,
+    },
+    CurveKey {
+        oi: false,
+        occlusion: false,
+    },
 ];
 
 /// Runs one sweep point: `runs` seeded Whisper simulations, aggregated.
@@ -96,7 +112,10 @@ pub fn sweep_point(speed: f64, radius: f64, key: CurveKey, runs: u64) -> CurvePo
 pub fn speed_curve(key: CurveKey, runs: u64) -> Vec<CurvePoint> {
     SPEEDS
         .iter()
-        .map(|&v| CurvePoint { x: v, ..sweep_point(v, SPEED_SWEEP_RADIUS, key, runs) })
+        .map(|&v| CurvePoint {
+            x: v,
+            ..sweep_point(v, SPEED_SWEEP_RADIUS, key, runs)
+        })
         .collect()
 }
 
@@ -104,14 +123,20 @@ pub fn speed_curve(key: CurveKey, runs: u64) -> Vec<CurvePoint> {
 pub fn radius_curve(key: CurveKey, runs: u64) -> Vec<CurvePoint> {
     RADII
         .iter()
-        .map(|&r| CurvePoint { x: r, ..sweep_point(RADIUS_SWEEP_SPEED, r, key, runs) })
+        .map(|&r| CurvePoint {
+            x: r,
+            ..sweep_point(RADIUS_SWEEP_SPEED, r, key, runs)
+        })
         .collect()
 }
 
 /// Prints one inset's table: per curve, one row per x value.
 pub fn print_inset(title: &str, x_name: &str, curves: &[(CurveKey, Vec<CurvePoint>)], drift: bool) {
-    println!("\n=== {} ===", title);
-    println!("{:<28} {:>8} {:>12} {:>10}", "curve", x_name, "mean", "±98% CI");
+    println!("\n=== {title} ===");
+    println!(
+        "{:<28} {:>8} {:>12} {:>10}",
+        "curve", x_name, "mean", "±98% CI"
+    );
     for (key, points) in curves {
         for p in points {
             let s = if drift { p.max_drift } else { p.pct_of_ideal };
@@ -182,8 +207,7 @@ fn export_csv(
     curves: &[(CurveKey, Vec<CurvePoint>)],
 ) {
     let header = format!(
-        "scheme,occlusion,{},max_drift,max_drift_ci98,pct_of_ideal,pct_of_ideal_ci98",
-        x_name
+        "scheme,occlusion,{x_name},max_drift,max_drift_ci98,pct_of_ideal,pct_of_ideal_ci98"
     );
     let rows: Vec<String> = curves
         .iter()
@@ -211,7 +235,10 @@ mod tests {
 
     #[test]
     fn sweep_point_aggregates_runs() {
-        let key = CurveKey { oi: true, occlusion: true };
+        let key = CurveKey {
+            oi: true,
+            occlusion: true,
+        };
         let p = sweep_point(2.0, 0.25, key, 2);
         assert_eq!(p.max_drift.n, 2);
         assert!(p.pct_of_ideal.mean > 50.0);
@@ -219,7 +246,7 @@ mod tests {
 
     #[test]
     fn curve_keys_have_distinct_labels() {
-        let labels: Vec<String> = CURVES.iter().map(|k| k.label()).collect();
+        let labels: Vec<String> = CURVES.iter().map(super::CurveKey::label).collect();
         let mut dedup = labels.clone();
         dedup.dedup();
         assert_eq!(labels.len(), 4);

@@ -40,8 +40,7 @@ fn main() {
             "--csv" => {
                 csv = Some(
                     it.next()
-                        .map(std::path::PathBuf::from)
-                        .unwrap_or_else(|| die("--csv needs a directory")),
+                        .map_or_else(|| die("--csv needs a directory"), std::path::PathBuf::from),
                 );
             }
             "--help" | "-h" => {
@@ -49,7 +48,7 @@ fn main() {
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
-            other => die(&format!("unknown option {}", other)),
+            other => die(&format!("unknown option {other}")),
         }
     }
 
@@ -77,10 +76,10 @@ fn main() {
             let sc = whisper_sim::Scenario::new(2.9, 0.25, true, 7);
             let svg = whisper_sim::room_svg::render_room(&sc, 0);
             let path = "whisper_room.svg";
-            std::fs::write(path, svg).unwrap_or_else(|e| die(&format!("writing {}: {}", path, e)));
-            println!("wrote {} (Fig. 10: room, microphones, pole, trajectories)", path);
+            std::fs::write(path, svg).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+            println!("wrote {path} (Fig. 10: room, microphones, pole, trajectories)");
         }
-        other => die(&format!("unknown command {}", other)),
+        other => die(&format!("unknown command {other}")),
     }
 }
 
@@ -91,7 +90,7 @@ fn print_help() {
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("error: {}", msg);
+    eprintln!("error: {msg}");
     print_help();
     std::process::exit(2)
 }

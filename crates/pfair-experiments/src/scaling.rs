@@ -47,10 +47,7 @@ pub fn size_sweep(sizes: &[u32], horizon: i64, seeds: u64) -> Vec<ScaleRow> {
                     let period = 100 + (seed as i64 % 7) * 10;
                     let w = workloads::sawtooth(n, (1, 24), (1, 6), period, horizon);
                     let oi = simulate(SimConfig::oi(m, horizon), &w);
-                    let lj = simulate(
-                        SimConfig::oi(m, horizon).with_scheme(Scheme::LeaveJoin),
-                        &w,
-                    );
+                    let lj = simulate(SimConfig::oi(m, horizon).with_scheme(Scheme::LeaveJoin), &w);
                     assert!(oi.is_miss_free() && lj.is_miss_free());
                     (
                         oi.max_abs_drift_at(horizon).to_f64(),
@@ -120,14 +117,22 @@ pub fn run(seeds: u64) {
     for row in size_sweep(&[8, 16, 32, 64, 128], 600, seeds.min(12)) {
         println!(
             "{:>6} {:>6} {:>10.3} {:>10.3} {:>16.2} {:>12.1}",
-            row.tasks, row.processors, row.oi_drift, row.lj_drift, row.heap_ops_per_slot, row.stale_pops
+            row.tasks,
+            row.processors,
+            row.oi_drift,
+            row.lj_drift,
+            row.heap_ops_per_slot,
+            row.stale_pops
         );
     }
 
     println!("\n=== Ablation: arbitrary tie resolution (Whisper, PD²-OI) ===");
-    println!("{:<22} {:>10} {:>12}", "tie-break", "max drift", "% of ideal");
+    println!(
+        "{:<22} {:>10} {:>12}",
+        "tie-break", "max drift", "% of ideal"
+    );
     for (label, drift, pct) in tie_break_ablation(seeds.min(16)) {
-        println!("{:<22} {:>10.3} {:>12.2}", label, drift, pct);
+        println!("{label:<22} {drift:>10.3} {pct:>12.2}");
     }
     println!("  (correctness is tie-break independent; aggregates differ only in noise)");
 }
@@ -141,7 +146,7 @@ mod tests {
         let rows = size_sweep(&[8, 16], 240, 2);
         assert_eq!(rows.len(), 2);
         for r in &rows {
-            assert!(r.oi_drift <= r.lj_drift + 0.5, "OI should not lose: {:?}", r);
+            assert!(r.oi_drift <= r.lj_drift + 0.5, "OI should not lose: {r:?}");
             assert!(r.heap_ops_per_slot > 0.0);
         }
         // Heap work grows with N; per-task drift does not explode.

@@ -10,8 +10,8 @@
 //! (priority-queue operations and halts) and accuracy (max drift and %
 //! of ideal) — averaged over seeded runs.
 
-use pfair_sched::reweight::{HybridPolicy, Scheme};
 use pfair_core::rational::rat;
+use pfair_sched::reweight::{HybridPolicy, Scheme};
 use rayon::prelude::*;
 use whisper_sim::stats::summarize;
 use whisper_sim::{run_whisper, Scenario};
@@ -38,8 +38,14 @@ pub struct TradeoffPoint {
 pub fn schemes() -> Vec<(String, Scheme)> {
     vec![
         ("PD2-LJ (pure)".into(), Scheme::LeaveJoin),
-        ("hybrid every-4th".into(), Scheme::Hybrid(HybridPolicy::EveryNth(4))),
-        ("hybrid every-2nd".into(), Scheme::Hybrid(HybridPolicy::EveryNth(2))),
+        (
+            "hybrid every-4th".into(),
+            Scheme::Hybrid(HybridPolicy::EveryNth(4)),
+        ),
+        (
+            "hybrid every-2nd".into(),
+            Scheme::Hybrid(HybridPolicy::EveryNth(2)),
+        ),
         (
             "hybrid |Δw| ≥ 50%".into(),
             Scheme::Hybrid(HybridPolicy::MagnitudeThreshold(rat(1, 2))),
@@ -50,7 +56,10 @@ pub fn schemes() -> Vec<(String, Scheme)> {
         ),
         (
             "hybrid budget 2/100".into(),
-            Scheme::Hybrid(HybridPolicy::OiBudget { budget: 2, window: 100 }),
+            Scheme::Hybrid(HybridPolicy::OiBudget {
+                budget: 2,
+                window: 100,
+            }),
         ),
         (
             "hybrid drift-feedback".into(),
@@ -73,7 +82,7 @@ pub fn sweep(speed: f64, radius: f64, runs: u64) -> Vec<TradeoffPoint> {
                 })
                 .collect();
             for m in &metrics {
-                assert_eq!(m.misses, 0, "{}: deadline miss", label);
+                assert_eq!(m.misses, 0, "{label}: deadline miss");
             }
             TradeoffPoint {
                 label,
@@ -90,7 +99,10 @@ pub fn sweep(speed: f64, radius: f64, runs: u64) -> Vec<TradeoffPoint> {
                 )
                 .mean,
                 halts: summarize(
-                    &metrics.iter().map(|m| m.counters.halts as f64).collect::<Vec<_>>(),
+                    &metrics
+                        .iter()
+                        .map(|m| m.counters.halts as f64)
+                        .collect::<Vec<_>>(),
                 )
                 .mean,
                 enactments: summarize(

@@ -8,10 +8,10 @@ use pfair_core::weight::Weight;
 use pfair_core::window::b_bit;
 
 fn print_table(title: &str, windows: &[(i64, i64)], rows: &[Vec<Rational>], horizon: i64) {
-    println!("\n--- {} ---", title);
+    println!("\n--- {title} ---");
     print!("{:>10}", "slot");
     for t in 0..horizon {
-        print!("{:>8}", t);
+        print!("{t:>8}");
     }
     println!();
     for (j, row) in rows.iter().enumerate() {

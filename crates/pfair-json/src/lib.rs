@@ -1,0 +1,634 @@
+//! # pfair-json
+//!
+//! A small, dependency-free JSON codec used to export simulation
+//! results ([`pfair-sched`]'s `SimResult` tree) for downstream tooling.
+//!
+//! It exists instead of `serde_json` for two reasons. First, this build
+//! environment cannot fetch crates.io dependencies (see
+//! `stubs/README.md`). Second — and the reason it stays — the
+//! workspace's values are **exact rationals over `i128`**: a general
+//! JSON library routes numbers through `f64`, which silently rounds
+//! numerators and denominators beyond 2⁵³ and would violate the
+//! repository's exact-arithmetic invariant at the serialization
+//! boundary. This codec represents every number as an `i128` integer,
+//! end to end; non-integer numbers are a *parse error* by design, and
+//! rationals serialize structurally as `{"num": …, "den": …}`.
+//!
+//! ```
+//! use pfair_json::{Json, ToJson, FromJson};
+//!
+//! let v = Json::parse(r#"{"num": 170141183460469231731687303715884105727, "den": 1}"#).unwrap();
+//! assert_eq!(v.get("num").and_then(Json::as_int), Some(i128::MAX));
+//! let round = i128::from_json(&Json::Int(42)).unwrap();
+//! assert_eq!(round, 42);
+//! assert_eq!(true.to_json().to_string(), "true");
+//! ```
+
+use std::fmt;
+
+/// A JSON value with exact integer numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Integers only: this codec has no floating-point path.
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+/// Error produced by parsing or by [`FromJson`] conversions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description, including position for parse errors.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Constructs an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serialization into [`Json`] values.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Validated deserialization from [`Json`] values.
+///
+/// Implementations re-validate domain invariants (`Rational`
+/// denominators, `Weight` ranges), so untrusted input cannot construct
+/// invalid values.
+pub trait FromJson: Sized {
+    /// Converts, reporting a descriptive [`JsonError`] on mismatch.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+impl Json {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a number.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extracts and converts a required object field.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))?;
+        T::from_json(v).map_err(|e| JsonError::new(format!("field `{key}`: {}", e.message)))
+    }
+
+    /// Parses a JSON document (UTF-8 text, integers only).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => {
+                // i128 display is pure digits; no float formatting anywhere.
+                out.push_str(&n.to_string());
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+/// Compact serialization comes from `Display`: `value.to_string()`.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..(width * (depth + 1)) {
+                out.push(' ');
+            }
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs are rejected rather than
+                            // combined; the workspace never emits them.
+                            let c =
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Continue a UTF-8 sequence byte-by-byte: the input
+                    // is a &str, so sequences are valid by construction.
+                    let start = self.pos - 1;
+                    while self.peek().is_some_and(|nb| nb & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp: u32 = 0;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            self.pos += 1;
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            cp = cp * 16 + digit;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("non-integer number: this codec is exact-integer by design"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|_| self.err("integer out of i128 range"))
+    }
+}
+
+macro_rules! impl_json_ints {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(i128::from(*self))
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                let n = value
+                    .as_int()
+                    .ok_or_else(|| JsonError::new("expected an integer"))?;
+                <$t>::try_from(n).map_err(|_| {
+                    JsonError::new(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_json_ints!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl ToJson for i128 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+
+impl FromJson for i128 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_int()
+            .ok_or_else(|| JsonError::new("expected an integer"))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i128)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let n = value
+            .as_int()
+            .ok_or_else(|| JsonError::new("expected an integer"))?;
+        usize::try_from(n).map_err(|_| JsonError::new("integer out of usize range"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(JsonError::new("expected a boolean")),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(JsonError::new("expected a string")),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Array(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(JsonError::new("expected an array")),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Array(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            _ => Err(JsonError::new("expected a two-element array")),
+        }
+    }
+}
+
+/// Builds an object value from `(key, value)` pairs.
+pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(
+            Json::parse("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\n\"bA".to_string())
+        );
+    }
+
+    #[test]
+    fn i128_extremes_roundtrip_exactly() {
+        for n in [i128::MAX, i128::MIN, 0, -1, 2i128.pow(64)] {
+            let text = Json::Int(n).to_string();
+            assert_eq!(Json::parse(&text).unwrap(), Json::Int(n));
+        }
+    }
+
+    #[test]
+    fn floats_are_rejected_by_design() {
+        assert!(Json::parse("1.5").is_err());
+        assert!(Json::parse("1e9").is_err());
+    }
+
+    #[test]
+    fn nested_roundtrip_compact_and_pretty() {
+        let v = obj([
+            ("xs", Json::Array(vec![Json::Int(1), Json::Null])),
+            ("name", Json::Str("T0".into())),
+            ("inner", obj([("b", Json::Bool(false))])),
+        ]);
+        for text in [v.to_string(), v.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let e = Json::parse("[1,]").unwrap_err();
+        assert!(e.message.contains("at byte"));
+        assert!(Json::parse("{\"a\":1").is_err());
+        assert!(Json::parse("[] []").is_err());
+    }
+
+    #[test]
+    fn typed_conversions_validate() {
+        assert_eq!(u32::from_json(&Json::Int(7)).unwrap(), 7);
+        assert!(u32::from_json(&Json::Int(-1)).is_err());
+        assert!(u32::from_json(&Json::Bool(true)).is_err());
+        assert_eq!(Option::<u64>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<i64>::from_json(&Json::parse("[1,2,3]").unwrap()).unwrap(),
+            vec![1, 2, 3]
+        );
+        let pair = <(i64, bool)>::from_json(&Json::parse("[5,true]").unwrap()).unwrap();
+        assert_eq!(pair, (5, true));
+    }
+
+    #[test]
+    fn field_lookup_reports_missing_keys() {
+        let v = obj([("a", Json::Int(1))]);
+        assert_eq!(v.field::<i64>("a").unwrap(), 1);
+        let e = v.field::<i64>("b").unwrap_err();
+        assert!(e.message.contains("missing field `b`"));
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let v = Json::Str("π ≈ 3, émue, 🦀".to_string());
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+}

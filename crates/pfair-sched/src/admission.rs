@@ -44,7 +44,8 @@ impl AdmissionController {
     pub fn new(policy: AdmissionPolicy, processors: u32, tasks: u32) -> AdmissionController {
         AdmissionController {
             policy,
-            capacity: Rational::from_int(processors as i128),
+            capacity: Rational::from_int(i128::from(processors)),
+            // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
             committed: vec![Rational::ZERO; tasks as usize],
         }
     }

@@ -25,7 +25,7 @@
 use crate::event::{Event, EventKind, Workload};
 use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
-use pfair_core::time::Slot;
+use pfair_core::time::{slot_from_i128, Slot};
 
 /// How a weight change is applied to the running job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,14 +82,18 @@ pub struct EdfRun {
 impl EdfRun {
     /// Scheduled work as a fraction of `I_PS`, per task — the drift
     /// analogue used to compare against the Pfair schemes.
+    #[allow(clippy::disallowed_types)]
+    // audit: allow(float, report-only accuracy metric; never feeds scheduling)
     pub fn pct_of_ideal(&self) -> Vec<f64> {
         self.scheduled
             .iter()
             .zip(&self.ps_totals)
             .map(|(s, ps)| {
                 if ps.is_positive() {
-                    100.0 * *s as f64 / ps.to_f64()
+                    // audit: allow(float, report-only accuracy metric; never feeds scheduling)
+                    100.0 * *s as f64 / ps.to_f64() // audit: allow(lossy-cast, u64→f64 for reporting only)
                 } else {
+                    // audit: allow(float, report-only accuracy metric; never feeds scheduling)
                     100.0
                 }
             })
@@ -104,7 +108,7 @@ impl EdfRun {
 fn job_shape(weight: Rational) -> (i64, i64) {
     let num = weight.numer();
     let den = weight.denom();
-    let p = ((2 * den + num) / (2 * num)).max(1) as i64; // round(1/w)
+    let p = slot_from_i128(((2 * den + num) / (2 * num)).max(1)); // round(1/w)
     (1, p)
 }
 
@@ -115,6 +119,7 @@ pub fn run_global_edf(
     workload: &Workload,
     mode: EdfReweightMode,
 ) -> EdfRun {
+    // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
     let n = workload.task_count() as usize;
     let mut tasks: Vec<EdfTask> = (0..n)
         .map(|_| EdfTask {
@@ -205,13 +210,14 @@ pub fn run_global_edf(
             .map(|(i, x)| (x.deadline, i))
             .collect();
         eligible.sort();
+        // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
         for &(_, i) in eligible.iter().take(processors as usize) {
             let task = &mut tasks[i];
             task.remaining -= 1;
             task.scheduled += 1;
             if task.remaining == 0 && t + 1 > task.deadline && !task.miss_reported {
                 misses.push(EdfMiss {
-                    task: TaskId(i as u32),
+                    task: TaskId::from_index(i),
                     deadline: task.deadline,
                     tardiness: t + 1 - task.deadline,
                 });
@@ -222,7 +228,11 @@ pub fn run_global_edf(
         // Unfinished jobs past their deadline also count as misses.
         for (i, task) in tasks.iter_mut().enumerate() {
             if task.active && task.remaining > 0 && task.deadline == t + 1 && !task.miss_reported {
-                misses.push(EdfMiss { task: TaskId(i as u32), deadline: task.deadline, tardiness: 1 });
+                misses.push(EdfMiss {
+                    task: TaskId::from_index(i),
+                    deadline: task.deadline,
+                    tardiness: 1,
+                });
                 task.miss_reported = true;
             }
         }
@@ -268,7 +278,7 @@ mod tests {
         // Until the boundary at t = 10 the task still runs one quantum
         // per 10 slots: it completes far less than I_PS promised.
         let pct = run.pct_of_ideal();
-        assert!(pct[0] < 50.0, "pct = {:?}", pct);
+        assert!(pct[0] < 50.0, "pct = {pct:?}");
     }
 
     #[test]

@@ -42,7 +42,7 @@ use pfair_core::drift::DriftTrack;
 use pfair_core::ideal::{IswTracker, PsTracker};
 use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
-use pfair_core::time::Slot;
+use pfair_core::time::{slot_index, Slot};
 use pfair_core::weight::Weight;
 use pfair_core::window::{group_deadline, window_in_era, SubtaskWindow};
 use std::collections::VecDeque;
@@ -79,7 +79,10 @@ impl SimConfig {
 
     /// A PD²-LJ configuration with policing and default tie-breaks.
     pub fn leave_join(processors: u32, horizon: Slot) -> SimConfig {
-        SimConfig { scheme: Scheme::LeaveJoin, ..SimConfig::oi(processors, horizon) }
+        SimConfig {
+            scheme: Scheme::LeaveJoin,
+            ..SimConfig::oi(processors, horizon)
+        }
     }
 
     /// Builder-style: replace the scheme.
@@ -114,7 +117,11 @@ enum PendWhen {
     At(Slot),
     /// Fire once subtask `watch` completes in `I_SW`, at
     /// `max(not_before, D + plus_b)`.
-    OnCompletion { watch: u64, plus_b: i64, not_before: Slot },
+    OnCompletion {
+        watch: u64,
+        plus_b: i64,
+        not_before: Slot,
+    },
 }
 
 /// What firing the pending change does.
@@ -260,7 +267,9 @@ impl TaskState {
             let settled = s.halted_at.is_some() || s.isw_completion.is_some();
             let done = s.scheduled_at.is_some() || s.halted_at.is_some();
             if settled && done && !s.missed {
-                let rec = self.subs.pop_front().unwrap();
+                let Some(rec) = self.subs.pop_front() else {
+                    break;
+                };
                 if record_history {
                     self.archived.push(Self::to_record(&rec));
                 }
@@ -452,7 +461,9 @@ impl Engine {
             if !fire {
                 continue;
             }
-            let pending = self.tasks[i].pending.take().unwrap();
+            let Some(pending) = self.tasks[i].pending.take() else {
+                continue;
+            };
             let task = &mut self.tasks[i];
             match pending.kind {
                 PendKind::Enact => {
@@ -514,8 +525,7 @@ impl Engine {
         task.next_release = Some(r_new);
         let inactive_from = task
             .last_released()
-            .map(|s| s.window.deadline)
-            .unwrap_or(r_old)
+            .map_or(r_old, |s| s.window.deadline)
             .max(t);
         task.ps.suspend_between(inactive_from, r_new);
     }
@@ -525,7 +535,7 @@ impl Engine {
             return; // join rejected: no capacity at all
         };
         let task = &mut self.tasks[id.idx()];
-        assert!(!task.in_system, "{} joined twice", id);
+        assert!(!task.in_system, "{id} joined twice");
         let g: Rational = granted.value();
         *task = TaskState {
             in_system: true,
@@ -556,8 +566,7 @@ impl Engine {
             // last-scheduled subtask.
             let leave_at = task
                 .last_scheduled
-                .map(|w| (w.deadline + i64::from(w.b)).max(t))
-                .unwrap_or(t);
+                .map_or(t, |w| (w.deadline + i64::from(w.b)).max(t));
             (withdraw, leave_at)
         };
         for index in withdraw {
@@ -583,6 +592,7 @@ impl Engine {
         if self.config.record_history {
             task.halted_corrections.extend(rec.slot_allocs);
         }
+        // audit: allow(panic, caller-contract violation; rules only halt known live subtasks)
         let sub = task.sub_mut(index).expect("halting unknown subtask");
         sub.halted_at = Some(t);
         self.counters.halts += 1;
@@ -630,7 +640,7 @@ impl Engine {
         let (last, d_passed) = {
             let task = &self.tasks[id.idx()];
             let last = task.last_released().copied();
-            let d_passed = last.map(|s| s.window.deadline <= t).unwrap_or(false);
+            let d_passed = last.is_some_and(|s| s.window.deadline <= t);
             (last, d_passed)
         };
 
@@ -675,7 +685,11 @@ impl Engine {
                     self.admission.note_enacted(id, w);
                 }
             }
-            let kind = if increase { PendKind::ReleaseOnly } else { PendKind::Enact };
+            let kind = if increase {
+                PendKind::ReleaseOnly
+            } else {
+                PendKind::Enact
+            };
             match tj.isw_completion {
                 Some(d_isw) => {
                     let at = (d_isw + i64::from(tj.window.b)).max(t);
@@ -743,8 +757,7 @@ impl Engine {
         }
         let at = self.tasks[id.idx()]
             .last_scheduled
-            .map(|w| (w.deadline + i64::from(w.b)).max(t))
-            .unwrap_or(t);
+            .map_or(t, |w| (w.deadline + i64::from(w.b)).max(t));
         self.park_or_enact(id, t, v, PendWhen::At(at), PendKind::Enact);
     }
 
@@ -768,7 +781,11 @@ impl Engine {
             task.next_release = Some(t);
             task.pending = None;
         } else {
-            task.pending = Some(Pending { target: v, when, kind });
+            task.pending = Some(Pending {
+                target: v,
+                when,
+                kind,
+            });
         }
     }
 
@@ -783,6 +800,7 @@ impl Engine {
             let index = task.next_index;
             task.next_index += 1;
             let rank = index - task.era_base;
+            // audit: allow(panic, engine invariant: reweight rules keep swt within (0 and 1])
             let weight = Weight::try_new(task.swt).expect("invalid scheduling weight");
             let window = window_in_era(weight, rank, t);
             let gd = group_deadline(weight, rank, t);
@@ -803,6 +821,7 @@ impl Engine {
             } else {
                 task.pred_of(index)
                     .map(|p| p.window.b)
+                    // audit: allow(panic, engine invariant: within an era the predecessor record is retained)
                     .expect("non-era-first release without predecessor")
             };
             task.isw.add_subtask(index, t, era_first, pred_b);
@@ -819,8 +838,8 @@ impl Engine {
 
             // Eqn (4): the successor's release, unless a pending change
             // or leave suppresses it.
-            task.next_release = (task.pending.is_none() && task.leaving.is_none())
-                .then(|| window.next_release());
+            task.next_release =
+                (task.pending.is_none() && task.leaving.is_none()).then(|| window.next_release());
 
             // New schedulable head?
             if task.head_pos().map(|p| task.subs[p].index) == Some(index) {
@@ -843,26 +862,24 @@ impl Engine {
     // ---- step 5: PD² selection -----------------------------------------
 
     fn select_and_schedule(&mut self, t: Slot) -> Vec<TaskId> {
-        let m = self.config.processors as usize;
+        let m = self.config.processors as usize; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
         let mut chosen: Vec<TaskId> = Vec::with_capacity(m);
         while chosen.len() < m {
             let tasks = &self.tasks;
             let Some(entry) = self.queue.pop_live(&mut self.counters, |e| {
                 let task = &tasks[e.task.idx()];
                 task.in_system
-                    && task
-                        .subs
-                        .iter()
-                        .any(|s| {
-                            s.index == e.index
-                                && s.scheduled_at.is_none()
-                                && s.halted_at.is_none()
-                        })
+                    && task.subs.iter().any(|s| {
+                        s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
+                    })
             }) else {
                 break;
             };
             let task = &mut self.tasks[entry.task.idx()];
-            let sub = task.sub_mut(entry.index).expect("live entry lost its subtask");
+            let sub = task
+                .sub_mut(entry.index)
+                // audit: allow(panic, pop_live just verified the subtask is present and live)
+                .expect("live entry lost its subtask");
             sub.scheduled_at = Some(t);
             let win = sub.window;
             task.last_scheduled = Some(win);
@@ -916,21 +933,26 @@ impl Engine {
     /// Greedy sticky assignment: tasks keep their previous processor when
     /// free; otherwise they migrate (and are counted).
     fn assign_processors(&mut self, chosen: &[TaskId]) {
-        let m = self.config.processors as usize;
+        let m = self.config.processors as usize; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
         let mut cpu_taken = vec![false; m];
         let mut unplaced: Vec<TaskId> = Vec::new();
         for &id in chosen {
             let last = self.tasks[id.idx()].last_cpu;
             match last {
+                // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
                 Some(c) if !cpu_taken[c as usize] => cpu_taken[c as usize] = true,
                 _ => unplaced.push(id),
             }
         }
-        let mut free: Vec<u32> = (0..m as u32).filter(|c| !cpu_taken[*c as usize]).collect();
+        let mut free: Vec<u32> = (0..self.config.processors)
+            // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+            .filter(|c| !cpu_taken[*c as usize])
+            .collect();
         free.reverse(); // pop from the low end first
         for id in unplaced {
+            // audit: allow(panic, PD² selection never chooses more than `processors` tasks)
             let cpu = free.pop().expect("more chosen tasks than processors");
-            cpu_taken[cpu as usize] = true;
+            cpu_taken[cpu as usize] = true; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
             let task = &mut self.tasks[id.idx()];
             if task.last_cpu.is_some() {
                 self.counters.migrations += 1;
@@ -949,7 +971,7 @@ impl Engine {
             let (slot_alloc, completions) = task.isw.advance(t);
             task.ps.advance(t);
             if self.config.record_history {
-                let idx = t as usize;
+                let idx = slot_index(t);
                 if task.isw_per_slot.len() <= idx {
                     task.isw_per_slot.resize(idx + 1, Rational::ZERO);
                 }
@@ -960,7 +982,12 @@ impl Engine {
                     sub.isw_completion = Some(c.complete_at);
                 }
                 if let Some(p) = &task.pending {
-                    if let PendWhen::OnCompletion { watch, plus_b, not_before } = p.when {
+                    if let PendWhen::OnCompletion {
+                        watch,
+                        plus_b,
+                        not_before,
+                    } = p.when
+                    {
                         if watch == c.index {
                             let at = (c.complete_at + plus_b).max(not_before).max(t + 1);
                             task.pending = Some(Pending {

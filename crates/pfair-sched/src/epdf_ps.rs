@@ -19,7 +19,7 @@
 use crate::event::{Event, EventKind, Workload};
 use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
-use pfair_core::time::Slot;
+use pfair_core::time::{slot_from_i128, Slot};
 
 /// A deadline miss under the projected-deadline EPDF scheduler.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,12 +56,12 @@ pub struct ProjectedRun {
 /// The projected deadline of task state `p` at time `now`: the earliest
 /// integer time at which its `I_PS` allocation reaches `done + 1`.
 fn projected_deadline(p: &PTask, now: Slot) -> Slot {
-    let need = Rational::from_int(p.done as i128 + 1) - p.cum;
+    let need = Rational::from_int(i128::from(p.done) + 1) - p.cum;
     if !need.is_positive() {
         return now; // allocation already owed
     }
     // now + ⌈need / wt⌉
-    now + ((need / p.wt).ceil() as i64)
+    now + slot_from_i128((need / p.wt).ceil())
 }
 
 /// Whether the `(done+1)`-th quantum has been *released*: the ideal has
@@ -69,12 +69,13 @@ fn projected_deadline(p: &PTask, now: Slot) -> Slot {
 /// one is underway. Matches the window structure of Fig. 9 (a weight-1/7
 /// task's second quantum releases at time 7).
 fn released(p: &PTask) -> bool {
-    p.cum >= Rational::from_int(p.done as i128)
+    p.cum >= Rational::from_int(i128::from(p.done))
 }
 
 /// Runs the projected-deadline EPDF scheduler over the workload on
 /// `processors` processors for `horizon` slots.
 pub fn run_projected_epdf(processors: u32, horizon: Slot, workload: &Workload) -> ProjectedRun {
+    // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
     let n = workload.task_count() as usize;
     let mut tasks: Vec<PTask> = (0..n)
         .map(|_| PTask {
@@ -118,7 +119,7 @@ pub fn run_projected_epdf(processors: u32, horizon: Slot, workload: &Workload) -
                 let dl = projected_deadline(p, t);
                 if dl <= t {
                     misses.push(ProjectedMiss {
-                        task: TaskId(i as u32),
+                        task: TaskId::from_index(i),
                         quantum: p.done + 1,
                         deadline: dl,
                     });
@@ -135,6 +136,7 @@ pub fn run_projected_epdf(processors: u32, horizon: Slot, workload: &Workload) -
             .map(|(i, p)| (projected_deadline(p, t), i))
             .collect();
         eligible.sort();
+        // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
         for &(_, i) in eligible.iter().take(processors as usize) {
             tasks[i].done += 1;
             scheduled[i] += 1;

@@ -79,12 +79,20 @@ impl Workload {
 
     /// Convenience: task `task` asks to leave at `at`.
     pub fn leave(&mut self, task: u32, at: Slot) -> &mut Self {
-        self.push(Event { at, task: TaskId(task), kind: EventKind::Leave })
+        self.push(Event {
+            at,
+            task: TaskId(task),
+            kind: EventKind::Leave,
+        })
     }
 
     /// Convenience: postpone `task`'s next release by `by` slots at `at`.
     pub fn delay(&mut self, task: u32, at: Slot, by: u32) -> &mut Self {
-        self.push(Event { at, task: TaskId(task), kind: EventKind::Delay(by) })
+        self.push(Event {
+            at,
+            task: TaskId(task),
+            kind: EventKind::Delay(by),
+        })
     }
 
     /// Number of distinct task ids referenced (ids must be dense from 0).

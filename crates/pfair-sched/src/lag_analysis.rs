@@ -10,6 +10,7 @@
 
 use crate::trace::SimResult;
 use pfair_core::rational::Rational;
+use pfair_core::time::slot_index;
 
 /// Per-slot system series derived from a run's histories.
 #[derive(Clone, Debug)]
@@ -40,7 +41,7 @@ impl SystemSeries {
     pub fn lemma4_holds(&self) -> bool {
         self.lag_increase_slots()
             .iter()
-            .all(|&t| self.holes.get(t).map(|h| *h > 0).unwrap_or(false))
+            .all(|&t| self.holes.get(t).is_some_and(|h| *h > 0))
     }
 }
 
@@ -49,13 +50,14 @@ impl SystemSeries {
 /// # Panics
 /// Panics if histories were not recorded.
 pub fn system_series(result: &SimResult) -> SystemSeries {
-    let n = result.horizon as usize;
+    let n = slot_index(result.horizon);
     let mut ideal = vec![Rational::ZERO; n];
     let mut scheduled = vec![0u32; n];
     for task in &result.tasks {
         let hist = task
             .history
             .as_ref()
+            // audit: allow(panic, documented precondition: caller must enable record_history)
             .expect("system_series requires record_history");
         for (t, a) in hist.icsw_per_slot().iter().enumerate() {
             if t < n {
@@ -63,8 +65,9 @@ pub fn system_series(result: &SimResult) -> SystemSeries {
             }
         }
         for s in &hist.scheduled_slots {
-            if (*s as usize) < n {
-                scheduled[*s as usize] += 1;
+            let idx = slot_index(*s);
+            if idx < n {
+                scheduled[idx] += 1;
             }
         }
     }
@@ -72,14 +75,18 @@ pub fn system_series(result: &SimResult) -> SystemSeries {
     let mut acc = Rational::ZERO;
     lag.push(acc);
     for t in 0..n {
-        acc += ideal[t] - Rational::from_int(scheduled[t] as i128);
+        acc += ideal[t] - Rational::from_int(i128::from(scheduled[t]));
         lag.push(acc);
     }
     let holes = scheduled
         .iter()
         .map(|s| result.processors.saturating_sub(*s))
         .collect();
-    SystemSeries { lag, holes, scheduled }
+    SystemSeries {
+        lag,
+        holes,
+        scheduled,
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +108,7 @@ mod tests {
         assert!(s.holes.iter().all(|h| *h == 0));
         assert!(s.max_lag() < rat(1, 1), "miss-free ⇒ LAG < 1 (Lemma 5)");
         assert!(s.lemma4_holds());
-        assert_eq!(s.scheduled.iter().map(|x| *x as u64).sum::<u64>(), 80);
+        assert_eq!(s.scheduled.iter().map(|x| u64::from(*x)).sum::<u64>(), 80);
     }
 
     #[test]

@@ -12,7 +12,6 @@
 
 /// Event and data-structure operation tallies for one simulation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Counters {
     /// Ready-queue insertions.
     pub heap_pushes: u64,
@@ -43,6 +42,45 @@ pub struct Counters {
     pub rejected_heavy_reweights: u64,
 }
 
+impl pfair_json::ToJson for Counters {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([
+            ("heap_pushes", self.heap_pushes.to_json()),
+            ("heap_pops", self.heap_pops.to_json()),
+            ("stale_pops", self.stale_pops.to_json()),
+            ("reweight_initiations", self.reweight_initiations.to_json()),
+            ("reweight_enactments", self.reweight_enactments.to_json()),
+            ("halts", self.halts.to_json()),
+            ("scheduled_quanta", self.scheduled_quanta.to_json()),
+            ("slots_with_holes", self.slots_with_holes.to_json()),
+            ("migrations", self.migrations.to_json()),
+            ("preemptions", self.preemptions.to_json()),
+            (
+                "rejected_heavy_reweights",
+                self.rejected_heavy_reweights.to_json(),
+            ),
+        ])
+    }
+}
+
+impl pfair_json::FromJson for Counters {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        Ok(Counters {
+            heap_pushes: value.field("heap_pushes")?,
+            heap_pops: value.field("heap_pops")?,
+            stale_pops: value.field("stale_pops")?,
+            reweight_initiations: value.field("reweight_initiations")?,
+            reweight_enactments: value.field("reweight_enactments")?,
+            halts: value.field("halts")?,
+            scheduled_quanta: value.field("scheduled_quanta")?,
+            slots_with_holes: value.field("slots_with_holes")?,
+            migrations: value.field("migrations")?,
+            preemptions: value.field("preemptions")?,
+            rejected_heavy_reweights: value.field("rejected_heavy_reweights")?,
+        })
+    }
+}
+
 impl Counters {
     /// Total priority-queue work, the dominant scheduling cost.
     pub fn heap_ops(&self) -> u64 {
@@ -56,7 +94,11 @@ mod tests {
 
     #[test]
     fn heap_ops_sums_pushes_and_pops() {
-        let c = Counters { heap_pushes: 3, heap_pops: 5, ..Counters::default() };
+        let c = Counters {
+            heap_pushes: 3,
+            heap_pops: 5,
+            ..Counters::default()
+        };
         assert_eq!(c.heap_ops(), 8);
     }
 

@@ -22,7 +22,7 @@
 use crate::event::{Event, EventKind, Workload};
 use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
-use pfair_core::time::Slot;
+use pfair_core::time::{slot_from_i128, Slot};
 
 /// Outcome summary of a partitioned-EDF run.
 #[derive(Clone, Debug)]
@@ -43,14 +43,18 @@ pub struct PartitionedRun {
 
 impl PartitionedRun {
     /// Scheduled work as a percentage of `I_PS`, per task.
+    #[allow(clippy::disallowed_types)]
+    // audit: allow(float, report-only accuracy metric; never feeds scheduling)
     pub fn pct_of_ideal(&self) -> Vec<f64> {
         self.scheduled
             .iter()
             .zip(&self.ps_totals)
             .map(|(s, ps)| {
                 if ps.is_positive() {
-                    100.0 * *s as f64 / ps.to_f64()
+                    // audit: allow(float, report-only accuracy metric; never feeds scheduling)
+                    100.0 * *s as f64 / ps.to_f64() // audit: allow(lossy-cast, u64→f64 for reporting only)
                 } else {
+                    // audit: allow(float, report-only accuracy metric; never feeds scheduling)
                     100.0
                 }
             })
@@ -78,7 +82,7 @@ struct PTask {
 fn job_shape(weight: Rational) -> (i64, i64) {
     let num = weight.numer();
     let den = weight.denom();
-    let p = ((2 * den + num) / (2 * num)).max(1) as i64;
+    let p = slot_from_i128(((2 * den + num) / (2 * num)).max(1));
     (1, p)
 }
 
@@ -97,8 +101,9 @@ fn spare(tasks: &[PTask], cpu: usize, skip: usize) -> Rational {
 /// Runs partitioned EDF (first-fit partitioning by join order, EDF per
 /// processor) over the workload.
 pub fn run_partitioned_edf(processors: u32, horizon: Slot, workload: &Workload) -> PartitionedRun {
-    let m = processors as usize;
-    let n = workload.task_count() as usize;
+    let m = processors as usize; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+
+    let n = workload.task_count() as usize; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
     let mut tasks: Vec<PTask> = (0..n)
         .map(|_| PTask {
             active: false,
@@ -208,7 +213,7 @@ pub fn run_partitioned_edf(processors: u32, horizon: Slot, workload: &Workload) 
 
         for (i, task) in tasks.iter_mut().enumerate() {
             if task.active && task.remaining > 0 && task.deadline == t + 1 && !task.miss_reported {
-                out.misses.push((TaskId(i as u32), task.deadline));
+                out.misses.push((TaskId::from_index(i), task.deadline));
                 task.miss_reported = true;
             }
             if task.active {

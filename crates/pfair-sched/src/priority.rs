@@ -47,8 +47,7 @@ impl TieBreak {
             TieBreak::Ranked(table) => table
                 .iter()
                 .find(|(t, _)| *t == task)
-                .map(|(_, r)| (*r, task.0))
-                .unwrap_or((u32::MAX, task.0)),
+                .map_or((u32::MAX, task.0), |(_, r)| (*r, task.0)),
         }
     }
 }

@@ -33,7 +33,9 @@ pub struct ReadyQueue {
 impl ReadyQueue {
     /// An empty queue.
     pub fn new() -> ReadyQueue {
-        ReadyQueue { heap: BinaryHeap::new() }
+        ReadyQueue {
+            heap: BinaryHeap::new(),
+        }
     }
 
     /// Number of entries, including stale ones.
@@ -130,8 +132,8 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
-    use crate::priority::{Priority, TieBreak};
     use crate::overhead::Counters;
+    use crate::priority::{Priority, TieBreak};
     use pfair_core::task::TaskId;
 
     #[test]

@@ -71,7 +71,7 @@ pub fn ruler(horizon: Slot) -> String {
             }
         })
         .collect();
-    format!("       {}\n       {}", tens, units)
+    format!("       {tens}\n       {units}")
 }
 
 #[cfg(test)]
@@ -79,10 +79,19 @@ mod tests {
     use super::*;
     use pfair_core::window::SubtaskWindow;
 
-    fn rec(release: Slot, deadline: Slot, scheduled: Option<Slot>, halted: Option<Slot>) -> SubtaskRecord {
+    fn rec(
+        release: Slot,
+        deadline: Slot,
+        scheduled: Option<Slot>,
+        halted: Option<Slot>,
+    ) -> SubtaskRecord {
         SubtaskRecord {
             index: 1,
-            window: SubtaskWindow { release, deadline, b: true },
+            window: SubtaskWindow {
+                release,
+                deadline,
+                b: true,
+            },
             scheduled_at: scheduled,
             halted_at: halted,
             isw_completion: None,

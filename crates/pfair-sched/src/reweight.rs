@@ -89,6 +89,7 @@ impl RuleSelector {
     pub fn new(scheme: Scheme, tasks: u32) -> RuleSelector {
         RuleSelector {
             scheme,
+            // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
             state: vec![HybridTaskState::default(); tasks as usize],
         }
     }
@@ -137,7 +138,7 @@ impl RuleSelector {
                     HybridPolicy::EveryNth(n) => {
                         let n = (*n).max(1);
                         st.event_counter += 1;
-                        if st.event_counter % n == 0 {
+                        if st.event_counter.is_multiple_of(n) {
                             RuleChoice::FineGrained
                         } else {
                             RuleChoice::LeaveJoin
@@ -203,14 +204,29 @@ mod tests {
     #[test]
     fn oi_budget_caps_per_window() {
         let mut s = RuleSelector::new(
-            Scheme::Hybrid(HybridPolicy::OiBudget { budget: 2, window: 10 }),
+            Scheme::Hybrid(HybridPolicy::OiBudget {
+                budget: 2,
+                window: 10,
+            }),
             1,
         );
-        assert_eq!(s.choose(TaskId(0), 0, rat(1, 10), rat(1, 5), Rational::ZERO), RuleChoice::FineGrained);
-        assert_eq!(s.choose(TaskId(0), 1, rat(1, 5), rat(1, 4), Rational::ZERO), RuleChoice::FineGrained);
-        assert_eq!(s.choose(TaskId(0), 2, rat(1, 4), rat(1, 3), Rational::ZERO), RuleChoice::LeaveJoin);
+        assert_eq!(
+            s.choose(TaskId(0), 0, rat(1, 10), rat(1, 5), Rational::ZERO),
+            RuleChoice::FineGrained
+        );
+        assert_eq!(
+            s.choose(TaskId(0), 1, rat(1, 5), rat(1, 4), Rational::ZERO),
+            RuleChoice::FineGrained
+        );
+        assert_eq!(
+            s.choose(TaskId(0), 2, rat(1, 4), rat(1, 3), Rational::ZERO),
+            RuleChoice::LeaveJoin
+        );
         // New window: budget refreshes.
-        assert_eq!(s.choose(TaskId(0), 10, rat(1, 3), rat(1, 2), Rational::ZERO), RuleChoice::FineGrained);
+        assert_eq!(
+            s.choose(TaskId(0), 10, rat(1, 3), rat(1, 2), Rational::ZERO),
+            RuleChoice::FineGrained
+        );
     }
 
     #[test]
@@ -235,15 +251,26 @@ mod tests {
     #[test]
     fn budget_state_is_per_task() {
         let mut s = RuleSelector::new(
-            Scheme::Hybrid(HybridPolicy::OiBudget { budget: 1, window: 100 }),
+            Scheme::Hybrid(HybridPolicy::OiBudget {
+                budget: 1,
+                window: 100,
+            }),
             2,
         );
-        assert_eq!(s.choose(TaskId(0), 0, rat(1, 10), rat(1, 5), Rational::ZERO), RuleChoice::FineGrained);
-        assert_eq!(s.choose(TaskId(1), 0, rat(1, 10), rat(1, 5), Rational::ZERO), RuleChoice::FineGrained);
-        assert_eq!(s.choose(TaskId(0), 1, rat(1, 5), rat(1, 4), Rational::ZERO), RuleChoice::LeaveJoin);
+        assert_eq!(
+            s.choose(TaskId(0), 0, rat(1, 10), rat(1, 5), Rational::ZERO),
+            RuleChoice::FineGrained
+        );
+        assert_eq!(
+            s.choose(TaskId(1), 0, rat(1, 10), rat(1, 5), Rational::ZERO),
+            RuleChoice::FineGrained
+        );
+        assert_eq!(
+            s.choose(TaskId(0), 1, rat(1, 5), rat(1, 4), Rational::ZERO),
+            RuleChoice::LeaveJoin
+        );
     }
 }
-
 
 #[cfg(test)]
 mod feedback_tests {
@@ -252,10 +279,7 @@ mod feedback_tests {
 
     #[test]
     fn drift_feedback_switches_on_accumulated_error() {
-        let mut s = RuleSelector::new(
-            Scheme::Hybrid(HybridPolicy::DriftFeedback(rat(1, 1))),
-            1,
-        );
+        let mut s = RuleSelector::new(Scheme::Hybrid(HybridPolicy::DriftFeedback(rat(1, 1))), 1);
         // Under budget: cheap path.
         assert_eq!(
             s.choose(TaskId(0), 0, rat(1, 10), rat(1, 5), rat(1, 2)),

@@ -30,7 +30,10 @@ pub fn render_svg(result: &SimResult, horizon: Slot) -> String {
     let horizon = horizon.min(result.horizon);
     let mut rows: Vec<(String, SubtaskRecord)> = Vec::new();
     for task in &result.tasks {
-        let hist = task.history.as_ref().expect("render_svg requires record_history");
+        let hist = task
+            .history
+            .as_ref()
+            .expect("render_svg requires record_history");
         for sub in &hist.subtasks {
             if sub.window.release < horizon {
                 rows.push((task.id.to_string(), *sub));
@@ -42,8 +45,7 @@ pub fn render_svg(result: &SimResult, horizon: Slot) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="monospace" font-size="10">"#,
-        width, height
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="monospace" font-size="10">"#
     );
     ruler(&mut out, horizon);
     for (i, (label, sub)) in rows.iter().enumerate() {
@@ -57,15 +59,10 @@ pub fn render_svg(result: &SimResult, horizon: Slot) -> String {
 fn ruler(out: &mut String, horizon: Slot) {
     for t in (0..=horizon).step_by(5) {
         let x = MARGIN + t * CELL;
+        let _ = writeln!(out, r##"<text x="{x}" y="14" fill="#555">{t}</text>"##);
         let _ = writeln!(
             out,
-            r##"<text x="{}" y="14" fill="#555">{}</text>"##,
-            x, t
-        );
-        let _ = writeln!(
-            out,
-            r##"<line x1="{}" y1="18" x2="{}" y2="22" stroke="#999"/>"##,
-            x, x
+            r##"<line x1="{x}" y1="18" x2="{x}" y2="22" stroke="#999"/>"##
         );
     }
 }
@@ -88,7 +85,11 @@ fn subtask_row(out: &mut String, label: &str, sub: &SubtaskRecord, y: i64, horiz
         y + 2,
         (x1 - x0).max(2),
         ROW - 6,
-        if sub.halted_at.is_some() { "#b55" } else { "#333" },
+        if sub.halted_at.is_some() {
+            "#b55"
+        } else {
+            "#333"
+        },
         if sub.era_first { 2 } else { 1 }
     );
     // Scheduled slot fill.

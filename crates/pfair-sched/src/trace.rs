@@ -13,12 +13,12 @@ use pfair_core::drift::DriftTrack;
 use pfair_core::lag::lag_series;
 use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
-use pfair_core::time::Slot;
+use pfair_core::time::{slot_index, Slot};
 use pfair_core::window::SubtaskWindow;
+use pfair_json::{obj, FromJson, Json, JsonError, ToJson};
 
 /// A recorded deadline miss (should be empty under PD²-OI, Theorem 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Miss {
     /// The task whose subtask missed.
     pub task: TaskId,
@@ -30,7 +30,6 @@ pub struct Miss {
 
 /// Full record of one subtask's life (history mode).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubtaskRecord {
     /// Subtask index `i` of `T_i`.
     pub index: u64,
@@ -48,7 +47,6 @@ pub struct SubtaskRecord {
 
 /// Per-slot detail retained in history mode.
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskHistory {
     /// Every subtask the task released, in index order.
     pub subtasks: Vec<SubtaskRecord>,
@@ -62,12 +60,80 @@ pub struct TaskHistory {
     pub halted_corrections: Vec<(Slot, Rational)>,
 }
 
+impl ToJson for Miss {
+    fn to_json(&self) -> Json {
+        obj([
+            ("task", self.task.to_json()),
+            ("index", self.index.to_json()),
+            ("deadline", self.deadline.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Miss {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Miss {
+            task: value.field("task")?,
+            index: value.field("index")?,
+            deadline: value.field("deadline")?,
+        })
+    }
+}
+
+impl ToJson for SubtaskRecord {
+    fn to_json(&self) -> Json {
+        obj([
+            ("index", self.index.to_json()),
+            ("window", self.window.to_json()),
+            ("scheduled_at", self.scheduled_at.to_json()),
+            ("halted_at", self.halted_at.to_json()),
+            ("isw_completion", self.isw_completion.to_json()),
+            ("era_first", self.era_first.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SubtaskRecord {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(SubtaskRecord {
+            index: value.field("index")?,
+            window: value.field("window")?,
+            scheduled_at: value.field("scheduled_at")?,
+            halted_at: value.field("halted_at")?,
+            isw_completion: value.field("isw_completion")?,
+            era_first: value.field("era_first")?,
+        })
+    }
+}
+
+impl ToJson for TaskHistory {
+    fn to_json(&self) -> Json {
+        obj([
+            ("subtasks", self.subtasks.to_json()),
+            ("scheduled_slots", self.scheduled_slots.to_json()),
+            ("isw_per_slot", self.isw_per_slot.to_json()),
+            ("halted_corrections", self.halted_corrections.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TaskHistory {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(TaskHistory {
+            subtasks: value.field("subtasks")?,
+            scheduled_slots: value.field("scheduled_slots")?,
+            isw_per_slot: value.field("isw_per_slot")?,
+            halted_corrections: value.field("halted_corrections")?,
+        })
+    }
+}
+
 impl TaskHistory {
     /// The per-slot `I_CSW` series: `I_SW` minus halted allocations.
     pub fn icsw_per_slot(&self) -> Vec<Rational> {
         let mut out = self.isw_per_slot.clone();
         for (slot, alloc) in &self.halted_corrections {
-            let idx = *slot as usize;
+            let idx = slot_index(*slot);
             if idx < out.len() {
                 out[idx] -= *alloc;
             }
@@ -77,10 +143,11 @@ impl TaskHistory {
 
     /// Per-slot actual allocations (1 in scheduled slots) over `horizon`.
     pub fn actual_per_slot(&self, horizon: Slot) -> Vec<u32> {
-        let mut out = vec![0u32; horizon as usize];
+        let mut out = vec![0u32; slot_index(horizon)];
         for s in &self.scheduled_slots {
-            if (*s as usize) < out.len() {
-                out[*s as usize] += 1;
+            let idx = slot_index(*s);
+            if idx < out.len() {
+                out[idx] += 1;
             }
         }
         out
@@ -89,14 +156,13 @@ impl TaskHistory {
     /// `lag(T, t)` against `I_CSW`, for `t = 0..=horizon`.
     pub fn lag_vs_icsw(&self, horizon: Slot) -> Vec<Rational> {
         let mut ideal = self.icsw_per_slot();
-        ideal.resize(horizon as usize, Rational::ZERO);
+        ideal.resize(slot_index(horizon), Rational::ZERO);
         lag_series(&ideal, &self.actual_per_slot(horizon))
     }
 }
 
 /// Everything recorded about one task in a run.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskResult {
     /// The task.
     pub id: TaskId,
@@ -117,9 +183,12 @@ pub struct TaskResult {
 impl TaskResult {
     /// Scheduled work as a percentage of the `I_PS` ideal (the metric of
     /// Fig. 11(b)/(d)). `None` when the ideal allocation is zero.
+    #[allow(clippy::disallowed_types)]
+    // audit: allow(float, report-only accuracy metric; never feeds scheduling)
     pub fn pct_of_ideal(&self) -> Option<f64> {
         if self.ps_total.is_positive() {
-            Some(100.0 * self.scheduled_count as f64 / self.ps_total.to_f64())
+            // audit: allow(float, report-only accuracy metric; never feeds scheduling)
+            Some(100.0 * self.scheduled_count as f64 / self.ps_total.to_f64()) // audit: allow(lossy-cast, u64→f64 for reporting only)
         } else {
             None
         }
@@ -128,7 +197,6 @@ impl TaskResult {
 
 /// The complete result of one simulation run.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimResult {
     /// Number of processors `M`.
     pub processors: u32,
@@ -140,6 +208,58 @@ pub struct SimResult {
     pub misses: Vec<Miss>,
     /// Overhead counters for the run.
     pub counters: Counters,
+}
+
+impl ToJson for TaskResult {
+    fn to_json(&self) -> Json {
+        obj([
+            ("id", self.id.to_json()),
+            ("scheduled_count", self.scheduled_count.to_json()),
+            ("ps_total", self.ps_total.to_json()),
+            ("isw_total", self.isw_total.to_json()),
+            ("icsw_total", self.icsw_total.to_json()),
+            ("drift", self.drift.to_json()),
+            ("history", self.history.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TaskResult {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(TaskResult {
+            id: value.field("id")?,
+            scheduled_count: value.field("scheduled_count")?,
+            ps_total: value.field("ps_total")?,
+            isw_total: value.field("isw_total")?,
+            icsw_total: value.field("icsw_total")?,
+            drift: value.field("drift")?,
+            history: value.field("history")?,
+        })
+    }
+}
+
+impl ToJson for SimResult {
+    fn to_json(&self) -> Json {
+        obj([
+            ("processors", self.processors.to_json()),
+            ("horizon", self.horizon.to_json()),
+            ("tasks", self.tasks.to_json()),
+            ("misses", self.misses.to_json()),
+            ("counters", self.counters.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SimResult {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(SimResult {
+            processors: value.field("processors")?,
+            horizon: value.field("horizon")?,
+            tasks: value.field("tasks")?,
+            misses: value.field("misses")?,
+            counters: value.field("counters")?,
+        })
+    }
 }
 
 impl SimResult {
@@ -165,12 +285,21 @@ impl SimResult {
 
     /// Mean over tasks of the percent-of-ideal metric (tasks with zero
     /// ideal allocation are excluded).
+    #[allow(clippy::disallowed_types)]
+    // audit: allow(float, report-only accuracy metric; never feeds scheduling)
     pub fn mean_pct_of_ideal(&self) -> f64 {
-        let vals: Vec<f64> = self.tasks.iter().filter_map(|t| t.pct_of_ideal()).collect();
+        // audit: allow(float, report-only accuracy metric; never feeds scheduling)
+        let vals: Vec<f64> = self
+            .tasks
+            .iter()
+            .filter_map(TaskResult::pct_of_ideal)
+            .collect();
         if vals.is_empty() {
+            // audit: allow(float, report-only accuracy metric; never feeds scheduling)
             0.0
         } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
+            // audit: allow(float, report-only accuracy metric; never feeds scheduling)
+            vals.iter().sum::<f64>() / vals.len() as f64 // audit: allow(lossy-cast, usize→f64 for reporting only)
         }
     }
 
@@ -232,11 +361,12 @@ mod tests {
     }
 }
 
-#[cfg(all(test, feature = "serde"))]
-mod serde_tests {
+#[cfg(test)]
+mod json_tests {
     use crate::engine::{simulate, SimConfig};
     use crate::event::Workload;
     use crate::trace::SimResult;
+    use pfair_json::{FromJson, Json, ToJson};
 
     #[test]
     fn sim_result_roundtrips_through_json() {
@@ -244,12 +374,17 @@ mod serde_tests {
         w.join(0, 0, 3, 20);
         w.reweight(0, 7, 1, 2);
         let r = simulate(SimConfig::oi(2, 40).with_history(), &w);
-        let json = serde_json::to_string(&r).expect("serialize");
-        let back: SimResult = serde_json::from_str(&json).expect("deserialize");
+        let json = r.to_json().to_string();
+        let parsed = Json::parse(&json).expect("parse");
+        let back = SimResult::from_json(&parsed).expect("deserialize");
         assert_eq!(back.horizon, r.horizon);
         assert_eq!(back.tasks[0].scheduled_count, r.tasks[0].scheduled_count);
         assert_eq!(back.tasks[0].ps_total, r.tasks[0].ps_total);
         assert_eq!(back.tasks[0].drift.samples(), r.tasks[0].drift.samples());
+        assert_eq!(
+            back.tasks[0].history.as_ref().map(|h| h.subtasks.len()),
+            r.tasks[0].history.as_ref().map(|h| h.subtasks.len())
+        );
         assert_eq!(back.counters, r.counters);
     }
 }

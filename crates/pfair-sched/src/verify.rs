@@ -48,7 +48,10 @@ impl fmt::Display for Violation {
 }
 
 fn v(task: Option<TaskId>, what: impl Into<String>) -> Violation {
-    Violation { task, what: what.into() }
+    Violation {
+        task,
+        what: what.into(),
+    }
 }
 
 /// Verifies a history-enabled result. Returns all violations found.
@@ -62,6 +65,7 @@ pub fn verify(result: &SimResult) -> Vec<Violation> {
         let hist = task
             .history
             .as_ref()
+            // audit: allow(panic, documented precondition: caller must enable record_history)
             .expect("verify requires record_history");
         verify_windows(task.id, hist, &mut out);
         verify_schedule_sanity(task.id, hist, &mut out);
@@ -81,7 +85,7 @@ pub fn assert_verified(result: &SimResult) {
         "schedule verification failed:\n{}",
         violations
             .iter()
-            .map(|x| format!("  - {}", x))
+            .map(|x| format!("  - {x}"))
             .collect::<Vec<_>>()
             .join("\n")
     );
@@ -101,7 +105,10 @@ fn verify_windows(id: TaskId, hist: &TaskHistory, out: &mut Vec<Violation>) {
                 eras.push(std::mem::take(&mut era));
             }
         } else if era.is_empty() && !eras.is_empty() {
-            out.push(v(Some(id), format!("subtask {} continues a closed era", sub.index)));
+            out.push(v(
+                Some(id),
+                format!("subtask {} continues a closed era", sub.index),
+            ));
         }
         era.push(sub);
     }
@@ -112,11 +119,20 @@ fn verify_windows(id: TaskId, hist: &TaskHistory, out: &mut Vec<Violation>) {
     for era in eras {
         let first = era[0];
         if !first.era_first {
-            out.push(v(Some(id), format!("era starting at subtask {} not marked era_first", first.index)));
+            out.push(v(
+                Some(id),
+                format!(
+                    "era starting at subtask {} not marked era_first",
+                    first.index
+                ),
+            ));
             continue;
         }
         if let Err(what) = check_era_chain(&era) {
-            out.push(v(Some(id), format!("era starting at subtask {}: {}", first.index, what)));
+            out.push(v(
+                Some(id),
+                format!("era starting at subtask {}: {}", first.index, what),
+            ));
         }
     }
 }
@@ -137,7 +153,8 @@ fn check_era_chain(era: &[&SubtaskRecord]) -> Result<(), String> {
     let mut lo = Rational::ZERO; // strict lower bound
     let mut hi = rat(2, 1); // strict upper bound (weights ≤ 1 < 2)
     for (k0, sub) in era.iter().enumerate() {
-        let k = k0 as i128 + 1;
+        // audit: allow(panic, era lengths are horizon-bounded and fit i128)
+        let k = i128::try_from(k0).expect("era index exceeds i128") + 1;
         if k0 > 0 {
             let prev = era[k0 - 1];
             let sep = sub.window.release - prev.window.next_release();
@@ -149,9 +166,12 @@ fn check_era_chain(era: &[&SubtaskRecord]) -> Result<(), String> {
             }
             offset += sep.max(0);
         }
-        let dk = (sub.window.deadline - r1 - offset) as i128;
+        let dk = i128::from(sub.window.deadline - r1 - offset);
         if dk <= 0 {
-            return Err(format!("subtask {} has non-positive normalized deadline", sub.index));
+            return Err(format!(
+                "subtask {} has non-positive normalized deadline",
+                sub.index
+            ));
         }
         if sub.window.b {
             // k/dk < w < k/(dk − 1)
@@ -159,14 +179,17 @@ fn check_era_chain(era: &[&SubtaskRecord]) -> Result<(), String> {
             if dk > 1 {
                 hi = hi.min(rat(k, dk - 1));
             } else {
-                return Err(format!("subtask {} has b = 1 with unit deadline", sub.index));
+                return Err(format!(
+                    "subtask {} has b = 1 with unit deadline",
+                    sub.index
+                ));
             }
         } else {
             let w = rat(k, dk);
             match pin {
                 None => pin = Some(w),
                 Some(p) if p != w => {
-                    return Err(format!("b = 0 pins disagree: {} vs {}", p, w));
+                    return Err(format!("b = 0 pins disagree: {p} vs {w}"));
                 }
                 _ => {}
             }
@@ -175,15 +198,15 @@ fn check_era_chain(era: &[&SubtaskRecord]) -> Result<(), String> {
     match pin {
         Some(w) => {
             if !(w > lo && w < hi) {
-                return Err(format!("pinned weight {} violates interval ({}, {})", w, lo, hi));
+                return Err(format!("pinned weight {w} violates interval ({lo}, {hi})"));
             }
             if !(w.is_positive() && w <= Rational::ONE) {
-                return Err(format!("pinned weight {} outside (0, 1]", w));
+                return Err(format!("pinned weight {w} outside (0, 1]"));
             }
         }
         None => {
             if lo >= hi {
-                return Err(format!("empty weight interval ({}, {})", lo, hi));
+                return Err(format!("empty weight interval ({lo}, {hi})"));
             }
         }
     }
@@ -198,18 +221,39 @@ fn verify_schedule_sanity(id: TaskId, hist: &TaskHistory, out: &mut Vec<Violatio
         if let Some(s) = sub.scheduled_at {
             if let Some(h) = sub.halted_at {
                 if s >= h {
-                    out.push(v(Some(id), format!("subtask {} scheduled at {} after halt at {}", sub.index, s, h)));
+                    out.push(v(
+                        Some(id),
+                        format!(
+                            "subtask {} scheduled at {} after halt at {}",
+                            sub.index, s, h
+                        ),
+                    ));
                 }
             }
             if s < sub.window.release {
-                out.push(v(Some(id), format!("subtask {} scheduled at {} before release {}", sub.index, s, sub.window.release)));
+                out.push(v(
+                    Some(id),
+                    format!(
+                        "subtask {} scheduled at {} before release {}",
+                        sub.index, s, sub.window.release
+                    ),
+                ));
             }
             if let Some(prev) = seen_slots.insert(s, sub.index) {
-                out.push(v(Some(id), format!("subtasks {} and {} share slot {}", prev, sub.index, s)));
+                out.push(v(
+                    Some(id),
+                    format!("subtasks {} and {} share slot {}", prev, sub.index, s),
+                ));
             }
             if let Some((pi, ps)) = last_sched {
                 if ps >= s {
-                    out.push(v(Some(id), format!("subtask {} (slot {}) ran no later than predecessor {} (slot {})", sub.index, s, pi, ps)));
+                    out.push(v(
+                        Some(id),
+                        format!(
+                            "subtask {} (slot {}) ran no later than predecessor {} (slot {})",
+                            sub.index, s, pi, ps
+                        ),
+                    ));
                 }
             }
             last_sched = Some((sub.index, s));
@@ -225,7 +269,10 @@ fn verify_schedule_sanity(id: TaskId, hist: &TaskHistory, out: &mut Vec<Violatio
     let mut listed = hist.scheduled_slots.clone();
     listed.sort();
     if from_subs != listed {
-        out.push(v(Some(id), "scheduled_slots disagrees with subtask records"));
+        out.push(v(
+            Some(id),
+            "scheduled_slots disagrees with subtask records",
+        ));
     }
 }
 
@@ -233,13 +280,25 @@ fn verify_schedule_sanity(id: TaskId, hist: &TaskHistory, out: &mut Vec<Violatio
 fn verify_capacity(result: &SimResult, out: &mut Vec<Violation>) {
     let mut per_slot: HashMap<Slot, u32> = HashMap::new();
     for task in &result.tasks {
-        for s in &task.history.as_ref().unwrap().scheduled_slots {
+        for s in &task
+            .history
+            .as_ref()
+            // audit: allow(panic, documented precondition: caller must enable record_history)
+            .expect("verify requires record_history")
+            .scheduled_slots
+        {
             *per_slot.entry(*s).or_insert(0) += 1;
         }
     }
     for (slot, count) in per_slot {
         if count > result.processors {
-            out.push(v(None, format!("slot {} schedules {} > M = {}", slot, count, result.processors)));
+            out.push(v(
+                None,
+                format!(
+                    "slot {} schedules {} > M = {}",
+                    slot, count, result.processors
+                ),
+            ));
         }
     }
 }
@@ -248,11 +307,14 @@ fn verify_capacity(result: &SimResult, out: &mut Vec<Violation>) {
 fn verify_misses(result: &SimResult, out: &mut Vec<Violation>) {
     let mut expected = Vec::new();
     for task in &result.tasks {
-        for sub in &task.history.as_ref().unwrap().subtasks {
-            let scheduled_in_time = sub
-                .scheduled_at
-                .map(|s| s < sub.window.deadline)
-                .unwrap_or(false);
+        for sub in &task
+            .history
+            .as_ref()
+            // audit: allow(panic, documented precondition: caller must enable record_history)
+            .expect("verify requires record_history")
+            .subtasks
+        {
+            let scheduled_in_time = sub.scheduled_at.is_some_and(|s| s < sub.window.deadline);
             let within_horizon = sub.window.deadline <= result.horizon;
             if within_horizon && !scheduled_in_time && sub.halted_at.is_none() {
                 expected.push((task.id, sub.index));
@@ -260,12 +322,13 @@ fn verify_misses(result: &SimResult, out: &mut Vec<Violation>) {
         }
     }
     expected.sort();
-    let mut recorded: Vec<(TaskId, u64)> = result.misses.iter().map(|m| (m.task, m.index)).collect();
+    let mut recorded: Vec<(TaskId, u64)> =
+        result.misses.iter().map(|m| (m.task, m.index)).collect();
     recorded.sort();
     if expected != recorded {
         out.push(v(
             None,
-            format!("miss list mismatch: expected {:?}, recorded {:?}", expected, recorded),
+            format!("miss list mismatch: expected {expected:?}, recorded {recorded:?}"),
         ));
     }
 }
@@ -275,7 +338,7 @@ fn verify_lag_window(id: TaskId, hist: &TaskHistory, horizon: Slot, out: &mut Ve
     let lags = hist.lag_vs_icsw(horizon);
     for (t, lag) in lags.iter().enumerate() {
         if !(rat(-1, 1) < *lag && *lag < Rational::ONE) {
-            out.push(v(Some(id), format!("lag {} at t = {} outside (−1, 1)", lag, t)));
+            out.push(v(Some(id), format!("lag {lag} at t = {t} outside (−1, 1)")));
             break; // one report per task suffices
         }
     }
@@ -329,9 +392,10 @@ mod tests {
         hist.subtasks[1].window.deadline += 2; // break Eqn (2)
         let violations = verify(&r);
         assert!(
-            violations.iter().any(|x| x.what.contains("era starting at")),
-            "got: {:?}",
             violations
+                .iter()
+                .any(|x| x.what.contains("era starting at")),
+            "got: {violations:?}"
         );
     }
 
@@ -341,8 +405,8 @@ mod tests {
         r.misses.clear();
         let hist = r.tasks[0].history.as_mut().unwrap();
         hist.subtasks[3].scheduled_at = None; // pretend it never ran …
-        // … without recording a miss: the verifier must object (either
-        // as a miss-list mismatch or a scheduled_slots inconsistency).
+                                              // … without recording a miss: the verifier must object (either
+                                              // as a miss-list mismatch or a scheduled_slots inconsistency).
         let violations = verify(&r);
         assert!(!violations.is_empty());
     }

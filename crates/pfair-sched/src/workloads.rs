@@ -43,6 +43,7 @@ pub fn burst(n: u32, num: i128, den: i128, at: Slot, to_num: i128, to_den: i128)
 /// One task ramping from `1/from_den` to `1/to_den` (`to_den <
 /// from_den`) in `steps` multiplicative steps starting at `start`,
 /// `gap` slots apart, beside `n_background` weight-1/4 tasks.
+#[allow(clippy::disallowed_types)] // float use is the generation knob documented below
 pub fn ramp(
     from_den: i128,
     to_den: i128,
@@ -57,10 +58,15 @@ pub fn ramp(
     for i in 0..n_background {
         w.join(i + 1, 0, 1, 4);
     }
-    // Geometric interpolation of denominators.
-    let ratio = (from_den as f64 / to_den as f64).powf(1.0 / steps as f64);
+    // Geometric interpolation of denominators: float math is confined to
+    // *choosing* integer weight parameters; the chosen weights are exact.
+    // audit: allow(float, workload-generation knob; the produced weights are exact integers)
+    let ratio = (from_den as f64 / to_den as f64).powf(1.0 / f64::from(steps)); // audit: allow(lossy-cast, workload-generation knob)
     for k in 1..=steps {
-        let den = ((from_den as f64) / ratio.powi(k as i32)).round().max(to_den as f64) as i128;
+        // audit: allow(float, workload-generation knob; the produced weights are exact integers)
+        let interp = (from_den as f64) / ratio.powi(k as i32); // audit: allow(lossy-cast, workload-generation knob)
+                                                               // audit: allow(float, workload-generation knob; the produced weights are exact integers)
+        let den = interp.round().max(to_den as f64) as i128; // audit: allow(lossy-cast, workload-generation knob)
         w.reweight(0, start + gap * Slot::from(k), 1, den.max(2));
     }
     w
@@ -129,6 +135,7 @@ pub fn random_adaptive(n: u32, events: u32, horizon: Slot, seed: u64) -> Workloa
     for _ in 0..events {
         let task = rng.gen_range(0..n);
         let at = rng.gen_range(1..horizon);
+        // audit: allow(float, RNG event-mix probability; not scheduling arithmetic)
         if rng.gen_bool(0.85) {
             let (num, den) = rand_weight(&mut rng);
             w.reweight(task, at, num, den);

@@ -5,7 +5,6 @@
 //! Fig. 3(c)'s U_1–U_3) — plus differential statistics between the
 //! schemes on matched random workloads.
 
-use proptest::prelude::*;
 use pfair_core::rational::rat;
 use pfair_core::task::TaskId;
 use pfair_core::weight::Weight;
@@ -16,6 +15,7 @@ use pfair_sched::event::Workload;
 use pfair_sched::priority::TieBreak;
 use pfair_sched::reweight::Scheme;
 use pfair_sched::workloads;
+use proptest::prelude::*;
 
 /// Fig. 3(a)/(c), rule-O path: the Fig. 6(b) system (T is never
 /// favored, so T_2 halts) — after enactment, the era subtasks' windows
@@ -53,13 +53,22 @@ fn fig3a_rule_o_era_windows_match_fresh_task() {
         .find(|s| s.era_first && s.index > 1)
         .map(|s| s.window.release)
         .expect("era opened");
-    assert_eq!(era_start, 10, "rule O enacts at max(t_c, D(T_1)+b) = max(10, 8)");
+    assert_eq!(
+        era_start, 10,
+        "rule O enacts at max(t_c, D(T_1)+b) = max(10, 8)"
+    );
     let fresh = Weight::new(rat(2, 5));
     let era_subs: Vec<_> = hist.subtasks.iter().filter(|s| s.index > 2).collect();
     assert!(era_subs.len() >= 3);
     for (k, sub) in era_subs.iter().take(3).enumerate() {
         let expect = periodic_window(fresh, k as u64 + 1, era_start);
-        assert_eq!(sub.window, expect, "era subtask {} (cf. Fig. 3(c) U_{})", k + 1, k + 1);
+        assert_eq!(
+            sub.window,
+            expect,
+            "era subtask {} (cf. Fig. 3(c) U_{})",
+            k + 1,
+            k + 1
+        );
     }
 }
 
@@ -86,7 +95,11 @@ fn fig3b_rule_i_release_after_completion() {
     assert_eq!(x2.halted_at, None);
     // D(I_SW, X_2) = 10 (Fig. 7's table), b(X_2) = 1 → release at 11.
     assert_eq!(x2.isw_completion, Some(10));
-    let era = hist.subtasks.iter().find(|s| s.era_first && s.index > 1).unwrap();
+    let era = hist
+        .subtasks
+        .iter()
+        .find(|s| s.era_first && s.index > 1)
+        .unwrap();
     assert_eq!(era.window.release, 11);
 }
 

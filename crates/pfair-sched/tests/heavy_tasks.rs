@@ -10,12 +10,12 @@
 //! utilized systems, and check that heavy *reweighting* requests are
 //! refused rather than mishandled.
 
-use proptest::prelude::*;
 use pfair_core::rational::{rat, Rational};
 use pfair_core::task::TaskId;
 use pfair_sched::admission::AdmissionPolicy;
 use pfair_sched::engine::{simulate, SimConfig};
 use pfair_sched::event::Workload;
+use proptest::prelude::*;
 
 fn run(processors: u32, horizon: i64, weights: &[(i128, i128)]) -> pfair_sched::trace::SimResult {
     let mut w = Workload::new();
@@ -118,31 +118,33 @@ fn light_reweighting_beside_heavy_tasks() {
 /// Random full(ish)-utilization mixed sets: PD² with the group-deadline
 /// tie-break never misses when Σ weights ≤ M.
 fn arb_mixed_set() -> impl Strategy<Value = (u32, Vec<(i128, i128)>)> {
-    (2u32..=3, prop::collection::vec((1i128..=11, 3i128..=12), 2..=6)).prop_map(|(m, raw)| {
-        // Normalize: clamp each weight into (0, 1], then scale down until
-        // the total fits M.
-        let mut weights: Vec<(i128, i128)> = raw
-            .into_iter()
-            .map(|(n, d)| (n.min(d), d))
-            .collect();
-        loop {
-            let total: Rational = weights
-                .iter()
-                .fold(Rational::ZERO, |a, (n, d)| a + rat(*n, *d));
-            if total <= Rational::from_int(m as i128) {
-                break;
+    (
+        2u32..=3,
+        prop::collection::vec((1i128..=11, 3i128..=12), 2..=6),
+    )
+        .prop_map(|(m, raw)| {
+            // Normalize: clamp each weight into (0, 1], then scale down until
+            // the total fits M.
+            let mut weights: Vec<(i128, i128)> =
+                raw.into_iter().map(|(n, d)| (n.min(d), d)).collect();
+            loop {
+                let total: Rational = weights
+                    .iter()
+                    .fold(Rational::ZERO, |a, (n, d)| a + rat(*n, *d));
+                if total <= Rational::from_int(i128::from(m)) {
+                    break;
+                }
+                // Halve the largest weight (by doubling its denominator).
+                let idx = weights
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, (n, d))| rat(*n, *d))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                weights[idx].1 *= 2;
             }
-            // Halve the largest weight (by doubling its denominator).
-            let idx = weights
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, (n, d))| rat(*n, *d))
-                .map(|(i, _)| i)
-                .unwrap();
-            weights[idx].1 *= 2;
-        }
-        (m, weights)
-    })
+            (m, weights)
+        })
 }
 
 proptest! {
@@ -161,7 +163,7 @@ proptest! {
         let r = run(m, 150, &weights);
         for (i, (n, d)) in weights.iter().enumerate() {
             let ideal = rat(*n, *d) * 150;
-            let got = Rational::from_int(r.task(TaskId(i as u32)).scheduled_count as i128);
+            let got = Rational::from_int(i128::from(r.task(TaskId(i as u32)).scheduled_count));
             prop_assert!(
                 (got - ideal).abs() < Rational::ONE,
                 "task {} got {} vs ideal {}",

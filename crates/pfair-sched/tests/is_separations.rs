@@ -2,11 +2,11 @@
 //! releases (θ offsets, paper §2's IS model) interacting with PD²
 //! scheduling, the ideal trackers, and reweighting.
 
-use proptest::prelude::*;
 use pfair_core::rational::rat;
 use pfair_core::task::TaskId;
 use pfair_sched::engine::{simulate, SimConfig};
 use pfair_sched::event::Workload;
+use proptest::prelude::*;
 
 /// Fig. 1(b) at engine level: a weight-5/16 task whose second subtask
 /// is delayed two slots and whose third is delayed one more. Windows

@@ -56,7 +56,11 @@ fn fig4_one_processor_halt() {
     assert_eq!(u.subtasks[1].halted_at, Some(3));
     assert_eq!(u.subtasks[1].scheduled_at, None);
     // The weight-1/2 era opens at max(t_c, D(I_SW, U_1) + b(U_1)) = 4.
-    let era = u.subtasks.iter().find(|s| s.era_first && s.index > 1).unwrap();
+    let era = u
+        .subtasks
+        .iter()
+        .find(|s| s.era_first && s.index > 1)
+        .unwrap();
     assert_eq!(era.window.release, 4);
     assert_eq!(era.window.deadline, 6); // fresh 1/2 task: window length 2
 }
@@ -119,7 +123,11 @@ fn fig6b_rule_o() {
     assert_eq!(t2.scheduled_at, None);
     // The new era opens at 10 (max(t_c, D(I_SW, T_1) + b(T_1)) =
     // max(10, 7 + 1)).
-    let era = t.subtasks.iter().find(|s| s.era_first && s.index > 1).unwrap();
+    let era = t
+        .subtasks
+        .iter()
+        .find(|s| s.era_first && s.index > 1)
+        .unwrap();
     assert_eq!(era.window.release, 10);
     // drift(T, 10) = A(I_PS, T, 0, 10) − A(I_CSW, T, 0, 10)
     //              = 3/2 − 1 = 1/2 (paper text).
@@ -145,13 +153,20 @@ fn fig6c_rule_i_increase() {
     let t = tr.history.as_ref().unwrap();
     let t2 = &t.subtasks[1];
     assert_eq!(t2.index, 2);
-    assert!(t2.scheduled_at.is_some(), "T_2 must be scheduled before t_c");
+    assert!(
+        t2.scheduled_at.is_some(),
+        "T_2 must be scheduled before t_c"
+    );
     assert_eq!(t2.halted_at, None);
     assert_eq!(t2.window.deadline, 14);
     // D(I_SW, T_2) = 11 (the immediate enactment accelerates it).
     assert_eq!(t2.isw_completion, Some(11));
     // New subtask released at D + b(T_2) = 11 + 1 = 12.
-    let era = t.subtasks.iter().find(|s| s.era_first && s.index > 1).unwrap();
+    let era = t
+        .subtasks
+        .iter()
+        .find(|s| s.era_first && s.index > 1)
+        .unwrap();
     assert_eq!(era.window.release, 12);
     // drift(T, 12) = 5/2 − 2 = 1/2.
     assert_eq!(tr.drift.at(12), rat(1, 2));
@@ -174,7 +189,11 @@ fn fig6d_rule_i_decrease() {
     let t = tr.history.as_ref().unwrap();
     assert_eq!(t.subtasks[0].scheduled_at, Some(0));
     assert_eq!(t.subtasks[0].isw_completion, Some(3));
-    let era = t.subtasks.iter().find(|s| s.era_first && s.index > 1).unwrap();
+    let era = t
+        .subtasks
+        .iter()
+        .find(|s| s.era_first && s.index > 1)
+        .unwrap();
     assert_eq!(era.window.release, 4);
     assert_eq!(tr.drift.at(4), rat(-3, 20));
     assert_eq!(tr.drift.at(100), rat(-3, 20), "drift persists once enacted");
@@ -202,10 +221,17 @@ fn fig8_lj_drift_24_10() {
     let t = tr.history.as_ref().unwrap();
     // T_1 runs in slot 0 (ties favor T); the new era opens only at 10.
     assert_eq!(t.subtasks[0].scheduled_at, Some(0));
-    let era = t.subtasks.iter().find(|s| s.era_first && s.index > 1).unwrap();
+    let era = t
+        .subtasks
+        .iter()
+        .find(|s| s.era_first && s.index > 1)
+        .unwrap();
     assert_eq!(era.window.release, 10);
     assert_eq!(tr.drift.at(10), rat(24, 10));
-    assert!(tr.drift.max_abs_delta() > rat(2, 1), "LJ is not fine-grained");
+    assert!(
+        tr.drift.max_abs_delta() > rat(2, 1),
+        "LJ is not fine-grained"
+    );
 }
 
 /// The Theorem 3 generalization: decreasing T's initial weight to
@@ -216,7 +242,7 @@ fn fig8_lj_drift_24_10() {
 #[test]
 fn fig8_generalization_drift_grows_with_inverse_weight() {
     for c in [1i64, 2, 4, 8] {
-        let den = 2 * (c as i128 + 1);
+        let den = 2 * (i128::from(c) + 1);
         let mut w = Workload::new();
         w.join(0, 0, 1, den);
         w.reweight(0, 1, 1, 2);
@@ -227,9 +253,9 @@ fn fig8_generalization_drift_grows_with_inverse_weight() {
             &w,
         );
         let drift = lj.task(TaskId(0)).drift.max_abs();
-        let expected = rat(c as i128, 1) - rat(1, 2) + rat(1, 2 * (c as i128 + 1));
-        assert_eq!(drift, expected, "c = {}: LJ drift mismatch", c);
-        assert!(drift > rat(2 * c as i128 - 1, 2));
+        let expected = rat(i128::from(c), 1) - rat(1, 2) + rat(1, 2 * (i128::from(c) + 1));
+        assert_eq!(drift, expected, "c = {c}: LJ drift mismatch");
+        assert!(drift > rat(2 * i128::from(c) - 1, 2));
 
         let oi = simulate(
             SimConfig::oi(1, 4 * den as i64)
@@ -274,7 +300,7 @@ fn fig9_epdf_projected_deadline_miss() {
     // Exactly the D-set tasks can miss, and at the projected deadline 9.
     assert!(!run.misses.is_empty(), "the counterexample must miss");
     for m in &run.misses {
-        assert!(d_tasks.contains(&m.task), "only D tasks miss: {:?}", m);
+        assert!(d_tasks.contains(&m.task), "only D tasks miss: {m:?}");
         assert_eq!(m.deadline, 9);
     }
     // Four of the five D tasks fit in slots 7–8 on two processors:
@@ -282,7 +308,10 @@ fn fig9_epdf_projected_deadline_miss() {
     let run_to_9 = run_projected_epdf(2, 9, &w);
     let scheduled_d: u64 = d_tasks.iter().map(|t| run_to_9.scheduled[t.idx()]).sum();
     assert_eq!(scheduled_d, 4);
-    assert!(run_to_9.misses.is_empty(), "the miss surfaces only at time 9");
+    assert!(
+        run_to_9.misses.is_empty(),
+        "the miss surfaces only at time 9"
+    );
 }
 
 /// Check that the same Fig. 9 task system is schedulable — no misses —
@@ -352,7 +381,10 @@ fn fig6_variants_respect_theorem5() {
         assert!(r.max_abs_drift_delta() <= rat(2, 1));
         assert!(r.is_miss_free());
     };
-    for (weight, target, at) in [((3i128, 20i128), (1i128, 2i128), 10i64), ((2, 5), (3, 20), 1)] {
+    for (weight, target, at) in [
+        ((3i128, 20i128), (1i128, 2i128), 10i64),
+        ((2, 5), (3, 20), 1),
+    ] {
         let mut w = fig6_base(weight);
         w.reweight(0, at, target.0, target.1);
         for tb in [favoring(0), disfavoring(0, 20)] {

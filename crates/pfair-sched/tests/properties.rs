@@ -13,13 +13,13 @@
 //!   delays the task's next enactment (bursts of initiations still
 //!   converge, and everything above still holds).
 
-use proptest::prelude::*;
 use pfair_core::rational::{rat, Rational};
 use pfair_sched::engine::{simulate, SimConfig};
 use pfair_sched::event::Workload;
 use pfair_sched::priority::TieBreak;
 use pfair_sched::reweight::{HybridPolicy, Scheme};
 use pfair_sched::verify::verify;
+use proptest::prelude::*;
 
 const HORIZON: i64 = 120;
 
@@ -101,7 +101,7 @@ proptest! {
         prop_assert!(
             violations.is_empty(),
             "violations: {:?}",
-            violations.iter().map(|x| x.to_string()).collect::<Vec<_>>()
+            violations.iter().map(std::string::ToString::to_string).collect::<Vec<_>>()
         );
     }
 
@@ -121,7 +121,7 @@ proptest! {
             prop_assert!(
                 violations.is_empty(),
                 "violations: {:?}",
-                violations.iter().map(|x| x.to_string()).collect::<Vec<_>>()
+                violations.iter().map(std::string::ToString::to_string).collect::<Vec<_>>()
             );
         }
     }
@@ -207,7 +207,7 @@ proptest! {
         for task in &r.tasks {
             let floor = task.icsw_total - Rational::ONE;
             prop_assert!(
-                Rational::from_int(task.scheduled_count as i128) > floor,
+                Rational::from_int(i128::from(task.scheduled_count)) > floor,
                 "{} got {} quanta, ideal {}",
                 task.id, task.scheduled_count, task.icsw_total
             );
@@ -242,7 +242,7 @@ proptest! {
         }
         let mut lag = Rational::ZERO;
         for t in 0..HORIZON as usize {
-            let next = lag + ideal[t] - Rational::from_int(actual[t] as i128);
+            let next = lag + ideal[t] - Rational::from_int(i128::from(actual[t]));
             if next > lag {
                 prop_assert!(
                     actual[t] < plan.processors,

@@ -40,10 +40,7 @@ fn sawtooth_20k_slots() {
 #[test]
 fn sawtooth_20k_slots_lj() {
     let w = workloads::sawtooth(8, (1, 24), (1, 6), 120, LONG);
-    let r = simulate(
-        SimConfig::oi(3, LONG).with_scheme(Scheme::LeaveJoin),
-        &w,
-    );
+    let r = simulate(SimConfig::oi(3, LONG).with_scheme(Scheme::LeaveJoin), &w);
     assert!(r.is_miss_free());
 }
 

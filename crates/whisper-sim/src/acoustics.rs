@@ -91,8 +91,7 @@ pub fn effective_distance(direct: f64, occluded: bool) -> f64 {
 pub fn raw_weight(d_eff: f64) -> f64 {
     let w_min = MIN_WEIGHT_NUM as f64 / WEIGHT_DENOM as f64;
     let w_max = 1.0 / 3.0;
-    (w_max * 10f64.powf((d_eff - SATURATION_DISTANCE_M) / DECADE_DISTANCE_M))
-        .clamp(w_min, w_max)
+    (w_max * 10f64.powf((d_eff - SATURATION_DISTANCE_M) / DECADE_DISTANCE_M)).clamp(w_min, w_max)
 }
 
 /// CPU cycles for one tracking update at effective distance `d`
@@ -123,7 +122,7 @@ mod tests {
     fn weight_is_monotone_in_distance() {
         let mut last = weight_at(0.0);
         for step in 1..=40 {
-            let d = step as f64 * 0.05;
+            let d = f64::from(step) * 0.05;
             let w = weight_at(d);
             assert!(w >= last, "weight should not decrease with distance");
             last = w;
@@ -137,15 +136,14 @@ mod tests {
         let ratio = hi / lo;
         assert!(
             (5.0..=40.0).contains(&ratio),
-            "dynamic range {} outside the paper's order-of-magnitude regime",
-            ratio
+            "dynamic range {ratio} outside the paper's order-of-magnitude regime"
         );
     }
 
     #[test]
     fn all_weights_are_light_and_at_most_one_third() {
         for step in 0..=40 {
-            let d = step as f64 * 0.05;
+            let d = f64::from(step) * 0.05;
             let w = weight_at(d);
             assert!(w.is_light());
             assert!(w.value() <= rat(1, 3));
@@ -176,10 +174,20 @@ mod tests {
         let worst = 12.0 * weight_at(2.0).to_f64();
         assert!((worst - 4.0).abs() < 1e-9);
         let corner_dists = [0.46, 0.71, 0.96]; // near / typical / far
-        let typical: f64 =
-            corner_dists.iter().map(|d| weight_at(*d).to_f64()).sum::<f64>() / 3.0 * 12.0;
-        assert!(typical < 3.9, "typical load {} should leave adaptation headroom", typical);
-        assert!(typical > 2.0, "typical load {} should keep the system stressed", typical);
+        let typical: f64 = corner_dists
+            .iter()
+            .map(|d| weight_at(*d).to_f64())
+            .sum::<f64>()
+            / 3.0
+            * 12.0;
+        assert!(
+            typical < 3.9,
+            "typical load {typical} should leave adaptation headroom"
+        );
+        assert!(
+            typical > 2.0,
+            "typical load {typical} should keep the system stressed"
+        );
     }
 
     #[test]

@@ -32,10 +32,10 @@ pub mod room_svg;
 pub mod scenario;
 pub mod stats;
 
+use pfair_core::time::Slot;
 use pfair_sched::engine::{simulate, SimConfig};
 use pfair_sched::overhead::Counters;
 use pfair_sched::reweight::Scheme;
-use pfair_core::time::Slot;
 pub use scenario::{generate_workload, Scenario, HORIZON, PROCESSORS};
 pub use stats::{summarize, Summary};
 

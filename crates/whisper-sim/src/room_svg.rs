@@ -31,8 +31,7 @@ pub fn render_room(sc: &Scenario, t: Slot) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" font-family="sans-serif" font-size="11">"##,
-        s = size
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" font-family="sans-serif" font-size="11">"##
     );
     // Room outline.
     let _ = writeln!(
@@ -85,7 +84,11 @@ pub fn render_room(sc: &Scenario, t: Slot) -> String {
                 px(m.x),
                 px(m.y),
                 if occluded { "#c33" } else { "#7a7" },
-                if occluded { r#" stroke-dasharray="5 3""# } else { "" }
+                if occluded {
+                    r#" stroke-dasharray="5 3""#
+                } else {
+                    ""
+                }
             );
         }
         let _ = writeln!(

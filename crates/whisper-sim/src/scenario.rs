@@ -15,9 +15,9 @@
 
 use crate::acoustics::{effective_distance, weight_at, REWEIGHT_DISTANCE_M};
 use crate::geometry::{Circle, Point};
-use pfair_sched::event::{Event, EventKind, Workload};
 use pfair_core::task::TaskId;
 use pfair_core::time::Slot;
+use pfair_sched::event::{Event, EventKind, Workload};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -48,7 +48,12 @@ pub struct Scenario {
 impl Scenario {
     /// The paper's base configuration: 25 cm radius, occlusion on.
     pub fn new(speed: f64, radius: f64, occlusion: bool, seed: u64) -> Scenario {
-        Scenario { speed, radius, occlusion, seed }
+        Scenario {
+            speed,
+            radius,
+            occlusion,
+            seed,
+        }
     }
 }
 
@@ -105,7 +110,7 @@ pub fn generate_workload(sc: &Scenario) -> Workload {
     let mics = microphones();
     let mut w = Workload::new();
     // Last distance at which each task requested a weight.
-    let mut anchor = vec![0.0f64; SPEAKERS * MICS];
+    let mut anchor = [0.0f64; SPEAKERS * MICS];
 
     for s in 0..SPEAKERS {
         let pos = speaker_position(sc, phases[s], 0);
@@ -121,8 +126,8 @@ pub fn generate_workload(sc: &Scenario) -> Workload {
     }
 
     for t in 1..HORIZON {
-        for s in 0..SPEAKERS {
-            let pos = speaker_position(sc, phases[s], t);
+        for (s, phase) in phases.iter().enumerate() {
+            let pos = speaker_position(sc, *phase, t);
             for (m, mic) in mics.iter().enumerate() {
                 let idx = s * MICS + m;
                 let d = acoustic_distance(sc, pos, *mic);
@@ -240,7 +245,7 @@ mod weight_trace_tests {
         assert_eq!(trace.len(), HORIZON as usize);
         // The trace is piecewise constant with multiple steps.
         let steps = trace.windows(2).filter(|w| w[0].1 != w[1].1).count();
-        assert!(steps > 5, "expected several weight changes, got {}", steps);
+        assert!(steps > 5, "expected several weight changes, got {steps}");
         // All values are in the calibrated band (0, 1/3].
         for (_, w) in &trace {
             assert!(*w > 0.0 && *w <= 1.0 / 3.0 + 1e-12);

@@ -22,7 +22,11 @@ pub const Z_98: f64 = 2.326;
 pub fn summarize(samples: &[f64]) -> Summary {
     let n = samples.len();
     if n == 0 {
-        return Summary { mean: 0.0, ci98: 0.0, n: 0 };
+        return Summary {
+            mean: 0.0,
+            ci98: 0.0,
+            n: 0,
+        };
     }
     let mean = samples.iter().sum::<f64>() / n as f64;
     if n == 1 {
@@ -55,7 +59,14 @@ mod tests {
 
     #[test]
     fn edge_cases() {
-        assert_eq!(summarize(&[]), Summary { mean: 0.0, ci98: 0.0, n: 0 });
+        assert_eq!(
+            summarize(&[]),
+            Summary {
+                mean: 0.0,
+                ci98: 0.0,
+                n: 0
+            }
+        );
         let one = summarize(&[5.0]);
         assert_eq!(one.mean, 5.0);
         assert_eq!(one.ci98, 0.0);
@@ -63,8 +74,8 @@ mod tests {
 
     #[test]
     fn interval_shrinks_with_sample_count() {
-        let few: Vec<f64> = (0..4).map(|i| i as f64).collect();
-        let many: Vec<f64> = (0..64).map(|i| (i % 4) as f64).collect();
+        let few: Vec<f64> = (0..4).map(f64::from).collect();
+        let many: Vec<f64> = (0..64).map(|i| f64::from(i % 4)).collect();
         assert!(summarize(&many).ci98 < summarize(&few).ci98);
     }
 }

@@ -28,7 +28,7 @@ fn camera_workload() -> Workload {
     let mut w = Workload::new();
     for cam in 0..CAMERAS {
         w.join(cam, 0, 1, 50);
-        let phase = 97 * (cam as i64 + 1); // staggered burst phases
+        let phase = 97 * (i64::from(cam) + 1); // staggered burst phases
         let mut t = phase;
         while t + 220 < HORIZON {
             w.reweight(cam, t, 1, 5); // burst begins: 10× the share
@@ -43,8 +43,7 @@ fn camera_workload() -> Workload {
 fn main() {
     let workload = camera_workload();
     println!(
-        "adaptive pipeline: {} cameras on {} CPUs, {} slots, bursty 1/50 ↔ 1/5 weights",
-        CAMERAS, PROCESSORS, HORIZON
+        "adaptive pipeline: {CAMERAS} cameras on {PROCESSORS} CPUs, {HORIZON} slots, bursty 1/50 ↔ 1/5 weights"
     );
     println!(
         "{:<26} {:>11} {:>12} {:>10} {:>9}",

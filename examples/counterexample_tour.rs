@@ -86,7 +86,12 @@ fn theorem4() {
 fn theorem5() {
     println!("Theorem 5 — PD2-OI per-event drift is at most 2 (Fig. 6 systems)");
     for (label, initial, target, at) in [
-        ("increase 3/20 → 1/2", (3i128, 20i128), (1i128, 2i128), 10i64),
+        (
+            "increase 3/20 → 1/2",
+            (3i128, 20i128),
+            (1i128, 2i128),
+            10i64,
+        ),
         ("decrease 2/5 → 3/20", (2, 5), (3, 20), 1),
     ] {
         let mut w = Workload::new();
@@ -97,7 +102,7 @@ fn theorem5() {
         w.reweight(0, at, target.0, target.1);
         let r = simulate(SimConfig::oi(4, 60), &w);
         let delta = r.task(TaskId(0)).drift.max_abs_delta();
-        println!("  {:<22} per-event drift = {}", label, delta);
+        println!("  {label:<22} per-event drift = {delta}");
         assert!(delta <= rat(2, 1));
         assert!(r.is_miss_free());
     }

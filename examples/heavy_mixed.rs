@@ -11,7 +11,7 @@
 //! cargo run --example heavy_mixed
 //! ```
 
-use pfair_repro::core::analysis::{classify, hyperperiod, is_feasible, total_weight, SetClass};
+use pfair_repro::core::analysis::{classify, hyperperiod, is_feasible, total_weight};
 use pfair_repro::core::{rat, Weight};
 use pfair_repro::prelude::*;
 

@@ -50,7 +50,10 @@ fn main() {
     let history = task0.history.as_ref().unwrap();
     println!("\nsubtask windows of task 0 ([release, deadline), X = scheduled slot):");
     println!("{}", pfair_repro::sched::render::ruler(40));
-    print!("{}", pfair_repro::sched::render::render_task("T0", history, 40));
+    print!(
+        "{}",
+        pfair_repro::sched::render::render_task("T0", history, 40)
+    );
 
     assert!(task0.drift.max_abs_delta() <= rat(2, 1));
     println!("\nok: fine-grained reweighting enacted with constant drift");

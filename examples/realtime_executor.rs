@@ -42,10 +42,16 @@ fn main() {
     let mut exec = builder.build();
     let controller = exec.controller();
 
-    println!("phase 1: tracker at weight 1/5 for 200 quanta ({} ms each)", quantum.as_millis());
+    println!(
+        "phase 1: tracker at weight 1/5 for 200 quanta ({} ms each)",
+        quantum.as_millis()
+    );
     exec.run(200);
     let phase1: Vec<u64> = work.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-    println!("  ticks: tracker {}, renderer {}, logger {}", phase1[0], phase1[1], phase1[2]);
+    println!(
+        "  ticks: tracker {}, renderer {}, logger {}",
+        phase1[0], phase1[1], phase1[2]
+    );
 
     println!("phase 2: target speeds up → tracker reweights to 2/5 (live)");
     controller.reweight(tracker, Weight::new(rat(2, 5)));
@@ -55,7 +61,10 @@ fn main() {
         .zip(&phase1)
         .map(|(c, p)| c.load(Ordering::Relaxed) - p)
         .collect();
-    println!("  ticks: tracker {}, renderer {}, logger {}", phase2[0], phase2[1], phase2[2]);
+    println!(
+        "  ticks: tracker {}, renderer {}, logger {}",
+        phase2[0], phase2[1], phase2[2]
+    );
 
     let report = exec.shutdown();
     assert!(report.sim.is_miss_free());

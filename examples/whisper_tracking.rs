@@ -21,8 +21,7 @@ fn main() {
     let runs = 15u64;
 
     println!(
-        "Whisper: 3 speakers, radius {:.2} m, speed {:.1} m/s, occlusion on, {} seeded runs",
-        radius, speed, runs
+        "Whisper: 3 speakers, radius {radius:.2} m, speed {speed:.1} m/s, occlusion on, {runs} seeded runs"
     );
     println!(
         "{:<8} {:>14} {:>14} {:>10} {:>12}",

@@ -15,8 +15,8 @@
 //! * [`whisper`] — the Whisper acoustic-tracking workload generator.
 
 pub use pfair_core as core;
-pub use pfair_sched as sched;
 pub use pfair_exec as exec;
+pub use pfair_sched as sched;
 pub use whisper_sim as whisper;
 
 /// Convenience prelude re-exporting the scheduler prelude.

@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition surface the `bench` crate uses
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `black_box`)
+//! with a simple wall-clock measurement loop: a short warm-up, then
+//! timed batches, reporting mean time per iteration to stdout. There is
+//! no statistical analysis, outlier rejection, or HTML report — just
+//! enough to keep the benchmarks compiling and producing usable
+//! numbers offline.
+
+// Stand-in for an external crate: the first-party float/unwrap policy
+// (root clippy.toml) does not apply to mirrored third-party APIs.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name, parameter),
+        }
+    }
+
+    /// An id with only a parameter component.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; the stub accepts and
+/// ignores it (every batch is one setup + one routine call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Per-iteration measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms of work or 10 iterations, whichever
+        // comes first, to get code and caches hot and pick a batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 10 && warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        // Aim for ~100ms of measurement, capped to keep suites fast.
+        let target_iters = (100_000_000u128 / per_iter.max(1)).clamp(1, 100_000);
+        let start = Instant::now();
+        let mut n = 0u128;
+        while n < target_iters {
+            black_box(routine());
+            n += 1;
+        }
+        self.total = start.elapsed();
+        self.iters_done = u64::try_from(n).unwrap_or(u64::MAX);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up mirrors `iter`, with setup kept outside the clock.
+        let mut warm_iters = 0u64;
+        let mut warm_spent = Duration::ZERO;
+        while warm_iters < 10 && warm_spent < Duration::from_millis(20) {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            warm_spent += t0.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent.as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let target_iters = (100_000_000u128 / per_iter.max(1)).clamp(1, 100_000);
+        let mut measured = Duration::ZERO;
+        let mut n = 0u128;
+        while n < target_iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            n += 1;
+        }
+        self.total = measured;
+        self.iters_done = u64::try_from(n).unwrap_or(u64::MAX);
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    let mean = b.total.as_nanos() / u128::from(b.iters_done.max(1));
+    println!(
+        "bench: {:<50} {:>12} ns/iter ({} iters)",
+        label, mean, b.iters_done
+    );
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    report(label, &b);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores time budgets.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut routine = routine;
+        run_one(&format!("{}/{}", self.name, id.into().label), |b| {
+            routine(b)
+        });
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut routine = routine;
+        run_one(&format!("{}/{}", self.name, id.into().label), |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut routine = routine;
+        run_one(&id.into().label, |b| routine(b));
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(10)
+            .bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+                b.iter(|| black_box(x * x))
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        sample_bench(&mut Criterion::default());
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace only uses `par_iter()`/`into_par_iter()` followed by
+//! `.map(..).collect()`. This stub implements exactly that shape, with
+//! real data parallelism: the input is materialized, split into chunks,
+//! and mapped on `std::thread::scope` threads (one per available core),
+//! preserving input order in the collected output. It is not a work
+//! stealing runtime — long-tail imbalance is not rebalanced — but the
+//! experiment sweeps it serves are embarrassingly parallel batches of
+//! similar cost.
+
+// Stand-in for an external crate: the first-party float/unwrap policy
+// (root clippy.toml) does not apply to mirrored third-party APIs.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
+use std::fmt;
+
+/// Eagerly materialized "parallel" iterator.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A pending parallel map, executed by [`ParMap::collect`] or
+/// [`ParMap::for_each`].
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps every item through `f` (runs when the chain is consumed).
+    pub fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> O + Sync,
+        O: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+fn run_parallel<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let chunk = n.div_ceil(threads);
+    let mut staged: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|s| {
+        for (inp, outp) in staged.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (i, o) in inp.iter_mut().zip(outp.iter_mut()) {
+                    let item = i.take().expect("staged item taken twice");
+                    *o = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("parallel map slot unfilled"))
+        .collect()
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    /// Runs the map across threads and collects results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        run_parallel(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map across threads for its side effects.
+    pub fn for_each(self) {
+        let _: Vec<O> = run_parallel(self.items, &self.f);
+    }
+}
+
+impl<I> fmt::Debug for ParIter<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParIter")
+            .field("len", &self.items.len())
+            .finish()
+    }
+}
+
+/// `rayon::prelude` — the traits that add the `par_iter` entry points.
+pub mod prelude {
+    /// Consuming entry point: `collection.into_par_iter()`.
+    pub trait IntoParallelIterator {
+        /// Element type of the parallel iterator.
+        type Item: Send;
+        /// Materializes the collection as a [`super::ParIter`].
+        fn into_par_iter(self) -> super::ParIter<Self::Item>;
+    }
+
+    impl<C> IntoParallelIterator for C
+    where
+        C: IntoIterator,
+        C::Item: Send,
+    {
+        type Item = C::Item;
+        fn into_par_iter(self) -> super::ParIter<C::Item> {
+            super::ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// Borrowing entry point: `slice.par_iter()` (reached through deref
+    /// from `Vec` and arrays).
+    pub trait ParallelSlice<T: Sync> {
+        /// Iterates the slice elements by reference, in parallel.
+        fn par_iter(&self) -> super::ParIter<&T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> super::ParIter<&T> {
+            super::ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_iter_by_reference() {
+        let data = [1u32, 2, 3, 4];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let n = 64usize;
+        let _: Vec<()> = (0..n)
+            .into_par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        // With >1 core this uses >1 worker; on a 1-core box it may not.
+        assert!(!ids.lock().unwrap().is_empty());
+    }
+}

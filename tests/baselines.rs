@@ -16,7 +16,7 @@ fn global_edf_boundary_handles_whisper() {
     assert!(run.misses.is_empty(), "misses: {:?}", run.misses.len());
     // Every task completed a substantial share of its ideal.
     for pct in run.pct_of_ideal() {
-        assert!(pct > 50.0, "pct {}", pct);
+        assert!(pct > 50.0, "pct {pct}");
     }
 }
 
@@ -39,7 +39,7 @@ fn global_edf_immediate_is_more_accurate() {
             wins += 1;
         }
     }
-    assert!(wins >= SEEDS - 1, "immediate won only {}/{}", wins, SEEDS);
+    assert!(wins >= SEEDS - 1, "immediate won only {wins}/{SEEDS}");
 }
 
 /// Partitioned EDF on Whisper: the weight swings force repartitioning
@@ -67,5 +67,5 @@ fn partitioned_edf_completes_most_work() {
     let run = run_partitioned_edf(PROCESSORS, HORIZON, &w);
     let pcts = run.pct_of_ideal();
     let mean = pcts.iter().sum::<f64>() / pcts.len() as f64;
-    assert!(mean > 60.0, "mean pct {}", mean);
+    assert!(mean > 60.0, "mean pct {mean}");
 }

@@ -13,7 +13,7 @@ fn whisper_oi_is_always_miss_free() {
     for speed in [0.5, 2.0, 3.5] {
         for seed in 0..3 {
             let m = run_whisper(&Scenario::new(speed, 0.25, true, seed), Scheme::Oi);
-            assert_eq!(m.misses, 0, "speed {} seed {}", speed, seed);
+            assert_eq!(m.misses, 0, "speed {speed} seed {seed}");
         }
     }
 }
@@ -51,8 +51,14 @@ fn whisper_oi_dominates_lj() {
             oi_wins_drift += 1;
         }
     }
-    assert!(oi_wins_pct >= SEEDS - 1, "OI won pct only {}/{}", oi_wins_pct, SEEDS);
-    assert!(oi_wins_drift >= SEEDS - 1, "OI won drift only {}/{}", oi_wins_drift, SEEDS);
+    assert!(
+        oi_wins_pct >= SEEDS - 1,
+        "OI won pct only {oi_wins_pct}/{SEEDS}"
+    );
+    assert!(
+        oi_wins_drift >= SEEDS - 1,
+        "OI won drift only {oi_wins_drift}/{SEEDS}"
+    );
 }
 
 /// Simulations are deterministic: the same seed yields bit-identical
@@ -101,12 +107,7 @@ fn whisper_occlusion_effects() {
     let r_no = simulate(SimConfig::oi(PROCESSORS, HORIZON), &no);
     assert!(r_occ.is_miss_free());
     assert!(r_no.is_miss_free());
-    let ideal = |r: &SimResult| {
-        r.tasks
-            .iter()
-            .map(|t| t.ps_total.to_f64())
-            .sum::<f64>()
-    };
+    let ideal = |r: &SimResult| r.tasks.iter().map(|t| t.ps_total.to_f64()).sum::<f64>();
     assert!(
         ideal(&r_occ) >= ideal(&r_no),
         "occlusion should only increase demanded shares"

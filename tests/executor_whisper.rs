@@ -24,9 +24,8 @@ fn whisper_through_the_real_executor() {
     // Register the 12 pair-tasks with their join weights.
     let mut builder = ExecutorBuilder::new(4).virtual_time();
     let mut handles = Vec::new();
-    let counters: Vec<Arc<AtomicU64>> =
-        (0..12).map(|_| Arc::new(AtomicU64::new(0))).collect();
-    for i in 0..12usize {
+    let counters: Vec<Arc<AtomicU64>> = (0..12).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    for (i, counter) in counters.iter().enumerate() {
         let join_weight = events
             .iter()
             .find_map(|e| match e.kind {
@@ -34,8 +33,8 @@ fn whisper_through_the_real_executor() {
                 _ => None,
             })
             .expect("every pair joins");
-        let c = counters[i].clone();
-        handles.push(builder.task(format!("pair-{}", i), join_weight, move |_| {
+        let c = counter.clone();
+        handles.push(builder.task(format!("pair-{i}"), join_weight, move |_| {
             c.fetch_add(1, Ordering::Relaxed);
         }));
     }
@@ -56,26 +55,29 @@ fn whisper_through_the_real_executor() {
     let report = exec.shutdown();
 
     assert!(report.sim.is_miss_free(), "Theorem 2 end to end");
-    assert!(report.sim.max_abs_drift_delta() <= rat(2, 1), "Theorem 5 end to end");
-    assert!(report.sim.counters.reweight_initiations > 20, "the replay really reweighted");
+    assert!(
+        report.sim.max_abs_drift_delta() <= rat(2, 1),
+        "Theorem 5 end to end"
+    );
+    assert!(
+        report.sim.counters.reweight_initiations > 20,
+        "the replay really reweighted"
+    );
 
     // The executed tick counts equal the engine's scheduled counts and
     // track the exact ideal within the Pfair window plus drift.
     for (i, c) in counters.iter().enumerate() {
         let ticks = c.load(Ordering::Relaxed);
         let task = &report.sim.tasks[i];
-        assert_eq!(ticks, task.scheduled_count, "pair-{} tick accounting", i);
+        assert_eq!(ticks, task.scheduled_count, "pair-{i} tick accounting");
         let ideal = task.ps_total.to_f64();
         assert!(
             (ticks as f64 - ideal).abs() < 8.0,
-            "pair-{}: {} ticks vs ideal {:.2}",
-            i,
-            ticks,
-            ideal
+            "pair-{i}: {ticks} ticks vs ideal {ideal:.2}"
         );
     }
     // No tick was lost to overruns in virtual time.
     for (i, h) in handles.iter().enumerate() {
-        assert_eq!(report.skips(*h), 0, "pair-{}", i);
+        assert_eq!(report.skips(*h), 0, "pair-{i}");
     }
 }
