@@ -7,7 +7,7 @@
 //! workload — so the frontier can be drawn with measured time on the
 //! x-axis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use pfair_core::rational::rat;
 use pfair_sched::engine::{simulate, SimConfig};
 use pfair_sched::event::Workload;
@@ -68,4 +68,8 @@ fn bench_hybrid_ladder(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_hybrid_ladder);
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

@@ -6,7 +6,7 @@
 //! rational operations underneath, to show the bookkeeping stays far
 //! below the slot budget (the paper's 1 ms quantum).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use pfair_core::ideal::{IswTracker, PsTracker};
 use pfair_core::rational::{rat, Rational};
 use pfair_core::weight::Weight;
@@ -90,4 +90,8 @@ criterion_group!(
     bench_ps_advance,
     bench_rational_ops
 );
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

@@ -9,7 +9,7 @@
 //! curves EXPERIMENTS.md compares against the stated bounds.
 
 use bench::{reweight_burst, uniform_workload};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use pfair_sched::engine::{Engine, SimConfig};
 use pfair_sched::event::Workload;
 use pfair_sched::reweight::Scheme;
@@ -80,4 +80,8 @@ fn bench_simultaneous_burst(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_single_reweight, bench_simultaneous_burst);
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

@@ -9,7 +9,7 @@
 //! comparison against the 1 ms quantum.
 
 use bench::uniform_workload;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use pfair_sched::engine::{Engine, SimConfig};
 use std::hint::black_box;
 
@@ -70,4 +70,8 @@ fn bench_sustained_throughput(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_slot_decision, bench_sustained_throughput);
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

@@ -4,7 +4,7 @@
 //! 61-run × sweep experiment matrix takes, and the OI/LJ/hybrid spread
 //! is the efficiency axis of the trade-off at whole-run granularity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use pfair_core::rational::rat;
 use pfair_sched::reweight::{HybridPolicy, Scheme};
 use std::hint::black_box;
@@ -68,4 +68,8 @@ criterion_group!(
     bench_workload_generation,
     bench_speed_scaling
 );
-criterion_main!(benches);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

@@ -1,5 +1,8 @@
 //! Shared fixtures for the Criterion benchmarks: canned workloads of
-//! parametric size so every bench target measures the same systems.
+//! parametric size so every bench target measures the same systems —
+//! plus the benchmark-trajectory emitter ([`emit_summary`]) that every
+//! bench target calls from `main` to fold its numbers into
+//! `BENCH_pr2.json` at the repository root.
 
 use pfair_sched::prelude::*;
 
@@ -27,6 +30,78 @@ pub fn reweight_burst(n: u32, m: u32, at: i64) -> Workload {
     w
 }
 
+/// File the benchmark trajectory is written to, at the repo root.
+pub const TRAJECTORY_FILE: &str = "BENCH_pr2.json";
+
+/// Serializes one drained benchmark result as a trajectory entry.
+fn result_entry(r: &criterion::BenchResult) -> pfair_json::Json {
+    // Iterations per second from the median; the codec is integer-only
+    // by design, so sub-1/s throughput floors to 0 rather than
+    // round-tripping through a float.
+    let median = r.median_ns.max(1);
+    let throughput = 1_000_000_000u128 / median;
+    pfair_json::obj([
+        ("median_ns", int_json(median)),
+        ("mean_ns", int_json(r.mean_ns)),
+        ("iters", pfair_json::Json::Int(i128::from(r.iters))),
+        ("throughput_per_sec", int_json(throughput)),
+    ])
+}
+
+fn int_json(v: u128) -> pfair_json::Json {
+    pfair_json::Json::Int(i128::try_from(v).unwrap_or(i128::MAX))
+}
+
+/// Drains the criterion registry and merges the results into
+/// `BENCH_pr2.json` at the repo root: one object keyed by benchmark
+/// name, entries from earlier bench targets in the same `cargo bench`
+/// run preserved, same-name entries overwritten.
+///
+/// Every bench target's `main` calls this after its groups have run;
+/// set `BENCH_JSON_PATH` to redirect the output (used by tests).
+pub fn emit_summary() {
+    let results = criterion::take_results();
+    if results.is_empty() {
+        return;
+    }
+    let path = std::env::var_os("BENCH_JSON_PATH").map_or_else(
+        || {
+            // CARGO_MANIFEST_DIR is crates/bench; the trajectory lives
+            // at the workspace root two levels up.
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(TRAJECTORY_FILE)
+        },
+        std::path::PathBuf::from,
+    );
+    let mut entries: Vec<(String, pfair_json::Json)> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| pfair_json::Json::parse(&text).ok())
+        .and_then(|json| match json {
+            pfair_json::Json::Object(fields) => Some(fields),
+            _ => None,
+        })
+        .unwrap_or_default();
+    for r in &results {
+        let entry = result_entry(r);
+        match entries.iter_mut().find(|(name, _)| *name == r.name) {
+            Some((_, slot)) => *slot = entry,
+            None => entries.push((r.name.clone(), entry)),
+        }
+    }
+    let doc = pfair_json::Json::Object(entries);
+    if let Err(e) = std::fs::write(&path, doc.to_string_pretty() + "\n") {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!(
+            "wrote {} benchmark entr{} to {}",
+            results.len(),
+            if results.len() == 1 { "y" } else { "ies" },
+            path.display()
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +119,30 @@ mod tests {
         assert!(simulate(SimConfig::oi(2, 64), &w).is_miss_free());
         let lj = simulate(SimConfig::leave_join(2, 64), &w);
         assert!(lj.is_miss_free());
+    }
+
+    #[test]
+    fn emit_summary_merges_with_an_existing_trajectory() {
+        let path =
+            std::env::temp_dir().join(format!("bench_pr2_merge_{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            r#"{"earlier/bench": {"median_ns": 5, "mean_ns": 6, "iters": 7, "throughput_per_sec": 200000000}}"#,
+        )
+        .expect("seeding the trajectory file");
+        std::env::set_var("BENCH_JSON_PATH", &path);
+        criterion::Criterion::default()
+            .bench_function("merge_probe", |b| b.iter(|| criterion::black_box(1 + 1)));
+        emit_summary();
+        std::env::remove_var("BENCH_JSON_PATH");
+
+        let text = std::fs::read_to_string(&path).expect("trajectory written");
+        let doc = pfair_json::Json::parse(&text).expect("trajectory is valid JSON");
+        // The pre-existing entry survives and the new one is appended.
+        assert!(doc.get("earlier/bench").is_some(), "kept prior entry");
+        let probe = doc.get("merge_probe").expect("new entry present");
+        assert!(probe.get("median_ns").and_then(pfair_json::Json::as_int) > Some(0));
+        assert!(probe.get("throughput_per_sec").is_some());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -3,10 +3,10 @@
 //! workload — the "all three approaches are of value" discussion of the
 //! paper's concluding remarks made measurable.
 
+use crate::runner;
 use pfair_sched::edf::{run_global_edf, EdfReweightMode};
 use pfair_sched::partitioned::run_partitioned_edf;
 use pfair_sched::reweight::Scheme;
-use rayon::prelude::*;
 use whisper_sim::scenario::{generate_workload, HORIZON, PROCESSORS};
 use whisper_sim::stats::summarize;
 use whisper_sim::{run_whisper, Scenario};
@@ -31,10 +31,9 @@ pub fn compare(speed: f64, radius: f64, runs: u64) -> Vec<BaselineRow> {
     let mut rows = Vec::new();
 
     for (label, scheme) in [("PD2-OI", Scheme::Oi), ("PD2-LJ", Scheme::LeaveJoin)] {
-        let metrics: Vec<_> = seeds
-            .par_iter()
-            .map(|&seed| run_whisper(&Scenario::new(speed, radius, true, seed), scheme.clone()))
-            .collect();
+        let metrics: Vec<_> = runner::par_map(seeds.clone(), |seed| {
+            run_whisper(&Scenario::new(speed, radius, true, seed), scheme.clone())
+        });
         rows.push(BaselineRow {
             label: label.into(),
             pct_of_ideal: summarize(&metrics.iter().map(|m| m.pct_of_ideal).collect::<Vec<_>>())
@@ -54,13 +53,10 @@ pub fn compare(speed: f64, radius: f64, runs: u64) -> Vec<BaselineRow> {
         ("global EDF (boundary)", EdfReweightMode::AtBoundary),
         ("global EDF (immediate)", EdfReweightMode::Immediate),
     ] {
-        let runs: Vec<_> = seeds
-            .par_iter()
-            .map(|&seed| {
-                let w = generate_workload(&Scenario::new(speed, radius, true, seed));
-                run_global_edf(PROCESSORS, HORIZON, &w, mode)
-            })
-            .collect();
+        let runs: Vec<_> = runner::par_map(seeds.clone(), |seed| {
+            let w = generate_workload(&Scenario::new(speed, radius, true, seed));
+            run_global_edf(PROCESSORS, HORIZON, &w, mode)
+        });
         rows.push(BaselineRow {
             label: label.into(),
             pct_of_ideal: summarize(
@@ -85,13 +81,10 @@ pub fn compare(speed: f64, radius: f64, runs: u64) -> Vec<BaselineRow> {
     }
 
     {
-        let runs: Vec<_> = seeds
-            .par_iter()
-            .map(|&seed| {
-                let w = generate_workload(&Scenario::new(speed, radius, true, seed));
-                run_partitioned_edf(PROCESSORS, HORIZON, &w)
-            })
-            .collect();
+        let runs: Vec<_> = runner::par_map(seeds.clone(), |seed| {
+            let w = generate_workload(&Scenario::new(speed, radius, true, seed));
+            run_partitioned_edf(PROCESSORS, HORIZON, &w)
+        });
         rows.push(BaselineRow {
             label: "partitioned EDF".into(),
             pct_of_ideal: summarize(

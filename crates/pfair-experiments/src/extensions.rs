@@ -4,8 +4,8 @@
 //! and frequent". Runs the Whisper scenario with each relaxation
 //! individually and with all of them combined, for PD²-OI and PD²-LJ.
 
+use crate::runner;
 use pfair_sched::engine::{simulate, SimConfig};
-use rayon::prelude::*;
 use whisper_sim::extensions::{generate_relaxed_workload, Relaxations};
 use whisper_sim::scenario::{HORIZON, PROCESSORS};
 use whisper_sim::stats::summarize;
@@ -55,24 +55,21 @@ pub fn run(runs: u64) {
         "assumptions", "events", "OI drift", "LJ drift", "OI %ideal", "LJ %ideal"
     );
     for (label, relax) in ladder() {
-        let rows: Vec<(f64, f64, f64, f64, f64)> = (0..runs)
-            .into_par_iter()
-            .map(|seed| {
-                let sc = Scenario::new(2.9, 0.25, true, seed);
-                let w = generate_relaxed_workload(&sc, &relax);
-                let events = w.sorted_events().len() as f64;
-                let oi = simulate(SimConfig::oi(PROCESSORS, HORIZON), &w);
-                let lj = simulate(SimConfig::leave_join(PROCESSORS, HORIZON), &w);
-                assert!(oi.is_miss_free() && lj.is_miss_free());
-                (
-                    events,
-                    oi.max_abs_drift_at(HORIZON).to_f64(),
-                    lj.max_abs_drift_at(HORIZON).to_f64(),
-                    oi.mean_pct_of_ideal(),
-                    lj.mean_pct_of_ideal(),
-                )
-            })
-            .collect();
+        let rows: Vec<(f64, f64, f64, f64, f64)> = runner::par_map((0..runs).collect(), |seed| {
+            let sc = Scenario::new(2.9, 0.25, true, seed);
+            let w = generate_relaxed_workload(&sc, &relax);
+            let events = w.sorted_events().len() as f64;
+            let oi = simulate(SimConfig::oi(PROCESSORS, HORIZON), &w);
+            let lj = simulate(SimConfig::leave_join(PROCESSORS, HORIZON), &w);
+            assert!(oi.is_miss_free() && lj.is_miss_free());
+            (
+                events,
+                oi.max_abs_drift_at(HORIZON).to_f64(),
+                lj.max_abs_drift_at(HORIZON).to_f64(),
+                oi.mean_pct_of_ideal(),
+                lj.mean_pct_of_ideal(),
+            )
+        });
         let col = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| {
             summarize(&rows.iter().map(f).collect::<Vec<_>>()).mean
         };

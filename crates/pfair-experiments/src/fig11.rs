@@ -10,8 +10,8 @@
 //! averaged over seeded runs with 98% confidence intervals (the paper
 //! uses 61 runs per point; `--runs` overrides).
 
+use crate::runner;
 use pfair_sched::reweight::Scheme;
-use rayon::prelude::*;
 use whisper_sim::stats::{summarize, Summary};
 use whisper_sim::{run_whisper, Scenario, WhisperMetrics};
 
@@ -89,13 +89,10 @@ pub const CURVES: [CurveKey; 4] = [
 
 /// Runs one sweep point: `runs` seeded Whisper simulations, aggregated.
 pub fn sweep_point(speed: f64, radius: f64, key: CurveKey, runs: u64) -> CurvePoint {
-    let metrics: Vec<WhisperMetrics> = (0..runs)
-        .into_par_iter()
-        .map(|seed| {
-            let sc = Scenario::new(speed, radius, key.occlusion, seed);
-            run_whisper(&sc, key.scheme())
-        })
-        .collect();
+    let metrics: Vec<WhisperMetrics> = runner::par_map((0..runs).collect(), |seed| {
+        let sc = Scenario::new(speed, radius, key.occlusion, seed);
+        run_whisper(&sc, key.scheme())
+    });
     for m in &metrics {
         assert_eq!(m.misses, 0, "deadline miss in a Whisper run");
     }

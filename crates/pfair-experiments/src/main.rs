@@ -10,8 +10,9 @@
 //! pfair-experiments tradeoff           # hybrid efficiency-vs-accuracy ladder
 //! pfair-experiments baselines          # EDF / partitioned comparison
 //!
-//! options: --runs N   (default 61, the paper's replication count)
-//!          --csv DIR  (also write the Fig. 11 curves as CSV files)
+//! options: --runs N     (default 61, the paper's replication count)
+//!          --csv DIR    (also write the Fig. 11 curves as CSV files)
+//!          --threads N  (worker threads; overrides PFAIR_THREADS)
 //! ```
 
 mod baselines;
@@ -19,6 +20,7 @@ mod counterexamples;
 mod csv_out;
 mod extensions;
 mod fig11;
+mod runner;
 mod scaling;
 mod tradeoff;
 mod windows;
@@ -41,6 +43,13 @@ fn main() {
                 csv = Some(
                     it.next()
                         .map_or_else(|| die("--csv needs a directory"), std::path::PathBuf::from),
+                );
+            }
+            "--threads" => {
+                runner::set_threads(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--threads needs a number >= 1")),
                 );
             }
             "--help" | "-h" => {
@@ -85,7 +94,7 @@ fn main() {
 
 fn print_help() {
     println!(
-        "usage: pfair-experiments [all|fig11-speed|fig11-radius|counterexamples|windows|tradeoff|baselines|extensions|scaling|room] [--runs N]"
+        "usage: pfair-experiments [all|fig11-speed|fig11-radius|counterexamples|windows|tradeoff|baselines|extensions|scaling|room] [--runs N] [--threads N] [--csv DIR]"
     );
 }
 

@@ -1,0 +1,208 @@
+//! Deterministic scoped-thread fan-out for independent simulation runs.
+//!
+//! Every experiment in this crate is an embarrassingly parallel sweep:
+//! a list of independent, seeded configurations, each simulated by a
+//! pure function of its inputs. [`par_map`] fans such a list across a
+//! hand-rolled worker pool built on `std::thread::scope` (the workspace
+//! is offline, so no rayon) and returns results **in input order**, so
+//! parallel output is byte-identical to a serial `map` — determinism is
+//! by construction, not by luck:
+//!
+//! * work is claimed by atomic index, so scheduling order varies, but
+//!   each result is stored at its item's index;
+//! * the merged vector is sorted by index before being returned;
+//! * with one worker (or one item) the pool is bypassed entirely and
+//!   the closure runs on the calling thread, serially.
+//!
+//! The worker count comes from the `PFAIR_THREADS` environment variable
+//! (or a `--threads` CLI override), defaulting to the machine's
+//! available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable naming the worker-thread count.
+pub const THREADS_ENV: &str = "PFAIR_THREADS";
+
+/// Process-wide override set by the `--threads` CLI flag (0 = unset).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide worker-count override (the `--threads` CLI
+/// flag). Takes precedence over `PFAIR_THREADS`.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Resolves the worker-thread count: CLI override, then
+/// `PFAIR_THREADS`, then the machine's available parallelism.
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced >= 1 {
+        return forced;
+    }
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on the configured worker pool, returning
+/// results in input order (identical to `items.into_iter().map(f)`).
+///
+/// Panics in `f` are propagated to the caller, as they would be
+/// serially — a failed assertion inside one run still aborts the sweep.
+pub fn par_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    par_map_threads(threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (exposed for the
+/// determinism tests, which compare pools of different widths).
+pub fn par_map_threads<I, O, F>(threads: usize, items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Ownership of each item moves to whichever worker claims its
+    // index; a Mutex<Option<I>> per slot transfers it without unsafe.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, O)> = Vec::with_capacity(n);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return local;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("a worker panicked while claiming an item")
+                            .take()
+                            .expect("each index is claimed exactly once");
+                        local.push((i, f(item)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => tagged.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Restore input order: each result carries its item's index.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Fans independent simulation runs across the pool: one
+/// [`simulate`](pfair_sched::engine::simulate) call per
+/// `(SimConfig, Workload)` job, results in job order.
+#[cfg_attr(not(test), allow(dead_code))] // consumed by the determinism tests; kept public API for future sweeps
+pub fn run_sims(
+    jobs: Vec<(pfair_sched::engine::SimConfig, pfair_sched::event::Workload)>,
+) -> Vec<pfair_sched::trace::SimResult> {
+    par_map(jobs, |(cfg, w)| pfair_sched::engine::simulate(cfg, &w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 4, 7] {
+            let got = par_map_threads(workers, items.clone(), |x| x * x + 1);
+            assert_eq!(got, expected, "order broken at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_threads(4, empty, |x| x).is_empty());
+        assert_eq!(par_map_threads(4, vec![9u64], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_item_count() {
+        // 100 workers over 3 items must still produce all 3 results.
+        let got = par_map_threads(100, vec![1u64, 2, 3], |x| x * 10);
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    /// A mixed PD²-OI / PD²-LJ / hybrid job list over phase-staggered
+    /// sawtooth workloads: 12 jobs, three schemes × four periods.
+    fn mixed_scheme_jobs() -> Vec<(SimConfig, pfair_sched::event::Workload)> {
+        use pfair_sched::reweight::{HybridPolicy, Scheme};
+        let horizon = 400;
+        let mut jobs = Vec::new();
+        for period in [90i64, 100, 110, 120] {
+            let w = workloads::sawtooth(12, (1, 24), (1, 6), period, horizon);
+            jobs.push((SimConfig::oi(4, horizon), w.clone()));
+            jobs.push((SimConfig::leave_join(4, horizon), w.clone()));
+            jobs.push((
+                SimConfig::oi(4, horizon).with_scheme(Scheme::Hybrid(HybridPolicy::EveryNth(2))),
+                w,
+            ));
+        }
+        jobs
+    }
+
+    fn render(results: &[pfair_sched::trace::SimResult]) -> Vec<String> {
+        use pfair_json::ToJson;
+        results.iter().map(|r| r.to_json().to_string()).collect()
+    }
+
+    use pfair_sched::engine::{simulate, SimConfig};
+    use pfair_sched::workloads;
+
+    #[test]
+    fn parallel_sim_results_are_byte_identical_to_serial() {
+        // Ground truth: a plain serial map over the job list.
+        let serial: Vec<String> = mixed_scheme_jobs()
+            .into_iter()
+            .map(|(cfg, w)| simulate(cfg, &w))
+            .map(|r| render(&[r]).remove(0))
+            .collect();
+        // The same jobs through worker pools of several widths must
+        // reproduce every SimResult — drift tracks, misses, counters,
+        // subtask histories — byte for byte, in the same order.
+        for workers in [1, 2, 4, 8] {
+            let results =
+                par_map_threads(workers, mixed_scheme_jobs(), |(cfg, w)| simulate(cfg, &w));
+            assert_eq!(
+                render(&results),
+                serial,
+                "parallel output diverged at {workers} workers"
+            );
+        }
+        // And through the env-configured entry point used by sweeps.
+        assert_eq!(render(&run_sims(mixed_scheme_jobs())), serial);
+    }
+}

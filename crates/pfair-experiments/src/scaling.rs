@@ -9,11 +9,11 @@
 //!   not correctness or aggregate accuracy (DESIGN.md design-choice
 //!   ablation).
 
+use crate::runner;
 use pfair_sched::engine::{simulate, SimConfig};
 use pfair_sched::priority::TieBreak;
 use pfair_sched::reweight::Scheme;
 use pfair_sched::workloads;
-use rayon::prelude::*;
 use whisper_sim::stats::summarize;
 
 /// One row of the size-scaling table.
@@ -39,24 +39,21 @@ pub fn size_sweep(sizes: &[u32], horizon: i64, seeds: u64) -> Vec<ScaleRow> {
         .iter()
         .map(|&n| {
             let m = (n / 4).max(2);
-            let rows: Vec<(f64, f64, f64, f64)> = (0..seeds)
-                .into_par_iter()
-                .map(|seed| {
-                    // Seed shifts the workload by permuting the phase via
-                    // the period (deterministic but distinct).
-                    let period = 100 + (seed as i64 % 7) * 10;
-                    let w = workloads::sawtooth(n, (1, 24), (1, 6), period, horizon);
-                    let oi = simulate(SimConfig::oi(m, horizon), &w);
-                    let lj = simulate(SimConfig::oi(m, horizon).with_scheme(Scheme::LeaveJoin), &w);
-                    assert!(oi.is_miss_free() && lj.is_miss_free());
-                    (
-                        oi.max_abs_drift_at(horizon).to_f64(),
-                        lj.max_abs_drift_at(horizon).to_f64(),
-                        oi.counters.heap_ops() as f64 / horizon as f64,
-                        oi.counters.stale_pops as f64,
-                    )
-                })
-                .collect();
+            let rows: Vec<(f64, f64, f64, f64)> = runner::par_map((0..seeds).collect(), |seed| {
+                // Seed shifts the workload by permuting the phase via
+                // the period (deterministic but distinct).
+                let period = 100 + (seed as i64 % 7) * 10;
+                let w = workloads::sawtooth(n, (1, 24), (1, 6), period, horizon);
+                let oi = simulate(SimConfig::oi(m, horizon), &w);
+                let lj = simulate(SimConfig::oi(m, horizon).with_scheme(Scheme::LeaveJoin), &w);
+                assert!(oi.is_miss_free() && lj.is_miss_free());
+                (
+                    oi.max_abs_drift_at(horizon).to_f64(),
+                    lj.max_abs_drift_at(horizon).to_f64(),
+                    oi.counters.heap_ops() as f64 / horizon as f64,
+                    oi.counters.stale_pops as f64,
+                )
+            });
             let col = |f: fn(&(f64, f64, f64, f64)) -> f64| {
                 summarize(&rows.iter().map(f).collect::<Vec<_>>()).mean
             };
@@ -81,23 +78,20 @@ pub fn tie_break_ablation(seeds: u64) -> Vec<(String, f64, f64)> {
     ]
     .into_iter()
     .map(|(label, tb)| {
-        let metrics: Vec<(f64, f64)> = (0..seeds)
-            .into_par_iter()
-            .map(|seed| {
-                let sc = whisper_sim::Scenario::new(2.9, 0.25, true, seed);
-                let w = whisper_sim::generate_workload(&sc);
-                let r = simulate(
-                    SimConfig::oi(whisper_sim::PROCESSORS, whisper_sim::HORIZON)
-                        .with_tie_break(tb.clone()),
-                    &w,
-                );
-                assert!(r.is_miss_free());
-                (
-                    r.max_abs_drift_at(whisper_sim::HORIZON).to_f64(),
-                    r.mean_pct_of_ideal(),
-                )
-            })
-            .collect();
+        let metrics: Vec<(f64, f64)> = runner::par_map((0..seeds).collect(), |seed| {
+            let sc = whisper_sim::Scenario::new(2.9, 0.25, true, seed);
+            let w = whisper_sim::generate_workload(&sc);
+            let r = simulate(
+                SimConfig::oi(whisper_sim::PROCESSORS, whisper_sim::HORIZON)
+                    .with_tie_break(tb.clone()),
+                &w,
+            );
+            assert!(r.is_miss_free());
+            (
+                r.max_abs_drift_at(whisper_sim::HORIZON).to_f64(),
+                r.mean_pct_of_ideal(),
+            )
+        });
         (
             label.to_string(),
             summarize(&metrics.iter().map(|m| m.0).collect::<Vec<_>>()).mean,

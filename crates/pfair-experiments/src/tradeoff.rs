@@ -10,9 +10,9 @@
 //! (priority-queue operations and halts) and accuracy (max drift and %
 //! of ideal) — averaged over seeded runs.
 
+use crate::runner;
 use pfair_core::rational::rat;
 use pfair_sched::reweight::{HybridPolicy, Scheme};
-use rayon::prelude::*;
 use whisper_sim::stats::summarize;
 use whisper_sim::{run_whisper, Scenario};
 
@@ -70,18 +70,27 @@ pub fn schemes() -> Vec<(String, Scheme)> {
 }
 
 /// Sweeps the ladder on the base Whisper scenario.
+///
+/// The sweep is flattened to one job per (scheme, seed) pair before
+/// being fanned across the worker pool, so even a single-scheme sweep
+/// with many seeds — or the full 8-scheme ladder with few — keeps every
+/// worker busy. Results come back in job order (see [`runner::par_map`])
+/// and are regrouped per scheme, so output is identical to the serial
+/// nested loop.
 pub fn sweep(speed: f64, radius: f64, runs: u64) -> Vec<TradeoffPoint> {
-    schemes()
+    let ladder = schemes();
+    let jobs: Vec<(usize, u64)> = (0..ladder.len())
+        .flat_map(|si| (0..runs).map(move |seed| (si, seed)))
+        .collect();
+    let all_metrics = runner::par_map(jobs, |(si, seed)| {
+        let sc = Scenario::new(speed, radius, true, seed);
+        run_whisper(&sc, ladder[si].1.clone())
+    });
+    ladder
         .into_iter()
-        .map(|(label, scheme)| {
-            let metrics: Vec<_> = (0..runs)
-                .into_par_iter()
-                .map(|seed| {
-                    let sc = Scenario::new(speed, radius, true, seed);
-                    run_whisper(&sc, scheme.clone())
-                })
-                .collect();
-            for m in &metrics {
+        .zip(all_metrics.chunks(usize::try_from(runs).expect("runs fits in usize").max(1)))
+        .map(|((label, _scheme), metrics)| {
+            for m in metrics {
                 assert_eq!(m.misses, 0, "{label}: deadline miss");
             }
             TradeoffPoint {

@@ -44,8 +44,8 @@ use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
 use pfair_core::time::{slot_index, Slot};
 use pfair_core::weight::Weight;
-use pfair_core::window::{group_deadline, window_in_era, SubtaskWindow};
-use std::collections::VecDeque;
+use pfair_core::window::{SubtaskWindow, WindowCache};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -180,6 +180,9 @@ struct TaskState {
     leaving: Option<Slot>,
     /// Window of the most recently *scheduled* subtask (rule L).
     last_scheduled: Option<SubtaskWindow>,
+    /// Per-era memo of window lengths, b-bits, and group-deadline
+    /// offsets; rebuilt when the scheduling weight changes.
+    win_cache: Option<WindowCache>,
     isw: IswTracker,
     ps: PsTracker,
     drift: DriftTrack,
@@ -208,6 +211,7 @@ impl TaskState {
             pending: None,
             leaving: None,
             last_scheduled: None,
+            win_cache: None,
             isw: IswTracker::new(Rational::ONE, 0),
             ps: PsTracker::new(Rational::ONE, 0),
             drift: DriftTrack::new(),
@@ -300,6 +304,19 @@ pub struct Engine {
     /// Events injected online (e.g., by the real-time executor), merged
     /// into the stream at each step.
     injected: Vec<Event>,
+    /// Slot-indexed schedule of upcoming subtask releases: tasks whose
+    /// `next_release` was set to the key slot. Entries are validated
+    /// against the task's current `next_release` when their slot
+    /// arrives (a later delay/park/leave makes them stale), so each
+    /// slot costs `O(due)` instead of a scan over every task.
+    release_at: BTreeMap<Slot, Vec<TaskId>>,
+    /// Slot-indexed parked reweighting changes (`PendWhen::At`);
+    /// validated against `TaskState::pending` on firing, since a
+    /// superseding initiation or a leave may have replaced the entry.
+    enact_at: BTreeMap<Slot, Vec<TaskId>>,
+    /// Slot-indexed rule-L departures; validated against
+    /// `TaskState::leaving` on firing.
+    leave_at: BTreeMap<Slot, Vec<TaskId>>,
 }
 
 impl Engine {
@@ -318,8 +335,17 @@ impl Engine {
             misses: Vec::new(),
             now: 0,
             injected: Vec::new(),
+            release_at: BTreeMap::new(),
+            enact_at: BTreeMap::new(),
+            leave_at: BTreeMap::new(),
             config,
         }
+    }
+
+    /// Number of ready-queue entries, stale ones included (compaction
+    /// keeps this bounded; see [`ReadyQueue::compact`]).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// The next slot to be simulated.
@@ -376,11 +402,37 @@ impl Engine {
         // Step 7: deadline misses.
         self.check_misses(t);
 
+        // Bound the ready queue: lazy invalidation must not let stale
+        // entries accumulate without limit over long horizons.
+        self.maybe_compact();
+
         for task in &mut self.tasks {
             task.prune(self.config.record_history);
         }
         self.now = t + 1;
         chosen
+    }
+
+    /// Compacts the ready queue once stale entries can dominate it.
+    ///
+    /// At most one live entry per task is ever enqueued (a task's head,
+    /// pushed at release or promotion), so a queue longer than
+    /// `2·tasks + 64` is mostly stale. Refilling past the threshold
+    /// again takes at least `tasks + 64` pushes, which pays for the
+    /// `O(len)` sweep — amortized constant work per push.
+    fn maybe_compact(&mut self) {
+        let threshold = 2 * self.tasks.len() + 64;
+        if self.queue.len() <= threshold {
+            return;
+        }
+        let tasks = &self.tasks;
+        self.queue.compact(&mut self.counters, |e| {
+            let task = &tasks[e.task.idx()];
+            task.in_system
+                && task.subs.iter().any(|s| {
+                    s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
+                })
+        });
     }
 
     /// Applies injected events due at or before `t`.
@@ -441,7 +493,11 @@ impl Engine {
     // ---- step 1: joins & leaves -------------------------------------
 
     fn fire_departures(&mut self, t: Slot) {
-        for task in &mut self.tasks {
+        let Some(due) = self.leave_at.remove(&t) else {
+            return;
+        };
+        for id in Self::in_task_order(due) {
+            let task = &mut self.tasks[id.idx()];
             if task.leaving == Some(t) {
                 task.in_system = false;
                 task.leaving = None;
@@ -450,16 +506,29 @@ impl Engine {
         }
     }
 
+    /// Deduplicates a slot-index bucket and restores the task-index
+    /// iteration order the per-slot scans used, keeping slot processing
+    /// deterministic and independent of insertion history.
+    fn in_task_order(mut due: Vec<TaskId>) -> Vec<TaskId> {
+        due.sort_unstable_by_key(|id| id.0);
+        due.dedup();
+        due
+    }
+
     // ---- step 2: enactments ------------------------------------------
 
     fn fire_enactments(&mut self, t: Slot) {
-        for i in 0..self.tasks.len() {
+        let Some(due) = self.enact_at.remove(&t) else {
+            return;
+        };
+        for id in Self::in_task_order(due) {
+            let i = id.idx();
             let fire = matches!(
                 self.tasks[i].pending,
                 Some(Pending { when: PendWhen::At(at), .. }) if at == t
             );
             if !fire {
-                continue;
+                continue; // superseded, cancelled, or re-parked since
             }
             let Some(pending) = self.tasks[i].pending.take() else {
                 continue;
@@ -481,7 +550,16 @@ impl Engine {
             }
             task.era_open_pending = true;
             task.next_release = Some(t);
+            self.note_release(id, t);
         }
+    }
+
+    /// Records `id`'s `next_release` slot in the release index. Stale
+    /// entries (the release was moved, suppressed, or already fired)
+    /// are filtered by the `next_release == Some(t)` check when their
+    /// slot comes up.
+    fn note_release(&mut self, id: TaskId, at: Slot) {
+        self.release_at.entry(at).or_default().push(id);
     }
 
     // ---- step 3: event-stream processing -----------------------------
@@ -528,6 +606,7 @@ impl Engine {
             .map_or(r_old, |s| s.window.deadline)
             .max(t);
         task.ps.suspend_between(inactive_from, r_new);
+        self.note_release(id, r_new);
     }
 
     fn handle_join(&mut self, id: TaskId, t: Slot, want: Weight) {
@@ -548,6 +627,7 @@ impl Engine {
             ps: PsTracker::new(g, t),
             ..std::mem::replace(task, TaskState::placeholder(id))
         };
+        self.note_release(id, t);
     }
 
     fn handle_leave(&mut self, id: TaskId, t: Slot) {
@@ -580,6 +660,7 @@ impl Engine {
             self.admission.release(id);
         } else {
             task.leaving = Some(leave_at);
+            self.leave_at.entry(leave_at).or_default().push(id);
         }
     }
 
@@ -780,30 +861,42 @@ impl Engine {
             task.era_open_pending = true;
             task.next_release = Some(t);
             task.pending = None;
+            self.note_release(id, t);
         } else {
             task.pending = Some(Pending {
                 target: v,
                 when,
                 kind,
             });
+            if let PendWhen::At(at) = when {
+                self.enact_at.entry(at).or_default().push(id);
+            }
         }
     }
 
     // ---- step 4: releases ---------------------------------------------
 
     fn fire_releases(&mut self, t: Slot) {
-        for i in 0..self.tasks.len() {
-            let task = &mut self.tasks[i];
+        let Some(due) = self.release_at.remove(&t) else {
+            return;
+        };
+        for id in Self::in_task_order(due) {
+            let task = &mut self.tasks[id.idx()];
             if !task.in_system || task.next_release != Some(t) {
-                continue;
+                continue; // moved, suppressed, or already fired
             }
             let index = task.next_index;
             task.next_index += 1;
             let rank = index - task.era_base;
             // audit: allow(panic, engine invariant: reweight rules keep swt within (0 and 1])
             let weight = Weight::try_new(task.swt).expect("invalid scheduling weight");
-            let window = window_in_era(weight, rank, t);
-            let gd = group_deadline(weight, rank, t);
+            // One era memo serves every release until the next
+            // enactment changes the scheduling weight.
+            let cache = match &mut task.win_cache {
+                Some(c) if c.weight().value() == task.swt => c,
+                stale => stale.insert(WindowCache::new(weight)),
+            };
+            let (window, gd) = cache.window_and_group_deadline(rank, t);
             let era_first = task.era_open_pending;
             task.era_open_pending = false;
 
@@ -838,8 +931,9 @@ impl Engine {
 
             // Eqn (4): the successor's release, unless a pending change
             // or leave suppresses it.
-            task.next_release =
+            let successor =
                 (task.pending.is_none() && task.leaving.is_none()).then(|| window.next_release());
+            task.next_release = successor;
 
             // New schedulable head?
             if task.head_pos().map(|p| task.subs[p].index) == Some(index) {
@@ -855,6 +949,9 @@ impl Engine {
                     index,
                 };
                 self.queue.push(entry, &mut self.counters);
+            }
+            if let Some(r) = successor {
+                self.note_release(id, r);
             }
         }
     }
@@ -964,6 +1061,9 @@ impl Engine {
     // ---- step 6: ideal advance & completion-triggered waits -------------
 
     fn advance_ideals(&mut self, t: Slot) {
+        // Waits resolved to a concrete slot this step; indexed after the
+        // task loop releases its borrow.
+        let mut resolved: Vec<(TaskId, Slot)> = Vec::new();
         for task in &mut self.tasks {
             if !task.in_system {
                 continue;
@@ -995,10 +1095,14 @@ impl Engine {
                                 when: PendWhen::At(at),
                                 kind: p.kind,
                             });
+                            resolved.push((task.id, at));
                         }
                     }
                 }
             }
+        }
+        for (id, at) in resolved {
+            self.enact_at.entry(at).or_default().push(id);
         }
     }
 
@@ -1209,6 +1313,59 @@ mod tests {
         let hist = r.task(TaskId(0)).history.as_ref().unwrap();
         let last_era = hist.subtasks.iter().rev().find(|s| s.era_first).unwrap();
         assert_eq!(last_era.window.len(), 2);
+    }
+
+    /// Long horizon under sustained rule-O halting: stale entries with
+    /// ~100-slot deadlines pile up beneath a fully-saturated top of the
+    /// heap (half-weight tasks keep all processors busy, so stale
+    /// entries only drain when their deadline approaches). Lazy
+    /// invalidation alone would hold hundreds of them; the compaction
+    /// sweep keeps the heap within its `2·tasks + 64` bound at every
+    /// slot boundary.
+    #[test]
+    fn long_horizon_queue_stays_bounded() {
+        let churn: u32 = 32;
+        let horizon: i64 = 6_000;
+        let mut w = Workload::new();
+        // 32 tiny-weight tasks reweighting every ~3 slots; each rule-O
+        // initiation halts the unscheduled head, stranding a stale
+        // far-deadline entry.
+        for i in 0..churn {
+            w.join(i, 0, 1, 100);
+            let mut t = 1 + i64::from(i) % 3;
+            while t + 1 < horizon {
+                w.reweight(i, t, 1, 120);
+                w.reweight(i, t + 1, 1, 100);
+                t += 3;
+            }
+        }
+        // Fill the remaining capacity with half-weight tasks (the last
+        // join is clamped by policing) so the utilization is exactly M
+        // and the heap's top is always near-term work.
+        for i in churn..churn + 8 {
+            w.join(i, 0, 1, 2);
+        }
+        let tasks = churn as usize + 8;
+        let mut e = Engine::new(SimConfig::oi(4, horizon), &w);
+        let bound = 2 * tasks + 64;
+        let mut peak = 0;
+        while e.now() < horizon {
+            e.step();
+            peak = peak.max(e.queue_len());
+            assert!(
+                e.queue_len() <= bound,
+                "queue grew to {} at slot {} (bound {bound})",
+                e.queue_len(),
+                e.now()
+            );
+        }
+        let r = e.finish();
+        assert!(r.is_miss_free());
+        assert!(
+            r.counters.compactions > 0,
+            "the workload never triggered a compaction (peak len {peak}); it is not a stress test"
+        );
+        assert!(r.counters.compacted_stale > 0);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct Counters {
     /// (weight > 1/2) — the class whose reweighting rules the paper
     /// defers to the first author's dissertation.
     pub rejected_heavy_reweights: u64,
+    /// Ready-queue compaction passes (stale-entry sweeps).
+    pub compactions: u64,
+    /// Stale entries removed by compaction before they could be popped.
+    pub compacted_stale: u64,
 }
 
 impl pfair_json::ToJson for Counters {
@@ -59,6 +63,8 @@ impl pfair_json::ToJson for Counters {
                 "rejected_heavy_reweights",
                 self.rejected_heavy_reweights.to_json(),
             ),
+            ("compactions", self.compactions.to_json()),
+            ("compacted_stale", self.compacted_stale.to_json()),
         ])
     }
 }
@@ -77,6 +83,13 @@ impl pfair_json::FromJson for Counters {
             migrations: value.field("migrations")?,
             preemptions: value.field("preemptions")?,
             rejected_heavy_reweights: value.field("rejected_heavy_reweights")?,
+            // Absent in traces recorded before compaction existed.
+            compactions: value
+                .get("compactions")
+                .map_or(Ok(0), pfair_json::FromJson::from_json)?,
+            compacted_stale: value
+                .get("compacted_stale")
+                .map_or(Ok(0), pfair_json::FromJson::from_json)?,
         })
     }
 }

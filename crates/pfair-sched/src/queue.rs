@@ -72,6 +72,32 @@ impl ReadyQueue {
         None
     }
 
+    /// Drops every stale entry in one pass, rebuilding the heap from
+    /// the surviving live entries.
+    ///
+    /// Lazy invalidation leaves halted/withdrawn subtasks in the heap
+    /// until they bubble to the top; under sustained reweighting (every
+    /// PD²-LJ event withdraws a subtask) low-priority stale entries can
+    /// outnumber live ones and keep sift costs inflated for the rest of
+    /// the run. Compaction is `O(len)` plus one `O(live)` heapify, so
+    /// callers should trigger it only when stale entries dominate (the
+    /// engine compacts when `len` exceeds a multiple of the live-task
+    /// bound, keeping the amortized per-slot cost constant). Removals
+    /// are tallied in [`Counters::compacted_stale`], not `stale_pops` —
+    /// they never reach a pop.
+    pub fn compact(
+        &mut self,
+        counters: &mut Counters,
+        mut is_live: impl FnMut(&QueueEntry) -> bool,
+    ) {
+        let before = self.heap.len();
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|Reverse(e)| is_live(e));
+        counters.compactions += 1;
+        counters.compacted_stale += (before - entries.len()) as u64; // audit: allow(lossy-cast, usize→u64 is lossless on the supported targets)
+        self.heap = BinaryHeap::from(entries);
+    }
+
     /// Drops every entry (used when a scheduler is reset between runs).
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -126,6 +152,37 @@ mod tests {
         let mut c = Counters::default();
         assert!(q.pop_live(&mut c, |_| true).is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compact_drops_only_stale_entries_and_counts_them() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        for i in 0..100u64 {
+            q.push(entry(i64::try_from(i).unwrap() + 3, false, 0, i), &mut c);
+        }
+        // Everything with an odd index is stale.
+        q.compact(&mut c, |e| e.index % 2 == 0);
+        assert_eq!(q.len(), 50);
+        assert_eq!(c.compactions, 1);
+        assert_eq!(c.compacted_stale, 50);
+        // Survivors still pop in priority order, with no stale pops.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_live(&mut c, |_| true))
+            .map(|e| e.index)
+            .collect();
+        assert_eq!(order, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(c.stale_pops, 0);
+    }
+
+    #[test]
+    fn compact_on_all_live_queue_is_a_noop() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        q.push(entry(5, false, 0, 1), &mut c);
+        q.push(entry(6, false, 1, 1), &mut c);
+        q.compact(&mut c, |_| true);
+        assert_eq!(q.len(), 2);
+        assert_eq!(c.compacted_stale, 0);
     }
 }
 

@@ -4,19 +4,71 @@
 //! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
 //! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `black_box`)
 //! with a simple wall-clock measurement loop: a short warm-up, then
-//! timed batches, reporting mean time per iteration to stdout. There is
-//! no statistical analysis, outlier rejection, or HTML report — just
-//! enough to keep the benchmarks compiling and producing usable
-//! numbers offline.
+//! timed batches, reporting mean and median time per iteration to
+//! stdout. There is no statistical analysis, outlier rejection, or HTML
+//! report — just enough to keep the benchmarks compiling and producing
+//! usable numbers offline.
+//!
+//! Two extensions beyond the real criterion's surface support the
+//! repo's benchmark-trajectory files (`BENCH_*.json`):
+//!
+//! * every finished benchmark is recorded in a process-wide registry
+//!   that a bench target's `main` can drain with [`take_results`] and
+//!   serialize however it likes;
+//! * passing `--quick` on the bench binary's command line (i.e.
+//!   `cargo bench -- --quick`) shrinks the warm-up and measurement
+//!   budgets ~10×, for smoke runs in CI where only "does it run and
+//!   produce numbers" matters, not timing stability.
 
 // Stand-in for an external crate: the first-party float/unwrap policy
 // (root clippy.toml) does not apply to mirrored third-party APIs.
 #![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark: its label and summary statistics.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark label (`group/name/parameter`).
+    pub name: String,
+    /// Median over the timed batches, in nanoseconds per iteration.
+    pub median_ns: u128,
+    /// Mean over the whole measurement, in nanoseconds per iteration.
+    pub mean_ns: u128,
+    /// Total measured iterations.
+    pub iters: u64,
+}
+
+/// Process-wide registry of finished benchmarks, in execution order.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every benchmark recorded so far (typically called once from
+/// a bench target's `main`, after the groups have run).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results registry poisoned"))
+}
+
+/// `true` iff `--quick` was passed on the bench binary's command line.
+pub fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
+
+/// (warm-up budget, measurement budget) for the active mode.
+fn budgets() -> (Duration, Duration) {
+    if quick_mode() {
+        (Duration::from_millis(2), Duration::from_millis(10))
+    } else {
+        (Duration::from_millis(20), Duration::from_millis(100))
+    }
+}
+
+/// Timed batches per benchmark; the median is taken across these.
+const BATCHES: u128 = 7;
 
 /// Identifies a benchmark within a group: `name/parameter`.
 #[derive(Clone, Debug)]
@@ -70,30 +122,44 @@ pub enum BatchSize {
 pub struct Bencher {
     iters_done: u64,
     total: Duration,
+    /// Per-batch mean ns/iter; the median is taken across batches.
+    samples: Vec<u128>,
 }
 
 impl Bencher {
     /// Times repeated calls of `routine`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up: run until ~20ms of work or 10 iterations, whichever
+        let (warm_budget, measure_budget) = budgets();
+        // Warm-up: run until the warm budget or 10 iterations, whichever
         // comes first, to get code and caches hot and pick a batch size.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_iters < 10 && warm_start.elapsed() < Duration::from_millis(20) {
+        while warm_iters < 10 && warm_start.elapsed() < warm_budget {
             black_box(routine());
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
-        // Aim for ~100ms of measurement, capped to keep suites fast.
-        let target_iters = (100_000_000u128 / per_iter.max(1)).clamp(1, 100_000);
-        let start = Instant::now();
-        let mut n = 0u128;
-        while n < target_iters {
-            black_box(routine());
-            n += 1;
+        // Split the measurement budget into BATCHES timed slices so a
+        // median can be taken, capped to keep suites fast.
+        let target_iters = (measure_budget.as_nanos() / per_iter.max(1)).clamp(BATCHES, 100_000);
+        let batch = (target_iters / BATCHES).max(1);
+        self.samples.clear();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            let mut n = 0u128;
+            while n < batch {
+                black_box(routine());
+                n += 1;
+            }
+            let elapsed = t0.elapsed();
+            self.samples.push(elapsed.as_nanos() / batch);
+            total += elapsed;
+            iters = iters.saturating_add(u64::try_from(batch).unwrap_or(u64::MAX));
         }
-        self.total = start.elapsed();
-        self.iters_done = u64::try_from(n).unwrap_or(u64::MAX);
+        self.total = total;
+        self.iters_done = iters;
     }
 
     /// Times `routine` over fresh inputs from `setup`, excluding setup
@@ -103,10 +169,11 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        let (warm_budget, measure_budget) = budgets();
         // Warm-up mirrors `iter`, with setup kept outside the clock.
         let mut warm_iters = 0u64;
         let mut warm_spent = Duration::ZERO;
-        while warm_iters < 10 && warm_spent < Duration::from_millis(20) {
+        while warm_iters < 10 && warm_spent < warm_budget {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));
@@ -114,33 +181,63 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = warm_spent.as_nanos().max(1) / u128::from(warm_iters.max(1));
-        let target_iters = (100_000_000u128 / per_iter.max(1)).clamp(1, 100_000);
-        let mut measured = Duration::ZERO;
-        let mut n = 0u128;
-        while n < target_iters {
-            let input = setup();
-            let t0 = Instant::now();
-            black_box(routine(input));
-            measured += t0.elapsed();
-            n += 1;
+        let target_iters = (measure_budget.as_nanos() / per_iter.max(1)).clamp(BATCHES, 100_000);
+        let batch = (target_iters / BATCHES).max(1);
+        self.samples.clear();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..BATCHES {
+            let mut elapsed = Duration::ZERO;
+            let mut n = 0u128;
+            while n < batch {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                elapsed += t0.elapsed();
+                n += 1;
+            }
+            self.samples.push(elapsed.as_nanos() / batch);
+            total += elapsed;
+            iters = iters.saturating_add(u64::try_from(batch).unwrap_or(u64::MAX));
         }
-        self.total = measured;
-        self.iters_done = u64::try_from(n).unwrap_or(u64::MAX);
+        self.total = total;
+        self.iters_done = iters;
+    }
+
+    /// Median of the per-batch ns/iter samples (`None` before any run).
+    fn median_ns(&self) -> Option<u128> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
     }
 }
 
 fn report(label: &str, b: &Bencher) {
     let mean = b.total.as_nanos() / u128::from(b.iters_done.max(1));
+    let median = b.median_ns().unwrap_or(mean);
     println!(
-        "bench: {:<50} {:>12} ns/iter ({} iters)",
-        label, mean, b.iters_done
+        "bench: {:<50} {:>12} ns/iter (median {}, {} iters)",
+        label, mean, median, b.iters_done
     );
+    RESULTS
+        .lock()
+        .expect("results registry poisoned")
+        .push(BenchResult {
+            name: label.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            iters: b.iters_done,
+        });
 }
 
 fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher {
         iters_done: 0,
         total: Duration::ZERO,
+        samples: Vec::new(),
     };
     f(&mut b);
     report(label, &b);
@@ -259,5 +356,29 @@ mod tests {
     #[test]
     fn harness_runs() {
         sample_bench(&mut Criterion::default());
+    }
+
+    #[test]
+    fn finished_benchmarks_land_in_the_registry() {
+        Criterion::default().bench_function("registry_probe", |b| b.iter(|| black_box(2 + 2)));
+        // Tests share the process-wide registry; filter rather than
+        // assuming this test's entry is the only one.
+        let mine: Vec<BenchResult> = take_results()
+            .into_iter()
+            .filter(|r| r.name == "registry_probe")
+            .collect();
+        assert_eq!(mine.len(), 1);
+        assert!(mine[0].median_ns > 0);
+        assert!(mine[0].iters > 0);
+    }
+
+    #[test]
+    fn median_is_the_middle_batch_sample() {
+        let b = Bencher {
+            iters_done: 5,
+            total: Duration::from_nanos(50),
+            samples: vec![30, 10, 20, 40, 50],
+        };
+        assert_eq!(b.median_ns(), Some(30));
     }
 }
