@@ -1,64 +1,150 @@
 //! Cost of the exact-arithmetic ideal-schedule bookkeeping.
 //!
 //! PD²-OI's extra accuracy rests on tracking `I_SW` completions online
-//! with exact rationals. This bench isolates that machinery: the
-//! per-slot cost of an `IswTracker`/`PsTracker` advance, and the raw
-//! rational operations underneath, to show the bookkeeping stays far
-//! below the slot budget (the paper's 1 ms quantum).
+//! with exact rationals. This bench isolates that machinery and pits the
+//! two bookkeeping strategies against each other at 1k/10k/100k-slot
+//! horizons:
+//!
+//! * **per_slot** — the oracle: one `advance` call per slot, cost
+//!   `O(horizon)` regardless of how often anything changes;
+//! * **advance_to** — the event-driven path: closed-form interval jumps
+//!   at the same observation points the engine uses, cost `O(events)`.
+//!
+//! The pairs share a name scheme (`<group>/per_slot_<h>/…` vs
+//! `<group>/advance_to_<h>/…`) so the trajectory file exposes the
+//! speedup directly. The raw rational-op benches at the bottom cover the
+//! primitives both paths lean on, including the same-denominator add and
+//! `mul_int` fast paths the interval code introduced.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use pfair_core::ideal::{IswTracker, PsTracker};
-use pfair_core::rational::{rat, Rational};
+use pfair_core::rational::{rat, Accumulator, Rational};
 use pfair_core::weight::Weight;
 use pfair_core::window::{b_bit, periodic_window};
 use std::hint::black_box;
 
-fn bench_isw_advance(c: &mut Criterion) {
+/// The weights the tracker pairs sweep: a coarse one (frequent
+/// releases) and the 25/2520 stress weight (huge denominators, sparse
+/// releases — the event-driven best case).
+const WEIGHTS: [(i128, i128); 2] = [(3, 20), (25, 2520)];
+
+/// Horizons for the per_slot/advance_to pairs.
+const HORIZONS: [i64; 3] = [1_000, 10_000, 100_000];
+
+/// Slot-by-slot oracle: add each subtask at its release, advance every
+/// slot.
+fn isw_per_slot(w: Weight, horizon: i64) -> Rational {
+    let mut tr = IswTracker::new(w.value(), 0);
+    let mut next_sub = 1u64;
+    let mut next_release = 0i64;
+    for t in 0..horizon {
+        while next_release == t {
+            let win = periodic_window(w, next_sub, 0);
+            tr.add_subtask(
+                next_sub,
+                win.release,
+                next_sub == 1,
+                next_sub > 1 && b_bit(w, next_sub - 1),
+            );
+            next_sub += 1;
+            next_release = periodic_window(w, next_sub, 0).release;
+        }
+        black_box(tr.advance(t));
+    }
+    tr.isw_total()
+}
+
+/// Event-driven path: register the era's subtasks (releases may lie in
+/// the future, as in `is_ideal_table`), then one closed-form jump.
+fn isw_advance_to(w: Weight, horizon: i64) -> Rational {
+    let mut tr = IswTracker::new(w.value(), 0);
+    let mut next_sub = 1u64;
+    loop {
+        let win = periodic_window(w, next_sub, 0);
+        if win.release >= horizon {
+            break;
+        }
+        tr.add_subtask(
+            next_sub,
+            win.release,
+            next_sub == 1,
+            next_sub > 1 && b_bit(w, next_sub - 1),
+        );
+        next_sub += 1;
+    }
+    black_box(tr.advance_to(horizon));
+    tr.isw_total()
+}
+
+fn bench_isw_pairs(c: &mut Criterion) {
     let mut group = c.benchmark_group("isw_tracker");
-    for &(num, den) in &[(1i128, 3i128), (3, 20), (25, 2520)] {
+    for &(num, den) in &WEIGHTS {
+        let w = Weight::new(rat(num, den));
+        for &h in &HORIZONS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("per_slot_{h}"), format!("w{num}_{den}")),
+                &h,
+                |b, &h| b.iter(|| black_box(isw_per_slot(w, h))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("advance_to_{h}"), format!("w{num}_{den}")),
+                &h,
+                |b, &h| b.iter(|| black_box(isw_advance_to(w, h))),
+            );
+        }
+        // Legacy name kept for trajectory continuity with earlier PRs.
         group.bench_with_input(
             BenchmarkId::new("advance_1000_slots", format!("w{num}_{den}")),
-            &(num, den),
-            |b, &(num, den)| {
-                let w = Weight::new(rat(num, den));
-                b.iter(|| {
-                    let mut tr = IswTracker::new(w.value(), 0);
-                    let mut next_sub = 1u64;
-                    let mut next_release = 0i64;
-                    for t in 0..1000i64 {
-                        while next_release == t {
-                            let win = periodic_window(w, next_sub, 0);
-                            tr.add_subtask(
-                                next_sub,
-                                win.release,
-                                next_sub == 1,
-                                next_sub > 1 && b_bit(w, next_sub - 1),
-                            );
-                            next_sub += 1;
-                            next_release = periodic_window(w, next_sub, 0).release;
-                        }
-                        black_box(tr.advance(t));
-                    }
-                    black_box(tr.isw_total())
-                });
-            },
+            &(),
+            |b, ()| b.iter(|| black_box(isw_per_slot(w, 1000))),
         );
     }
     group.finish();
 }
 
-fn bench_ps_advance(c: &mut Criterion) {
+/// Per-slot I_PS oracle with a weight change every 17 slots.
+fn ps_per_slot(horizon: i64) -> Rational {
+    let mut ps = PsTracker::new(rat(841, 2520), 0);
+    for t in 0..horizon {
+        if t % 17 == 0 {
+            ps.set_wt(rat(600 + i128::from(t % 200), 2520));
+        }
+        black_box(ps.advance(t));
+    }
+    ps.total()
+}
+
+/// The same schedule advanced with one jump per weight change.
+fn ps_advance_to(horizon: i64) -> Rational {
+    let mut ps = PsTracker::new(rat(841, 2520), 0);
+    let mut t = 0i64;
+    while t < horizon {
+        ps.set_wt(rat(600 + i128::from(t % 200), 2520));
+        let next = (t + 17).min(horizon);
+        black_box(ps.advance_to(next));
+        t = next;
+    }
+    ps.total()
+}
+
+fn bench_ps_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_tracker");
+    for &h in &HORIZONS {
+        group.bench_with_input(
+            BenchmarkId::new(format!("per_slot_{h}"), "w_varying"),
+            &h,
+            |b, &h| b.iter(|| black_box(ps_per_slot(h))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("advance_to_{h}"), "w_varying"),
+            &h,
+            |b, &h| b.iter(|| black_box(ps_advance_to(h))),
+        );
+    }
+    group.finish();
+    // Legacy name kept for trajectory continuity with earlier PRs.
     c.bench_function("ps_tracker_advance_1000_slots", |b| {
-        b.iter(|| {
-            let mut ps = PsTracker::new(rat(841, 2520), 0);
-            for t in 0..1000i64 {
-                if t % 17 == 0 {
-                    ps.set_wt(rat(600 + i128::from(t % 200), 2520));
-                }
-                black_box(ps.advance(t));
-            }
-            black_box(ps.total())
-        });
+        b.iter(|| black_box(ps_per_slot(1000)));
     });
 }
 
@@ -66,8 +152,15 @@ fn bench_rational_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("rational");
     let a = rat(841, 2520);
     let d = rat(3, 19);
+    let same = rat(13, 2520);
     group.bench_function("add", |b| b.iter(|| black_box(black_box(a) + black_box(d))));
+    group.bench_function("add_same_den", |b| {
+        b.iter(|| black_box(black_box(a) + black_box(same)));
+    });
     group.bench_function("mul", |b| b.iter(|| black_box(black_box(a) * black_box(d))));
+    group.bench_function("mul_int", |b| {
+        b.iter(|| black_box(black_box(a).mul_int(black_box(504))));
+    });
     group.bench_function("cmp", |b| b.iter(|| black_box(black_box(a) < black_box(d))));
     group.bench_function("div_ceil_int", |b| {
         b.iter(|| black_box(black_box(d).div_ceil_int(black_box(7))));
@@ -81,15 +174,19 @@ fn bench_rational_ops(c: &mut Criterion) {
             black_box(acc)
         });
     });
+    group.bench_function("accumulator_1000", |b| {
+        b.iter(|| {
+            let mut acc = Accumulator::new();
+            for _ in 0..1000 {
+                acc.push(black_box(a));
+            }
+            black_box(acc.finish())
+        });
+    });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_isw_advance,
-    bench_ps_advance,
-    bench_rational_ops
-);
+criterion_group!(benches, bench_isw_pairs, bench_ps_pairs, bench_rational_ops);
 fn main() {
     benches();
     // Fold this target's numbers into the repo-root trajectory file.

@@ -43,6 +43,11 @@ fn corpus_produces_exactly_the_expected_diagnostics() {
         ("sched/float_in_kernel.rs", 9, NO_FLOAT),
         ("sched/float_in_kernel.rs", 10, NO_FLOAT),
         ("sched/float_in_kernel.rs", 10, NO_LOSSY_CASTS),
+        ("sched/interval_advance.rs", 9, NO_LOSSY_CASTS),
+        ("sched/interval_advance.rs", 9, RAW_ARITH),
+        ("sched/interval_advance.rs", 10, RAW_ARITH),
+        ("sched/interval_advance.rs", 11, NO_LOSSY_CASTS),
+        ("sched/interval_advance.rs", 16, NO_PANIC),
         ("sched/lossy_casts.rs", 5, NO_LOSSY_CASTS),
         ("sched/lossy_casts.rs", 12, BAD_ANNOTATION),
         ("sched/lossy_casts.rs", 12, NO_LOSSY_CASTS),
@@ -73,5 +78,17 @@ fn allowed_paths_are_clean() {
     assert!(
         !findings.iter().any(|f| f.path.starts_with("allowed/")),
         "float-exempt path should produce no findings"
+    );
+}
+
+#[test]
+fn sanctioned_interval_advancement_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.path == "sched/interval_advance_ok.rs"),
+        "checked closed-form advancement should audit clean"
     );
 }

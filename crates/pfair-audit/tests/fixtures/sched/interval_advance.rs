@@ -1,0 +1,17 @@
+// Fixture: a closed-form interval jump (the `advance_to` idiom) written
+// without the sanctioned helpers — raw wide arithmetic for the
+// completion count, a lossy slot cast, and a panic instead of a
+// documented invariant.
+// Expected: no-lossy-casts + raw-arithmetic-quarantine at line 9;
+//           raw-arithmetic-quarantine at line 10; no-lossy-casts at
+//           line 11; no-panic-in-library at line 16.
+pub fn completion_slots(rem_num: i128, swt_den: i64, cum: i128) -> i64 {
+    let scaled = rem_num * swt_den as i128;
+    let k = scaled / (cum + 1i128);
+    k as i64
+}
+
+/// Jump the tracker total, panicking instead of surfacing the invariant.
+pub fn jump_total(per_interval: &[i64], k: usize) -> i64 {
+    *per_interval.get(k).unwrap()
+}

@@ -1,0 +1,14 @@
+// Fixture: the same interval jump written in the sanctioned form —
+// checked wide arithmetic, `From` conversions, and the invariant
+// surfaced as a value instead of a panic.
+// Expected: no findings.
+pub fn completion_slots(rem_num: i128, swt_den: i64, cum: i128) -> Option<i128> {
+    let scaled = rem_num.checked_mul(i128::from(swt_den))?;
+    let den = cum.checked_add(1)?;
+    Some(scaled / den)
+}
+
+/// Jump the tracker total, surfacing the invariant as a value.
+pub fn jump_total(per_interval: &[i64], k: usize) -> Option<i64> {
+    per_interval.get(k).copied()
+}

@@ -19,7 +19,11 @@
 //!
 //! The simulation engine records one [`DriftSample`] per era boundary —
 //! evaluating `A(I_PS, …)` and `A(I_CSW, …)` exactly at the boundary —
-//! and this module answers queries over those samples.
+//! and this module answers queries over those samples. Because drift is
+//! only ever read at these boundaries, the engine does not need per-slot
+//! tracker state: it advances the ideal trackers in closed form to each
+//! boundary (an event-driven synchronization) and samples there, which
+//! yields bit-identical values to per-slot accumulation.
 //!
 //! ```
 //! use pfair_core::drift::DriftTrack;

@@ -38,7 +38,9 @@ pub fn is_ideal_table(weight: Weight, offsets: &[i64], horizon: Slot) -> IsIdeal
     for w in offsets.windows(2) {
         assert!(w[0] <= w[1], "IS offsets must be non-decreasing");
     }
-    let mut tracker = IswTracker::new_keeping_history(weight.value(), 0);
+    // Plain tracker (no retained history): the table is reconstructed
+    // from the completion events alone, so nothing is read back.
+    let mut tracker = IswTracker::new(weight.value(), 0);
     // Build the release chain: r(T_{i+1}) = d(T_i) − b(T_i) + (θ_{i+1} − θ_i).
     let mut windows = Vec::with_capacity(n);
     let mut release = *offsets.first().unwrap_or(&0);
@@ -51,20 +53,63 @@ pub fn is_ideal_table(weight: Weight, offsets: &[i64], horizon: Slot) -> IsIdeal
             release = win.next_release() + (offsets[idx] - offsets[idx - 1]);
         }
     }
-    // Advance slot by slot, recovering per-subtask allocations from the
-    // tracker's cumulative values.
+    // One closed-form jump over the whole horizon: the completion events
+    // carry each subtask's `D(I_IS, T_i)` and final-slot allocation, and
+    // with a constant weight those two values determine every row of the
+    // table — release slot, `swt` interiors, final remainder (Fig. 5).
+    let (_, completions) = tracker.advance_to(horizon);
+    let mut final_of: Vec<Option<(Slot, Rational)>> = vec![None; n];
+    for c in &completions {
+        final_of[index_from_rank(c.index) - 1] = Some((c.complete_at, c.final_slot_alloc));
+    }
+    let swt = weight.value();
     let mut per_subtask = vec![vec![Rational::ZERO; slot_index(horizon)]; n];
     let mut per_task = vec![Rational::ZERO; slot_index(horizon)];
-    let mut prev_cum = vec![Rational::ZERO; n];
-    for t in 0..horizon {
-        let (slot_total, _) = tracker.advance(t);
-        per_task[slot_index(t)] = slot_total;
-        for j in 0..n {
-            if let Some(cum) = tracker.subtask_cum(rank_from_index(j) + 1) {
-                let delta = cum - prev_cum[j];
-                if !delta.is_zero() {
-                    per_subtask[j][slot_index(t)] = delta;
-                    prev_cum[j] = cum;
+    for j in 0..n {
+        let (release, _) = windows[j];
+        if release >= horizon {
+            continue;
+        }
+        // Release-slot allocation (Fig. 5 line 4): full weight, or the
+        // weight minus the b=1 predecessor's final-slot allocation.
+        let open = if j > 0 && b_bit(weight, rank_from_index(j)) {
+            // The tracker asserts the predecessor completes before the
+            // successor's release, so its event is always present here.
+            assert!(
+                final_of[j - 1].is_some(),
+                "shared release without a predecessor completion"
+            );
+            let pred_final = final_of[j - 1].map_or(Rational::ZERO, |(_, f)| f);
+            swt - pred_final
+        } else {
+            swt
+        };
+        let mut write = |slot: Slot, value: Rational| {
+            per_subtask[j][slot_index(slot)] = value;
+            per_task[slot_index(slot)] += value;
+        };
+        match final_of[j] {
+            Some((done_at, final_alloc)) => {
+                let last = done_at - 1;
+                if last == release {
+                    // Single-slot window (weight-one case): the release
+                    // allocation is the final one.
+                    write(release, final_alloc);
+                } else {
+                    write(release, open);
+                    for u in (release + 1)..last {
+                        write(u, swt);
+                    }
+                    write(last, final_alloc);
+                }
+            }
+            // Incomplete at the horizon: the min() of Fig. 5 line 8
+            // never binds before the final slot, so every slot after
+            // the release allocates exactly `swt`.
+            None => {
+                write(release, open);
+                for u in (release + 1)..horizon {
+                    write(u, swt);
                 }
             }
         }

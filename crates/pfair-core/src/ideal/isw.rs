@@ -58,7 +58,10 @@ pub struct HaltRecord {
     /// `A(I_SW, T_i, 0, H(T_i))`: total allocation lost to the halt.
     pub lost: Rational,
     /// Per-slot breakdown of `lost` (slot, allocation), for analyses that
-    /// need the per-slot `I_CSW` series.
+    /// need the per-slot `I_CSW` series. Populated only when the tracker
+    /// was built with [`IswTracker::with_slot_history`]; empty otherwise,
+    /// so long-horizon simulations carry just the running `lost` total
+    /// instead of O(horizon) entries per slow subtask.
     pub slot_allocs: Vec<(Slot, Rational)>,
 }
 
@@ -121,6 +124,10 @@ pub struct IswTracker {
     /// When true, completed/halted subtasks are never dropped — needed by
     /// table builders that read back per-subtask cumulative values.
     keep_retired: bool,
+    /// When true, incomplete subtasks keep a per-slot allocation
+    /// breakdown for [`HaltRecord::slot_allocs`]. Opt-in: the breakdown
+    /// grows with the horizon for slow subtasks.
+    record_slot_allocs: bool,
 }
 
 impl IswTracker {
@@ -135,6 +142,7 @@ impl IswTracker {
             halted_loss: Rational::ZERO,
             now: join_at,
             keep_retired: false,
+            record_slot_allocs: false,
         }
     }
 
@@ -146,6 +154,20 @@ impl IswTracker {
         let mut t = IswTracker::new(swt, join_at);
         t.keep_retired = true;
         t
+    }
+
+    /// Builder-style switch: record the per-slot allocation breakdown of
+    /// incomplete subtasks so [`IswTracker::halt`] can report
+    /// [`HaltRecord::slot_allocs`] for per-slot `I_CSW` analyses. Off by
+    /// default because the breakdown is O(horizon) memory for a subtask
+    /// that never completes; without it a halt reports only the running
+    /// `lost` total, which is all the drift accounting needs. While
+    /// enabled, [`IswTracker::advance_to`] falls back to the per-slot
+    /// oracle (a closed-form jump has no per-slot story to record).
+    #[must_use]
+    pub fn with_slot_history(mut self) -> IswTracker {
+        self.record_slot_allocs = true;
+        self
     }
 
     /// The current scheduling weight `swt(T, now)`.
@@ -303,7 +325,7 @@ impl IswTracker {
             let sub = &mut self.subs[i];
             sub.cum += alloc;
             slot_total += alloc;
-            if !alloc.is_zero() {
+            if self.record_slot_allocs && !alloc.is_zero() {
                 sub.slot_allocs.push((t, alloc));
             }
             debug_assert!(sub.cum <= Rational::ONE);
@@ -323,6 +345,177 @@ impl IswTracker {
         (slot_total, completions)
     }
 
+    /// Processes every slot in `[now, t)` in one closed-form jump,
+    /// returning the total allocation over the interval and all
+    /// completions that occurred in it (in completion order). Work is
+    /// O(subtasks released before `t`), not O(slots): within the
+    /// interval the scheduling weight is constant (the usage protocol
+    /// synchronizes before every `set_swt`/`halt`), so Fig. 5 collapses
+    /// per subtask to a release-slot allocation, `swt` per interior
+    /// slot, and the remainder `1 − cum − swt·(k−1)` in the final slot —
+    /// with the final-slot position `k = ⌈(1 − cum)/swt⌉` computed
+    /// directly from the era-constant weight. Interval totals are summed
+    /// through [`crate::rational::Accumulator`], whose same-denominator
+    /// pushes (all era allocations share the weight's denominator) defer
+    /// the gcd to one reduction per jump.
+    ///
+    /// Bit-identical to calling [`IswTracker::advance`] once per slot —
+    /// exact rational arithmetic is associative, and each closed-form
+    /// quantity equals the per-slot recurrence's value at the same slot
+    /// (asserted by the equivalence proptests). With
+    /// [`IswTracker::with_slot_history`] enabled this delegates to the
+    /// per-slot oracle so the breakdown stays complete.
+    ///
+    /// # Panics
+    /// Panics if `t` is behind the tracker's current slot.
+    pub fn advance_to(&mut self, t: Slot) -> (Rational, Vec<CompletionEvent>) {
+        assert!(t >= self.now, "cannot advance a tracker backwards");
+        if self.record_slot_allocs {
+            let mut total = crate::rational::Accumulator::new();
+            let mut completions = Vec::new();
+            while self.now < t {
+                let (slot_total, mut done) = self.advance(self.now);
+                total.push(slot_total);
+                completions.append(&mut done);
+            }
+            return (total.finish(), completions);
+        }
+        let from = self.now;
+        if from == t {
+            return (Rational::ZERO, Vec::new());
+        }
+        self.now = t;
+        let mut interval_total = crate::rational::Accumulator::new();
+        let mut completions = Vec::new();
+        // Index order matters for the same reason as in `advance`: a
+        // successor's release-slot allocation reads the predecessor's
+        // final-slot allocation, which this very call may compute.
+        // Index order is completion order here, so the emitted events
+        // match the per-slot discovery order (a predecessor always
+        // completes strictly before its successor).
+        for i in 0..self.subs.len() {
+            if self.subs[i].complete_at.is_some()
+                || self.subs[i].halted_at != NEVER
+                || self.subs[i].release >= t
+            {
+                continue;
+            }
+            let mut cum = self.subs[i].cum;
+            // First slot of this subtask not yet folded into `cum`.
+            let mut start = from;
+            if self.subs[i].release >= from {
+                // The release slot lies inside the jump: Fig. 5 line 4.
+                let alloc = match self.subs[i].rule {
+                    ReleaseRule::Full => self.swt,
+                    ReleaseRule::SharedWithPred(p) => {
+                        // `subs` is index-sorted (asserted in
+                        // `add_subtask`), so the predecessor lookup is
+                        // logarithmic — an era jump may process many
+                        // thousands of subtasks in one call, and a
+                        // linear scan here would make the jump
+                        // quadratic.
+                        let Ok(j) = self.subs.binary_search_by_key(&p, |s| s.index) else {
+                            unreachable!("predecessor retired too early")
+                        };
+                        let pred = &self.subs[j];
+                        assert!(
+                            pred.complete_at.is_some(),
+                            "predecessor T_{p} not complete at successor release"
+                        );
+                        self.swt - pred.final_slot_alloc
+                    }
+                };
+                debug_assert!(!alloc.is_negative(), "negative I_SW allocation");
+                // `cum` is always zero before the release slot; skip the
+                // general add (this branch runs once per subtask).
+                debug_assert!(cum.is_zero());
+                cum = alloc;
+                interval_total.push(alloc);
+                start = self.subs[i].release + 1;
+            }
+            debug_assert!(cum <= Rational::ONE);
+            if cum == Rational::ONE {
+                // Completed in its release slot (weight-1 era).
+                Self::complete(&mut self.subs[i], start, cum, &mut completions);
+            } else if start < t && self.swt.is_positive() {
+                let remaining = Rational::ONE - cum;
+                // Slots still needed at `swt` apiece; ≥ 1 since cum < 1.
+                let k = crate::time::slot_from_i128(remaining.div_ceil(self.swt));
+                if k <= t - start {
+                    // Completes inside the jump: k − 1 full slots, then
+                    // the remainder in slot start + k − 1.
+                    let final_alloc = remaining - self.swt.mul_int(k - 1);
+                    interval_total.push(remaining);
+                    Self::complete(&mut self.subs[i], start + k, final_alloc, &mut completions);
+                } else {
+                    // Still incomplete at t: every slot allocates swt.
+                    let added = self.swt.mul_int(t - start);
+                    self.subs[i].cum = cum + added;
+                    interval_total.push(added);
+                }
+            } else {
+                self.subs[i].cum = cum;
+            }
+        }
+        let added = interval_total.finish();
+        self.total += added;
+        self.retire();
+        (added, completions)
+    }
+
+    /// Marks a subtask complete at boundary `done_at` with the given
+    /// final-slot allocation and emits the event (shared by the
+    /// closed-form completion sites of `advance_to`).
+    fn complete(
+        sub: &mut IswSub,
+        done_at: Slot,
+        final_alloc: Rational,
+        completions: &mut Vec<CompletionEvent>,
+    ) {
+        sub.cum = Rational::ONE;
+        sub.complete_at = Some(done_at);
+        sub.final_slot_alloc = final_alloc;
+        sub.slot_allocs.clear();
+        completions.push(CompletionEvent {
+            index: sub.index,
+            complete_at: done_at,
+            final_slot_alloc: final_alloc,
+        });
+    }
+
+    /// `D(I_SW, T_index)`, discovered or projected: the recorded
+    /// completion if known, otherwise the closed-form projection for a
+    /// live, already-released subtask assuming `swt` stays constant.
+    /// Exact within an era — any event that changes the weight both
+    /// resynchronizes the tracker and supersedes decisions derived from
+    /// this value, which is what lets the engine resolve
+    /// "enact after `D(I_SW, T_i) + b`" waits eagerly instead of
+    /// rediscovering the completion slot by slot. `None` for
+    /// unknown/halted/not-yet-released subtasks or a non-positive
+    /// weight.
+    pub fn projected_completion(&self, index: u64) -> Option<Slot> {
+        let sub = self.subs.iter().find(|s| s.index == index)?;
+        if sub.complete_at.is_some() {
+            return sub.complete_at;
+        }
+        if sub.halted_at != NEVER || sub.release >= self.now || !self.swt.is_positive() {
+            return None;
+        }
+        let remaining = Rational::ONE - sub.cum;
+        // Slots still needed at `swt` apiece; the last one is now+k−1,
+        // so the completion boundary is now+k.
+        let k = crate::time::slot_from_i128((remaining / self.swt).ceil());
+        Some(self.now + k)
+    }
+
+    /// Number of per-slot breakdown entries currently retained across all
+    /// incomplete subtasks. Always 0 unless
+    /// [`IswTracker::with_slot_history`] was used — the bounded-memory
+    /// regression test pins that.
+    pub fn slot_history_len(&self) -> usize {
+        self.subs.iter().map(|s| s.slot_allocs.len()).sum()
+    }
+
     /// Drops subtasks that can no longer influence anything: completed or
     /// halted subtasks other than the last two entries (the release rule
     /// of the next subtask may still reference the most recent completed
@@ -331,14 +524,15 @@ impl IswTracker {
         if self.keep_retired {
             return;
         }
-        while self.subs.len() > 2 {
-            let s = &self.subs[0];
-            if s.complete_at.is_some() || s.halted_at != NEVER {
-                self.subs.remove(0);
-            } else {
-                break;
-            }
-        }
+        // One drain instead of repeated `remove(0)`: a closed-form era
+        // jump can retire thousands of subtasks in a single call, and
+        // front-removals would make that quadratic.
+        let max_drop = self.subs.len().saturating_sub(2);
+        let n = self.subs[..max_drop]
+            .iter()
+            .take_while(|s| s.complete_at.is_some() || s.halted_at != NEVER)
+            .count();
+        self.subs.drain(..n);
     }
 }
 
@@ -428,10 +622,12 @@ mod tests {
 
     /// Fig. 3(a): same task but T_2 is halted at time 8 (rule O). I_SW
     /// granted it 2/19 + 3/19 = 5/19 by then; I_CSW takes that back.
+    /// Slot history is enabled so the halt record carries the per-slot
+    /// breakdown.
     #[test]
     fn fig3a_halt_and_icsw_loss() {
         let w = rat(3, 19);
-        let mut tr = IswTracker::new(w, 0);
+        let mut tr = IswTracker::new(w, 0).with_slot_history();
         tr.add_subtask(1, 0, true, false);
         tr.add_subtask(2, 6, false, true);
         for t in 0..8 {
@@ -496,5 +692,186 @@ mod tests {
         let mut tr = IswTracker::new(rat(1, 2), 0);
         tr.add_subtask(2, 0, true, false);
         tr.add_subtask(1, 1, true, false);
+    }
+}
+
+#[cfg(test)]
+mod advance_to_tests {
+    use super::*;
+    use crate::rational::rat;
+    use crate::weight::Weight;
+    use crate::window::{b_bit, periodic_window};
+
+    /// Two trackers with identical subtask schedules: one driven per
+    /// slot, one in a single jump; compares totals, per-subtask state,
+    /// and the completion-event streams.
+    fn assert_jump_matches_oracle(num: i128, den: i128, n_subs: u64, horizon: Slot) {
+        let w = Weight::new(rat(num, den));
+        let mut batch = IswTracker::new_keeping_history(w.value(), 0);
+        let mut oracle = IswTracker::new_keeping_history(w.value(), 0);
+        for i in 1..=n_subs {
+            let win = periodic_window(w, i, 0);
+            let pred_b = i > 1 && b_bit(w, i - 1);
+            batch.add_subtask(i, win.release, i == 1, pred_b);
+            oracle.add_subtask(i, win.release, i == 1, pred_b);
+        }
+        let (batch_total, batch_events) = batch.advance_to(horizon);
+        let mut oracle_total = Rational::ZERO;
+        let mut oracle_events = Vec::new();
+        for t in 0..horizon {
+            let (a, mut e) = oracle.advance(t);
+            oracle_total += a;
+            oracle_events.append(&mut e);
+        }
+        assert_eq!(batch_total, oracle_total, "interval total");
+        assert_eq!(batch_events, oracle_events, "completion events");
+        assert_eq!(batch.isw_total(), oracle.isw_total());
+        assert_eq!(batch.now(), oracle.now());
+        for i in 1..=n_subs {
+            assert_eq!(batch.subtask_cum(i), oracle.subtask_cum(i), "cum of T_{i}");
+            assert_eq!(batch.completion_of(i), oracle.completion_of(i));
+        }
+    }
+
+    #[test]
+    fn single_jump_matches_per_slot_for_paper_weights() {
+        assert_jump_matches_oracle(5, 16, 5, 16); // Fig. 1(a)
+        assert_jump_matches_oracle(3, 19, 3, 19); // Fig. 3/7 task X
+        assert_jump_matches_oracle(2, 5, 8, 20); // heavy-ish, b=1 chains
+        assert_jump_matches_oracle(1, 1, 6, 6); // weight one: one per slot
+        assert_jump_matches_oracle(1, 7, 3, 21); // light, b=0 everywhere
+    }
+
+    /// A jump that stops mid-window leaves the same partial cumulative
+    /// state as the per-slot oracle, and the follow-up jump finishes
+    /// identically — the era-boundary cadence the engine uses.
+    #[test]
+    fn split_jumps_preserve_partial_state() {
+        let w = Weight::new(rat(5, 16));
+        for split in 0..=10 {
+            let mut batch = IswTracker::new_keeping_history(w.value(), 0);
+            let mut oracle = IswTracker::new_keeping_history(w.value(), 0);
+            for i in 1..=4u64 {
+                let win = periodic_window(w, i, 0);
+                let pred_b = i > 1 && b_bit(w, i - 1);
+                batch.add_subtask(i, win.release, i == 1, pred_b);
+                oracle.add_subtask(i, win.release, i == 1, pred_b);
+            }
+            batch.advance_to(split);
+            batch.advance_to(10);
+            for t in 0..10 {
+                oracle.advance(t);
+            }
+            assert_eq!(batch.isw_total(), oracle.isw_total(), "split at {split}");
+            for i in 1..=4u64 {
+                assert_eq!(batch.subtask_cum(i), oracle.subtask_cum(i));
+                assert_eq!(batch.completion_of(i), oracle.completion_of(i));
+            }
+        }
+    }
+
+    /// Fig. 7's era change, driven by jumps: advance to the enactment
+    /// boundary, change the weight, jump again. X_2 must complete at 10
+    /// with a 32/95 final slot, exactly as the per-slot test observes.
+    #[test]
+    fn era_change_between_jumps_matches_fig7() {
+        let mut tr = IswTracker::new(rat(3, 19), 0);
+        tr.add_subtask(1, 0, true, false);
+        tr.add_subtask(2, 6, false, true);
+        let (_, first) = tr.advance_to(8);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].index, 1);
+        assert_eq!(first[0].complete_at, 7);
+        assert_eq!(tr.subtask_cum(2), Some(rat(5, 19)));
+        tr.set_swt(rat(2, 5));
+        let (added, second) = tr.advance_to(12);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].index, 2);
+        assert_eq!(second[0].complete_at, 10);
+        assert_eq!(second[0].final_slot_alloc, rat(32, 95));
+        // Slots 8 and 9 allocate 2/5 and 32/95; 10 and 11 nothing.
+        assert_eq!(added, rat(2, 5) + rat(32, 95));
+    }
+
+    /// Projection agrees with discovery: before the completion is
+    /// reached, `projected_completion` names the slot the per-slot
+    /// oracle will eventually report.
+    #[test]
+    fn projection_matches_discovery() {
+        let mut tr = IswTracker::new(rat(3, 19), 0);
+        tr.add_subtask(1, 0, true, false);
+        tr.add_subtask(2, 6, false, true);
+        tr.advance_to(8);
+        tr.set_swt(rat(2, 5));
+        // X_2 holds 5/19; at 2/5 per slot it needs ⌈(14/19)/(2/5)⌉ = 2
+        // more slots, completing at boundary 10.
+        assert_eq!(tr.projected_completion(2), Some(10));
+        let (_, events) = tr.advance_to(10);
+        assert_eq!(events[0].complete_at, 10);
+        // After discovery the projection reports the recorded value.
+        assert_eq!(tr.projected_completion(2), Some(10));
+        // Unknown and unreleased subtasks project to nothing.
+        assert_eq!(tr.projected_completion(99), None);
+        tr.add_subtask(3, 15, true, false);
+        assert_eq!(tr.projected_completion(3), None);
+    }
+
+    /// Without `with_slot_history` no per-slot breakdown is retained
+    /// (bounded memory over long horizons) and halts report an empty
+    /// breakdown but the exact `lost` total; with it, both survive.
+    #[test]
+    fn slot_history_is_opt_in_and_memory_stays_bounded() {
+        // A never-completing subtask: weight tiny, horizon long.
+        let mut lean = IswTracker::new(rat(1, 1_000_000), 0);
+        lean.add_subtask(1, 0, true, false);
+        lean.advance_to(100_000);
+        assert_eq!(
+            lean.slot_history_len(),
+            0,
+            "lean tracker retains no breakdown"
+        );
+        let rec = lean.halt(1, 100_000);
+        assert_eq!(rec.lost, rat(100_000, 1_000_000));
+        assert!(rec.slot_allocs.is_empty());
+
+        let mut rich = IswTracker::new(rat(3, 19), 0).with_slot_history();
+        rich.add_subtask(1, 0, true, false);
+        rich.add_subtask(2, 6, false, true);
+        for t in 0..8 {
+            rich.advance(t);
+        }
+        assert_eq!(rich.slot_history_len(), 2); // X_2's slots 6 and 7
+        let rec = rich.halt(2, 8);
+        assert_eq!(rec.slot_allocs, vec![(6, rat(2, 19)), (7, rat(3, 19))]);
+    }
+
+    /// The with-history fallback still jumps correctly (delegating to
+    /// the per-slot path) so callers need not branch.
+    #[test]
+    fn with_history_fallback_is_equivalent() {
+        let mut jump = IswTracker::new(rat(5, 16), 0).with_slot_history();
+        let mut oracle = IswTracker::new(rat(5, 16), 0).with_slot_history();
+        for tr in [&mut jump, &mut oracle] {
+            tr.add_subtask(1, 0, true, false);
+            tr.add_subtask(2, 3, false, true);
+        }
+        let (jump_total, jump_events) = jump.advance_to(5);
+        let mut oracle_total = Rational::ZERO;
+        let mut oracle_events = Vec::new();
+        for t in 0..5 {
+            let (a, mut e) = oracle.advance(t);
+            oracle_total += a;
+            oracle_events.append(&mut e);
+        }
+        assert_eq!(jump_total, oracle_total);
+        assert_eq!(jump_events, oracle_events);
+        assert_eq!(jump.slot_history_len(), oracle.slot_history_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance a tracker backwards")]
+    fn backwards_jump_panics() {
+        let mut tr = IswTracker::new(rat(1, 2), 5);
+        tr.advance_to(3);
     }
 }

@@ -92,6 +92,52 @@ impl PsTracker {
         self.total += self.wt;
         self.wt
     }
+
+    /// Accrues all slots up to (but excluding) boundary `t` in one step:
+    /// `A(I_PS, T, now, t) = wt · |active slots in [now, t)|`, one
+    /// rational multiply plus one add, with the active-slot count
+    /// obtained from the suspension intervals — O(suspensions) work
+    /// instead of O(slots). Returns the allocation added.
+    ///
+    /// Callers change the weight only at synchronization boundaries
+    /// (`set_wt` after advancing to the initiation slot), so `wt` is
+    /// constant over the interval and the product equals the per-slot
+    /// sum exactly — [`PsTracker::advance`] called once per slot yields
+    /// a bit-identical total, which the equivalence proptests assert.
+    ///
+    /// # Panics
+    /// Panics if `t` is behind the tracker's current slot.
+    pub fn advance_to(&mut self, t: Slot) -> Rational {
+        assert!(t >= self.now, "cannot advance a tracker backwards");
+        if t == self.now {
+            return Rational::ZERO;
+        }
+        let from = self.now;
+        self.now = t;
+        // Suspended slots in [from, t): clip each interval, then sweep
+        // in order so overlapping intervals are not double-counted.
+        let mut clipped: Vec<(Slot, Slot)> = self
+            .suspensions
+            .iter()
+            .map(|&(a, b)| (a.max(from), b.min(t)))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        clipped.sort_unstable();
+        let mut suspended = 0;
+        let mut cursor = from;
+        for (a, b) in clipped {
+            let a = a.max(cursor);
+            if a < b {
+                suspended += b - a;
+                cursor = b;
+            }
+        }
+        // Same retention as per-slot advance after processing slot t−1.
+        self.suspensions.retain(|&(_, until)| until >= t);
+        let added = self.wt.mul_int((t - from) - suspended);
+        self.total += added;
+        added
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +223,70 @@ mod suspension_tests {
             assert_eq!(ps.advance(t), Rational::ZERO);
         }
         assert_eq!(ps.advance(5), rat(1, 2));
+    }
+}
+
+#[cfg(test)]
+mod advance_to_tests {
+    use super::*;
+    use crate::rational::rat;
+
+    #[test]
+    fn interval_jump_matches_per_slot() {
+        // Fig. 7(b)'s schedule, advanced in two closed-form jumps.
+        let mut batch = PsTracker::new(rat(3, 19), 0);
+        assert_eq!(batch.advance_to(8), rat(24, 19));
+        batch.set_wt(rat(2, 5));
+        batch.advance_to(11);
+
+        let mut oracle = PsTracker::new(rat(3, 19), 0);
+        for t in 0..8 {
+            oracle.advance(t);
+        }
+        oracle.set_wt(rat(2, 5));
+        for t in 8..11 {
+            oracle.advance(t);
+        }
+        assert_eq!(batch.total(), oracle.total());
+        assert_eq!(batch.now(), oracle.now());
+    }
+
+    #[test]
+    fn overlapping_suspensions_counted_once() {
+        let mut batch = PsTracker::new(rat(1, 2), 0);
+        batch.suspend_between(2, 6);
+        batch.suspend_between(4, 8);
+        batch.suspend_between(20, 25); // entirely beyond the jump
+        assert_eq!(batch.advance_to(10), rat(2, 1)); // 4 active slots
+
+        let mut oracle = PsTracker::new(rat(1, 2), 0);
+        oracle.suspend_between(2, 6);
+        oracle.suspend_between(4, 8);
+        oracle.suspend_between(20, 25);
+        for t in 0..10 {
+            oracle.advance(t);
+        }
+        assert_eq!(batch.total(), oracle.total());
+        // The future interval must still suspend slots 20..25.
+        batch.advance_to(25);
+        for t in 10..25 {
+            oracle.advance(t);
+        }
+        assert_eq!(batch.total(), oracle.total());
+    }
+
+    #[test]
+    fn empty_jump_is_a_no_op() {
+        let mut ps = PsTracker::new(rat(1, 3), 7);
+        assert_eq!(ps.advance_to(7), Rational::ZERO);
+        assert_eq!(ps.total(), Rational::ZERO);
+        assert_eq!(ps.now(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance a tracker backwards")]
+    fn backwards_jump_panics() {
+        let mut ps = PsTracker::new(rat(1, 3), 7);
+        ps.advance_to(3);
     }
 }

@@ -12,6 +12,33 @@
 //! simulation engine exposes its traces.
 
 use crate::rational::Rational;
+use crate::time::Slot;
+
+/// Lag evaluated at a sparse set of slot boundaries, from *cumulative*
+/// totals instead of per-slot series.
+///
+/// Each point is `(t, A(I, T, 0, t), A(S, T, 0, t))` — a boundary slot,
+/// the cumulative ideal allocation there, and the number of quanta the
+/// actual schedule has granted by then. This is the natural shape of
+/// event-driven bookkeeping: the interval trackers expose exact totals
+/// at synchronization boundaries without materializing any per-slot
+/// series, so lag costs `O(boundaries)` instead of `O(horizon)`.
+///
+/// Where [`lag_series`] and this function observe the same boundary,
+/// they agree exactly (the cumulative total is the per-slot prefix sum,
+/// and exact rational addition is associative).
+///
+/// # Panics
+/// Panics if boundary slots decrease.
+pub fn lag_at_boundaries(points: &[(Slot, Rational, u64)]) -> Vec<(Slot, Rational)> {
+    for w in points.windows(2) {
+        assert!(w[0].0 <= w[1].0, "lag boundaries must be non-decreasing");
+    }
+    points
+        .iter()
+        .map(|&(t, ideal, sched)| (t, ideal - Rational::from_int(i128::from(sched))))
+        .collect()
+}
 
 /// Per-slot-boundary lag series of one task.
 ///
@@ -109,6 +136,39 @@ mod tests {
         let b = vec![rat(1, 4), rat(1, 4)];
         let total = total_lag_series(&[a, b]);
         assert_eq!(total, vec![rat(1, 2), Rational::ZERO]);
+    }
+
+    #[test]
+    fn boundary_lag_matches_series_sampling() {
+        // Weight-2/5 task scheduled in slots 1 and 3 over [0, 5).
+        let ideal = vec![rat(2, 5); 5];
+        let actual = vec![0, 1, 0, 1, 0];
+        let lags = lag_series(&ideal, &actual);
+
+        // The same schedule observed only at boundaries 0, 2, and 5.
+        let mut cum_ideal = Rational::ZERO;
+        let mut cum_sched = 0u64;
+        let mut points = Vec::new();
+        for t in 0..=5u32 {
+            if [0, 2, 5].contains(&t) {
+                points.push((i64::from(t), cum_ideal, cum_sched));
+            }
+            if let Some(i) = ideal.get(t as usize) {
+                cum_ideal += *i;
+                cum_sched += u64::from(actual[t as usize]);
+            }
+        }
+        let sparse = lag_at_boundaries(&points);
+        assert_eq!(sparse.len(), 3);
+        for (t, lag) in sparse {
+            assert_eq!(lag, lags[usize::try_from(t).unwrap()], "boundary {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_boundaries_panic() {
+        let _ = lag_at_boundaries(&[(5, Rational::ZERO, 0), (3, Rational::ZERO, 0)]);
     }
 
     #[test]

@@ -206,9 +206,52 @@ impl Rational {
         Rational::new(self.den, self.num)
     }
 
+    /// `self · n` for an integer factor, cross-reducing `gcd(n, den)`
+    /// once and skipping the normalizing gcd entirely: the result of
+    /// multiplying a canonical `num/den` by the coprime pair
+    /// `(n/g) / (den/g)` is already in lowest terms. Agrees exactly with
+    /// `self * Rational::from_int(n)` (proptested), one gcd cheaper —
+    /// this is the per-interval multiply of the closed-form tracker
+    /// advancement, where `n` is a slot count.
+    ///
+    /// # Panics
+    /// Panics if the product numerator overflows `i128`.
+    #[inline]
+    pub fn mul_int(self, n: i64) -> Rational {
+        let n = i128::from(n);
+        let g = i128::try_from(gcd(n.unsigned_abs(), self.den.unsigned_abs()))
+            // audit: allow(panic, unreachable: gcd divides the positive denominator)
+            .expect("Rational mul_int: gcd exceeds i128");
+        let num = self
+            .num
+            .checked_mul(n / g)
+            // audit: allow(panic, documented overflow contract of Rational arithmetic)
+            .expect("Rational mul_int overflow");
+        // gcd(num·(n/g), den/g) = 1: num ⟂ den by canonical form and
+        // (n/g) ⟂ (den/g) by construction, so no reduction is needed.
+        Rational {
+            num,
+            den: self.den / g,
+        }
+    }
+
     /// Checked addition used by the operator impls.
     #[inline]
     fn checked_add(self, rhs: Rational) -> Rational {
+        if self.den == rhs.den {
+            // Same-denominator fast path: a/d + c/d = (a+c)/d, skipping
+            // the denominator gcd and the two cross-multiplies. The
+            // general path below degenerates to exactly this when b = d
+            // (g = d collapses both scale factors to 1), so the result
+            // and the overflow point are identical — only the reduction
+            // inside `new` remains.
+            let num = self
+                .num
+                .checked_add(rhs.num)
+                // audit: allow(panic, documented overflow contract of Rational arithmetic)
+                .expect("Rational add overflow");
+            return Rational::new(num, self.den);
+        }
         // a/b + c/d = (a*d + c*b) / (b*d); reduce via g = gcd(b, d) first to
         // keep intermediates small (the classic Knuth trick).
         let g = i128::try_from(gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs()))
@@ -293,6 +336,31 @@ impl Rational {
         prod.div_euclid(self.num)
     }
 
+    /// `⌈self / rhs⌉` as an integer, computed directly from the cross
+    /// products without materializing (and gcd-normalizing) the
+    /// intermediate quotient — the closed-form completion count of the
+    /// interval trackers calls this once per subtask, so the two spared
+    /// reductions matter.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is not strictly positive.
+    #[inline]
+    pub fn div_ceil(self, rhs: Rational) -> i128 {
+        assert!(rhs.is_positive(), "div_ceil by non-positive rational");
+        // (a/b) / (c/d) = a·d / (b·c), with b, d > 0 canonical.
+        // audit: allow(panic, documented overflow contract of Rational arithmetic)
+        let num = self.num.checked_mul(rhs.den).expect("div_ceil overflow");
+        // audit: allow(panic, documented overflow contract of Rational arithmetic)
+        let den = rhs.num.checked_mul(self.den).expect("div_ceil overflow");
+        // Same negation-free ceiling as `Rational::ceil`.
+        let q = num.div_euclid(den);
+        if num % den == 0 {
+            q
+        } else {
+            q + 1
+        }
+    }
+
     /// `⌈n / self⌉` for an integer `n` — the ceiling of `n` divided by this
     /// rational, computed exactly. Used for subtask deadlines
     /// `d(T_i) = ⌈i/wt⌉`.
@@ -311,6 +379,77 @@ impl Rational {
         } else {
             q + 1
         }
+    }
+}
+
+/// Exact running sum with deferred reduction: a single un-normalized
+/// numerator over a running common denominator, reduced by one gcd only
+/// when [`Accumulator::finish`] is called — instead of gcd-normalizing
+/// after every `+=` the way the operator does.
+///
+/// The payoff is the era-constant case the interval trackers live in:
+/// every per-slot `I_SW`/`I_PS` allocation within an era shares the era
+/// weight's denominator, so each push is one checked `i128` add and no
+/// gcd at all. Mixed-denominator pushes rescale to the lcm (one gcd),
+/// matching chained `+` exactly in value; the intermediate numerator may
+/// grow larger than a reduced chain would, which is covered by the same
+/// documented overflow-panics contract as the rest of this module.
+#[derive(Clone, Copy, Debug)]
+pub struct Accumulator {
+    num: i128,
+    den: i128,
+}
+
+impl Accumulator {
+    /// An empty sum (zero over denominator one).
+    #[inline]
+    pub const fn new() -> Accumulator {
+        Accumulator { num: 0, den: 1 }
+    }
+
+    /// Adds `r` to the running sum.
+    ///
+    /// # Panics
+    /// Panics if the rescaled numerator or the lcm denominator
+    /// overflows `i128` (same contract as `Rational` addition).
+    #[inline]
+    pub fn push(&mut self, r: Rational) {
+        if r.den == self.den {
+            self.num = self
+                .num
+                .checked_add(r.num)
+                // audit: allow(panic, documented overflow contract of Rational arithmetic)
+                .expect("Accumulator overflow");
+            return;
+        }
+        // Rescale both sides to the lcm of the denominators.
+        let g = i128::try_from(gcd(self.den.unsigned_abs(), r.den.unsigned_abs()))
+            // audit: allow(panic, unreachable: gcd divides the positive denominator)
+            .expect("Accumulator: gcd exceeds i128");
+        let (scale_self, scale_r) = (r.den / g, self.den / g);
+        self.num = self
+            .num
+            .checked_mul(scale_self)
+            .and_then(|x| r.num.checked_mul(scale_r).and_then(|y| x.checked_add(y)))
+            // audit: allow(panic, documented overflow contract of Rational arithmetic)
+            .expect("Accumulator overflow");
+        self.den = self
+            .den
+            .checked_mul(scale_self)
+            // audit: allow(panic, documented overflow contract of Rational arithmetic)
+            .expect("Accumulator overflow");
+    }
+
+    /// The exact sum so far, reduced to canonical form (the one gcd).
+    #[inline]
+    pub fn finish(&self) -> Rational {
+        Rational::new(self.num, self.den)
+    }
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Accumulator::new()
     }
 }
 
@@ -536,6 +675,55 @@ mod tests {
         assert!(!rat(5, 2).is_integer());
         assert!(rat(1, 2).is_positive());
         assert!(rat(-1, 2).is_negative());
+    }
+
+    #[test]
+    fn same_denominator_add_reduces_canonically() {
+        // The fast path still ends at `new`, so sums that reduce must
+        // come out in lowest terms.
+        assert_eq!(rat(1, 6) + rat(1, 6), rat(1, 3));
+        assert_eq!(rat(5, 6) + rat(1, 6), Rational::ONE);
+        assert_eq!(rat(1, 6) - rat(1, 6), Rational::ZERO);
+        assert_eq!(rat(1, 6) - rat(5, 6), rat(-2, 3));
+        // Near-overflow same-denominator operands stay exact.
+        let d = i128::MAX;
+        assert_eq!(
+            Rational::new(i128::MAX - 3, d) + Rational::new(2, d),
+            Rational::new(i128::MAX - 1, d)
+        );
+    }
+
+    #[test]
+    fn mul_int_matches_general_multiplication() {
+        assert_eq!(rat(3, 20).mul_int(0), Rational::ZERO);
+        assert_eq!(rat(3, 20).mul_int(20), rat(3, 1));
+        assert_eq!(rat(3, 20).mul_int(7), rat(21, 20));
+        assert_eq!(rat(-3, 20).mul_int(5), rat(-3, 4));
+        assert_eq!(rat(3, 20).mul_int(-5), rat(-3, 4));
+        // Result is canonical without a final reduction.
+        let r = rat(25, 2520).mul_int(504);
+        assert_eq!((r.numer(), r.denom()), (5, 1));
+    }
+
+    #[test]
+    fn accumulator_matches_chained_addition() {
+        let terms = [rat(3, 19), rat(2, 19), rat(5, 16), rat(-1, 2), rat(7, 19)];
+        let mut acc = Accumulator::new();
+        let mut chained = Rational::ZERO;
+        for t in terms {
+            acc.push(t);
+            chained += t;
+        }
+        assert_eq!(acc.finish(), chained);
+        assert_eq!(Accumulator::new().finish(), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "Accumulator overflow")]
+    fn accumulator_overflow_is_descriptive() {
+        let mut acc = Accumulator::new();
+        acc.push(Rational::new(i128::MAX - 1, i128::MAX));
+        acc.push(Rational::new(i128::MAX - 1, i128::MAX - 2));
     }
 }
 

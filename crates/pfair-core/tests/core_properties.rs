@@ -184,7 +184,9 @@ proptest! {
     /// (AF4: zero allocations outside [r, D)).
     #[test]
     fn halt_accounting(w in arb_weight(), halt_after in 1i64..6) {
-        let mut tr = IswTracker::new_keeping_history(w.value(), 0);
+        // Slot history is opt-in since the interval-advancement change;
+        // this property reads the per-slot breakdown, so enable it.
+        let mut tr = IswTracker::new_keeping_history(w.value(), 0).with_slot_history();
         tr.add_subtask(1, 0, true, false);
         let halt_at = halt_after.min(window_in_era(w, 1, 0).deadline - 1);
         for t in 0..halt_at {

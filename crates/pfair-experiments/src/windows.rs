@@ -90,6 +90,24 @@ pub fn fig7() {
     // The paper's headline values.
     assert_eq!(isw.completion_of(2), Some(10));
     println!("  D(I_SW, X_2) = 10; X_2's final slot allocation = 32/95 ✓ (paper values)");
+
+    // Cross-check: the event-driven engine path — two closed-form
+    // `advance_to` jumps, one per constant-weight interval — lands on
+    // exactly the state the per-slot table above accumulated.
+    let mut isw_jump = IswTracker::new(w, 0);
+    isw_jump.add_subtask(1, 0, true, false);
+    isw_jump.add_subtask(2, 6, false, b_bit(w519, 1));
+    let mut ps_jump = PsTracker::new(w, 0);
+    isw_jump.advance_to(8);
+    ps_jump.advance_to(8);
+    isw_jump.set_swt(rat(2, 5));
+    ps_jump.set_wt(rat(2, 5));
+    isw_jump.advance_to(12);
+    ps_jump.advance_to(12);
+    assert_eq!(isw_jump.icsw_total(), isw.icsw_total());
+    assert_eq!(ps_jump.total(), ps.total());
+    assert_eq!(isw_jump.completion_of(2), Some(10));
+    println!("  two interval jumps (0→8→12) reproduce the per-slot totals ✓");
 }
 
 /// Runs all window tables.

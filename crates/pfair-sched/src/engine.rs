@@ -110,20 +110,6 @@ impl SimConfig {
     }
 }
 
-/// What a parked weight change is waiting for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum PendWhen {
-    /// Fire in step 2 of the given slot.
-    At(Slot),
-    /// Fire once subtask `watch` completes in `I_SW`, at
-    /// `max(not_before, D + plus_b)`.
-    OnCompletion {
-        watch: u64,
-        plus_b: i64,
-        not_before: Slot,
-    },
-}
-
 /// What firing the pending change does.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PendKind {
@@ -134,10 +120,17 @@ enum PendKind {
     ReleaseOnly,
 }
 
-#[derive(Clone, Debug)]
+/// A parked weight change. `at` is always a concrete slot: waits on an
+/// `I_SW` completion (`D(I_SW, T_j) + b`) are resolved eagerly at
+/// initiation from the closed-form projection — exact because the
+/// scheduling weight is era-constant until this very pending fires, and
+/// any superseding initiation replaces the pending (stale `enact_at`
+/// entries are validated away when their slot arrives).
+#[derive(Clone, Copy, Debug)]
 struct Pending {
     target: Rational,
-    when: PendWhen,
+    /// Fires in step 2 of this slot.
+    at: Slot,
     kind: PendKind,
 }
 
@@ -261,6 +254,29 @@ impl TaskState {
         }
     }
 
+    /// Event-driven tracker synchronization: advances the ideal trackers
+    /// to boundary `t` in one closed-form jump and folds any completions
+    /// discovered along the way into the subtask records. The engine
+    /// calls this wherever it reads or mutates ideal state — enactments,
+    /// initiations, halts, delays, releases, departures, end-of-run — so
+    /// the scheduling weight is constant between syncs and the jump is
+    /// bit-identical to the per-slot oracle (`IswTracker::advance_to`).
+    /// In history mode step 6 advances the trackers every slot, making
+    /// this a no-op.
+    fn sync_ideals_to(&mut self, t: Slot) {
+        if self.isw.now() < t {
+            let (_, completions) = self.isw.advance_to(t);
+            for c in completions {
+                if let Some(sub) = self.sub_mut(c.index) {
+                    sub.isw_completion = Some(c.complete_at);
+                }
+            }
+        }
+        if self.ps.now() < t {
+            self.ps.advance_to(t);
+        }
+    }
+
     /// Drops records that can no longer influence the rules. Keeps every
     /// unscheduled/unhalted subtask, anything whose `I_SW` completion is
     /// still unknown (rule O may need to watch it), and the two most
@@ -310,7 +326,7 @@ pub struct Engine {
     /// arrives (a later delay/park/leave makes them stale), so each
     /// slot costs `O(due)` instead of a scan over every task.
     release_at: BTreeMap<Slot, Vec<TaskId>>,
-    /// Slot-indexed parked reweighting changes (`PendWhen::At`);
+    /// Slot-indexed parked reweighting changes (`Pending::at`);
     /// validated against `TaskState::pending` on firing, since a
     /// superseding initiation or a leave may have replaced the entry.
     enact_at: BTreeMap<Slot, Vec<TaskId>>,
@@ -396,8 +412,14 @@ impl Engine {
         // Step 5: PD² selection.
         let chosen = self.select_and_schedule(t);
 
-        // Step 6: ideal-schedule advance + completion-triggered waits.
-        self.advance_ideals(t);
+        // Step 6: per-slot ideal-schedule advance — history mode only,
+        // where the per-slot I_SW series must be materialized anyway.
+        // Event-driven runs instead jump the trackers forward at event
+        // boundaries (`TaskState::sync_ideals_to`), cutting ideal
+        // bookkeeping from O(slots × tasks) to O(events × tasks).
+        if self.config.record_history {
+            self.advance_ideals(t);
+        }
 
         // Step 7: deadline misses.
         self.check_misses(t);
@@ -457,7 +479,16 @@ impl Engine {
     }
 
     /// Consumes the engine, producing the run's results.
-    pub fn finish(self) -> SimResult {
+    pub fn finish(mut self) -> SimResult {
+        // End-of-run boundary: bring every still-present task's trackers
+        // up to the last simulated slot (no-op in history mode; departed
+        // tasks were synced when they left).
+        let now = self.now;
+        for ts in &mut self.tasks {
+            if ts.in_system {
+                ts.sync_ideals_to(now);
+            }
+        }
         let record_history = self.config.record_history;
         let tasks = self
             .tasks
@@ -499,6 +530,8 @@ impl Engine {
         for id in Self::in_task_order(due) {
             let task = &mut self.tasks[id.idx()];
             if task.leaving == Some(t) {
+                // The ideals stop accruing at departure; close them out.
+                task.sync_ideals_to(t);
                 task.in_system = false;
                 task.leaving = None;
                 self.admission.release(task.id);
@@ -525,7 +558,7 @@ impl Engine {
             let i = id.idx();
             let fire = matches!(
                 self.tasks[i].pending,
-                Some(Pending { when: PendWhen::At(at), .. }) if at == t
+                Some(Pending { at, .. }) if at == t
             );
             if !fire {
                 continue; // superseded, cancelled, or re-parked since
@@ -534,6 +567,9 @@ impl Engine {
                 continue;
             };
             let task = &mut self.tasks[i];
+            // The enactment changes the scheduling weight: advance the
+            // trackers across the closing era first, under its weight.
+            task.sync_ideals_to(t);
             match pending.kind {
                 PendKind::Enact => {
                     task.swt = pending.target;
@@ -599,6 +635,7 @@ impl Engine {
         if r_old < t {
             return;
         }
+        task.sync_ideals_to(t);
         let r_new = r_old + i64::from(by);
         task.next_release = Some(r_new);
         let inactive_from = task
@@ -613,9 +650,17 @@ impl Engine {
         let Some(granted) = self.admission.request(id, want) else {
             return; // join rejected: no capacity at all
         };
+        let record_history = self.config.record_history;
         let task = &mut self.tasks[id.idx()];
         assert!(!task.in_system, "{id} joined twice");
         let g: Rational = granted.value();
+        // History runs retain per-slot halt corrections; event-driven runs
+        // keep the tracker's memory bounded instead.
+        let isw = if record_history {
+            IswTracker::new(g, t).with_slot_history()
+        } else {
+            IswTracker::new(g, t)
+        };
         *task = TaskState {
             in_system: true,
             wt: g,
@@ -623,7 +668,7 @@ impl Engine {
             era_base: task.next_index - 1,
             era_open_pending: true,
             next_release: Some(t),
-            isw: IswTracker::new(g, t),
+            isw,
             ps: PsTracker::new(g, t),
             ..std::mem::replace(task, TaskState::placeholder(id))
         };
@@ -631,11 +676,14 @@ impl Engine {
     }
 
     fn handle_leave(&mut self, id: TaskId, t: Slot) {
+        if !self.tasks[id.idx()].in_system {
+            return;
+        }
+        // Totals must be settled through `t` before the task can depart
+        // immediately (leave_at == t) or halt its unscheduled subtasks.
+        self.tasks[id.idx()].sync_ideals_to(t);
         let (withdraw, leave_at) = {
             let task = &self.tasks[id.idx()];
-            if !task.in_system {
-                return;
-            }
             let withdraw: Vec<u64> = task
                 .subs
                 .iter()
@@ -669,6 +717,9 @@ impl Engine {
     /// everything back).
     fn halt_subtask(&mut self, id: TaskId, index: u64, t: Slot) {
         let task = &mut self.tasks[id.idx()];
+        // `halt` takes back exactly the allocations accrued so far, so the
+        // tracker must first be caught up to the halt boundary.
+        task.sync_ideals_to(t);
         let rec = task.isw.halt(index, t);
         if self.config.record_history {
             task.halted_corrections.extend(rec.slot_allocs);
@@ -698,6 +749,11 @@ impl Engine {
         self.counters.reweight_initiations += 1;
         let v: Rational = granted.value();
         let old_swt = self.tasks[id.idx()].swt;
+
+        // Catch the trackers up to the initiation boundary first: `I_PS`
+        // accrues the old weight up to `t` before `set_wt`, and the rules
+        // below project `I_SW` completions from the current slot.
+        self.tasks[id.idx()].sync_ideals_to(t);
 
         // The actual weight (and I_PS) changes at initiation, always.
         {
@@ -742,7 +798,7 @@ impl Engine {
         if d_passed {
             // d(T_j) ≤ t_c: enact at max(t_c, d + b).
             let at = (tj.window.deadline + i64::from(tj.window.b)).max(t);
-            self.park_or_enact(id, t, v, PendWhen::At(at), PendKind::Enact);
+            self.park_or_enact(id, t, v, at, PendKind::Enact);
             return;
         }
 
@@ -771,25 +827,20 @@ impl Engine {
             } else {
                 PendKind::Enact
             };
-            match tj.isw_completion {
-                Some(d_isw) => {
-                    let at = (d_isw + i64::from(tj.window.b)).max(t);
-                    self.park_or_enact(id, t, v, PendWhen::At(at), kind);
-                }
-                None => {
-                    let task = &mut self.tasks[id.idx()];
-                    task.next_release = None;
-                    task.pending = Some(Pending {
-                        target: v,
-                        when: PendWhen::OnCompletion {
-                            watch: tj.index,
-                            plus_b: i64::from(tj.window.b),
-                            not_before: t,
-                        },
-                        kind,
-                    });
-                }
-            }
+            // D(I_SW, T_j) is known in closed form the moment the wait is
+            // installed: `swt` cannot change again before this pending
+            // change fires (a superseding initiation replaces it wholesale
+            // and re-projects), so the projection equals the slot the
+            // per-slot tracker would have discovered.
+            let proj = tj
+                .isw_completion
+                .or_else(|| self.tasks[id.idx()].isw.projected_completion(tj.index));
+            assert!(
+                proj.is_some(),
+                "scheduled incomplete subtask must project an I_SW completion"
+            );
+            let at = proj.map_or(t, |d| (d + i64::from(tj.window.b)).max(t));
+            self.park_or_enact(id, t, v, at, kind);
         } else {
             // Omission-changeable (rule O): halt T_j (unless a superseded
             // event already did) and enact at max(t_c, D(I_SW, T_{j−1}) +
@@ -799,26 +850,22 @@ impl Engine {
             }
             let pred = self.tasks[id.idx()].pred_of(tj.index).copied();
             match pred {
-                None => self.park_or_enact(id, t, v, PendWhen::At(t), PendKind::Enact),
-                Some(p) => match p.isw_completion {
-                    Some(d_isw) => {
-                        let at = (d_isw + i64::from(p.window.b)).max(t);
-                        self.park_or_enact(id, t, v, PendWhen::At(at), PendKind::Enact);
-                    }
-                    None => {
-                        let task = &mut self.tasks[id.idx()];
-                        task.next_release = None;
-                        task.pending = Some(Pending {
-                            target: v,
-                            when: PendWhen::OnCompletion {
-                                watch: p.index,
-                                plus_b: i64::from(p.window.b),
-                                not_before: t,
-                            },
-                            kind: PendKind::Enact,
-                        });
-                    }
-                },
+                None => self.park_or_enact(id, t, v, t, PendKind::Enact),
+                Some(p) => {
+                    // Same closed-form projection as rule I, against the
+                    // predecessor. A retired predecessor always has its
+                    // completion recorded on the SubRec, so the record is
+                    // consulted before the tracker.
+                    let proj = p
+                        .isw_completion
+                        .or_else(|| self.tasks[id.idx()].isw.projected_completion(p.index));
+                    assert!(
+                        proj.is_some(),
+                        "predecessor of a released subtask must project an I_SW completion"
+                    );
+                    let at = proj.map_or(t, |d| (d + i64::from(p.window.b)).max(t));
+                    self.park_or_enact(id, t, v, at, PendKind::Enact);
+                }
             }
         }
     }
@@ -839,13 +886,13 @@ impl Engine {
         let at = self.tasks[id.idx()]
             .last_scheduled
             .map_or(t, |w| (w.deadline + i64::from(w.b)).max(t));
-        self.park_or_enact(id, t, v, PendWhen::At(at), PendKind::Enact);
+        self.park_or_enact(id, t, v, at, PendKind::Enact);
     }
 
     /// Installs a pending change, or fires it on the spot when its time
     /// is the current slot (enactments for slot `t` have already run).
-    fn park_or_enact(&mut self, id: TaskId, t: Slot, v: Rational, when: PendWhen, kind: PendKind) {
-        let fire_now = matches!(when, PendWhen::At(at) if at <= t);
+    fn park_or_enact(&mut self, id: TaskId, t: Slot, v: Rational, at: Slot, kind: PendKind) {
+        let fire_now = at <= t;
         let task = &mut self.tasks[id.idx()];
         task.next_release = None;
         if fire_now {
@@ -865,12 +912,10 @@ impl Engine {
         } else {
             task.pending = Some(Pending {
                 target: v,
-                when,
+                at,
                 kind,
             });
-            if let PendWhen::At(at) = when {
-                self.enact_at.entry(at).or_default().push(id);
-            }
+            self.enact_at.entry(at).or_default().push(id);
         }
     }
 
@@ -885,6 +930,10 @@ impl Engine {
             if !task.in_system || task.next_release != Some(t) {
                 continue; // moved, suppressed, or already fired
             }
+            // Per-release synchronization boundary: drift samples read
+            // A(·, 0, t) below, and settling completions here also keeps
+            // `subs` and the tracker's retained records bounded.
+            task.sync_ideals_to(t);
             let index = task.next_index;
             task.next_index += 1;
             let rank = index - task.era_base;
@@ -1058,51 +1107,29 @@ impl Engine {
         }
     }
 
-    // ---- step 6: ideal advance & completion-triggered waits -------------
+    // ---- step 6 (history mode): per-slot ideal advance ------------------
 
+    /// Per-slot oracle path, active only under `record_history`: the
+    /// `isw_per_slot` series needs every slot's allocation anyway, so the
+    /// closed-form jumps buy nothing there. Event-driven runs skip this
+    /// entirely and rely on `TaskState::sync_ideals_to`.
     fn advance_ideals(&mut self, t: Slot) {
-        // Waits resolved to a concrete slot this step; indexed after the
-        // task loop releases its borrow.
-        let mut resolved: Vec<(TaskId, Slot)> = Vec::new();
         for task in &mut self.tasks {
             if !task.in_system {
                 continue;
             }
             let (slot_alloc, completions) = task.isw.advance(t);
             task.ps.advance(t);
-            if self.config.record_history {
-                let idx = slot_index(t);
-                if task.isw_per_slot.len() <= idx {
-                    task.isw_per_slot.resize(idx + 1, Rational::ZERO);
-                }
-                task.isw_per_slot[idx] = slot_alloc;
+            let idx = slot_index(t);
+            if task.isw_per_slot.len() <= idx {
+                task.isw_per_slot.resize(idx + 1, Rational::ZERO);
             }
+            task.isw_per_slot[idx] = slot_alloc;
             for c in completions {
                 if let Some(sub) = task.sub_mut(c.index) {
                     sub.isw_completion = Some(c.complete_at);
                 }
-                if let Some(p) = &task.pending {
-                    if let PendWhen::OnCompletion {
-                        watch,
-                        plus_b,
-                        not_before,
-                    } = p.when
-                    {
-                        if watch == c.index {
-                            let at = (c.complete_at + plus_b).max(not_before).max(t + 1);
-                            task.pending = Some(Pending {
-                                target: p.target,
-                                when: PendWhen::At(at),
-                                kind: p.kind,
-                            });
-                            resolved.push((task.id, at));
-                        }
-                    }
-                }
             }
-        }
-        for (id, at) in resolved {
-            self.enact_at.entry(at).or_default().push(id);
         }
     }
 

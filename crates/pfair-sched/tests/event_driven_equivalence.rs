@@ -1,0 +1,150 @@
+//! Event-driven bookkeeping ≡ per-slot bookkeeping at the engine level.
+//!
+//! A history run (`record_history`) advances every task's ideal trackers
+//! slot by slot — the oracle path. An event-driven run advances them
+//! only at synchronization boundaries (reweight initiations, releases,
+//! halts, leaves, end of run) via the closed-form `advance_to` jumps.
+//! Because the jumps are bit-identical to per-slot accumulation (exact
+//! rational arithmetic is associative), the two runs must agree on every
+//! aggregate the engine reports: ideal totals, drift samples, scheduling
+//! decisions, misses, and counters. Scheduling itself never depended on
+//! the per-slot values, so even the quanta placement is unchanged.
+
+use pfair_core::rational::Rational;
+use pfair_sched::engine::{simulate, SimConfig};
+use pfair_sched::event::Workload;
+use pfair_sched::reweight::{HybridPolicy, Scheme};
+use proptest::prelude::*;
+
+const HORIZON: i64 = 120;
+
+fn arb_weight() -> impl Strategy<Value = (i128, i128)> {
+    (2i128..=24).prop_flat_map(|den| (1i128..=(den / 2).max(1), Just(den)))
+}
+
+#[derive(Debug, Clone)]
+struct TaskPlan {
+    join_weight: (i128, i128),
+    join_at: i64,
+    reweights: Vec<(i64, (i128, i128))>,
+    delay: Option<(i64, u32)>,
+    leave_at: Option<i64>,
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    processors: u32,
+    tasks: Vec<TaskPlan>,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    let delay = (0u32..=2, 1i64..HORIZON - 20, 1u32..6)
+        .prop_map(|(on, at, by)| (on == 0).then_some((at, by)));
+    let leave = (0u32..=2, 40i64..HORIZON - 5).prop_map(|(on, at)| (on == 0).then_some(at));
+    let task = (
+        arb_weight(),
+        0i64..=30,
+        prop::collection::vec(((1i64..HORIZON - 10), arb_weight()), 0..=3),
+        delay,
+        leave,
+    )
+        .prop_map(
+            |(join_weight, join_at, reweights, delay, leave_at)| TaskPlan {
+                join_weight,
+                join_at,
+                reweights,
+                delay,
+                leave_at,
+            },
+        );
+    (1u32..=4, prop::collection::vec(task, 1..=8))
+        .prop_map(|(processors, tasks)| Plan { processors, tasks })
+}
+
+fn workload_of(plan: &Plan) -> Workload {
+    let mut w = Workload::new();
+    for (i, t) in plan.tasks.iter().enumerate() {
+        let id = u32::try_from(i).unwrap_or(0);
+        w.join(id, t.join_at, t.join_weight.0, t.join_weight.1);
+        for (at, wt) in &t.reweights {
+            if *at > t.join_at {
+                w.reweight(id, *at, wt.0, wt.1);
+            }
+        }
+        if let Some((at, by)) = t.delay {
+            if at > t.join_at {
+                w.delay(id, at, by);
+            }
+        }
+        if let Some(at) = t.leave_at {
+            if at > t.join_at {
+                w.leave(id, at);
+            }
+        }
+    }
+    w
+}
+
+/// Asserts every engine-reported aggregate matches between a per-slot
+/// (history) run and an event-driven run of the same workload.
+fn assert_runs_agree(plan: &Plan, cfg: SimConfig) {
+    let w = workload_of(plan);
+    let oracle = simulate(cfg.clone().with_history(), &w);
+    let fast = simulate(cfg, &w);
+
+    assert_eq!(oracle.tasks.len(), fast.tasks.len());
+    for (o, f) in oracle.tasks.iter().zip(fast.tasks.iter()) {
+        assert_eq!(o.id, f.id);
+        assert_eq!(o.scheduled_count, f.scheduled_count, "task {}", o.id);
+        assert_eq!(o.ps_total, f.ps_total, "I_PS of task {}", o.id);
+        assert_eq!(o.isw_total, f.isw_total, "I_SW of task {}", o.id);
+        assert_eq!(o.icsw_total, f.icsw_total, "I_CSW of task {}", o.id);
+        assert_eq!(
+            o.drift.samples(),
+            f.drift.samples(),
+            "drift samples of task {}",
+            o.id
+        );
+        // The history run carries the per-slot series as an internal
+        // consistency check: its I_SW per-slot sum, net of halted
+        // corrections, must equal the totals both runs report.
+        let hist = o.history.as_ref();
+        assert!(hist.is_some(), "oracle run must record history");
+        if let Some(h) = hist {
+            let per_slot_sum = h
+                .isw_per_slot
+                .iter()
+                .fold(Rational::ZERO, |acc, a| acc + *a);
+            assert_eq!(per_slot_sum, o.isw_total, "per-slot sum of task {}", o.id);
+        }
+    }
+    assert_eq!(&oracle.misses, &fast.misses);
+    assert_eq!(&oracle.counters, &fast.counters);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PD²-OI: fine-grained reweighting exercises rules O and I, the
+    /// eager completion projections, and enactment-boundary syncs.
+    #[test]
+    fn oi_event_driven_matches_per_slot(plan in arb_plan()) {
+        assert_runs_agree(&plan, SimConfig::oi(plan.processors, HORIZON));
+    }
+
+    /// PD²-LJ: leave/join reweighting exercises halt-time syncs and
+    /// rule-L departures.
+    #[test]
+    fn lj_event_driven_matches_per_slot(plan in arb_plan()) {
+        assert_runs_agree(&plan, SimConfig::leave_join(plan.processors, HORIZON));
+    }
+
+    /// Hybrid policies switch schemes mid-run; the bookkeeping paths
+    /// must stay interchangeable across the switches.
+    #[test]
+    fn hybrid_event_driven_matches_per_slot(plan in arb_plan(), nth in 1u32..4) {
+        let cfg = SimConfig::oi(plan.processors, HORIZON)
+            .with_scheme(Scheme::Hybrid(HybridPolicy::EveryNth(nth)));
+        assert_runs_agree(&plan, cfg);
+    }
+}
