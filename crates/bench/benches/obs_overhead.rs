@@ -1,0 +1,110 @@
+//! Probe overhead: the zero-cost-when-disabled guard for `pfair-obs`.
+//!
+//! The engine is generic over a [`Probe`](pfair_sched::prelude::Probe)
+//! with static dispatch, so a [`NoopProbe`] run must compile to the
+//! same machine code as the probe-free baseline (`simulate`, which *is*
+//! the `NoopProbe` instantiation of the generic engine). This bench
+//! pins that claim in the trajectory file at 10k- and 100k-slot
+//! horizons over a sustained sawtooth reweighting workload, and records
+//! what a live [`MetricsProbe`] actually costs next to it.
+//!
+//! The three variants are timed **interleaved**: every round times one
+//! run of each, rotating the starting variant, so slow machine-load
+//! drift hits all series equally instead of biasing whichever window
+//! ran later. Reviewing a trajectory bump: `baseline` and `noop_probe`
+//! must stay within noise (≤ 2%) of each other; only `metrics_probe`
+//! may drift with feature work.
+
+use criterion::{criterion_group, BenchResult, Criterion};
+use pfair_sched::engine::{simulate, simulate_with, SimConfig};
+use pfair_sched::prelude::MetricsProbe;
+use pfair_sched::workloads::sawtooth;
+use std::hint::black_box;
+use std::time::Instant;
+
+const TASKS: u32 = 12;
+const CPUS: u32 = 4;
+
+/// Times one round-robin pass per round over the three variants and
+/// registers a `BenchResult` per variant, medians taken across rounds.
+fn paired(horizon: i64, rounds: usize) {
+    /// One timed series: label, the run under test, collected samples.
+    type Variant<'a> = (&'a str, Box<dyn FnMut() + 'a>, Vec<u128>);
+    let w = sawtooth(TASKS, (1, 24), (1, 6), 100, horizon);
+    let mut variants: Vec<Variant> = vec![
+        (
+            "baseline",
+            Box::new(|| {
+                black_box(simulate(SimConfig::oi(CPUS, horizon), &w).counters);
+            }),
+            Vec::new(),
+        ),
+        (
+            "noop_probe",
+            Box::new(|| {
+                black_box(
+                    simulate_with(
+                        SimConfig::oi(CPUS, horizon),
+                        &w,
+                        pfair_sched::prelude::NoopProbe,
+                    )
+                    .0
+                    .counters,
+                );
+            }),
+            Vec::new(),
+        ),
+        (
+            "metrics_probe",
+            Box::new(|| {
+                let (result, probe) =
+                    simulate_with(SimConfig::oi(CPUS, horizon), &w, MetricsProbe::new());
+                black_box((result.counters, probe.registry().counter("slots")));
+            }),
+            Vec::new(),
+        ),
+    ];
+    // One untimed warm-up pass per variant, then the interleaved rounds;
+    // the starting variant rotates so drift has no preferred victim.
+    for (_, run, _) in &mut variants {
+        run();
+    }
+    let n = variants.len();
+    for round in 0..rounds {
+        for k in 0..n {
+            let (_, run, samples) = &mut variants[(round + k) % n];
+            let t0 = Instant::now();
+            run();
+            samples.push(t0.elapsed().as_nanos());
+        }
+    }
+    for (name, _, mut samples) in variants {
+        samples.sort_unstable();
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<u128>() / samples.len() as u128;
+        let label = format!("obs_overhead/{name}/{horizon}slots");
+        println!("bench: {label:<50} {mean_ns:>12} ns/iter (median {median_ns}, {rounds} iters)");
+        criterion::record_result(BenchResult {
+            name: label,
+            median_ns,
+            mean_ns,
+            iters: rounds as u64,
+        });
+    }
+}
+
+fn bench_obs_overhead(_c: &mut Criterion) {
+    // --quick keeps CI's smoke run short; the full run takes enough
+    // interleaved samples for the medians to resolve a 2% difference.
+    let rounds = if criterion::quick_mode() { 3 } else { 21 };
+    for &horizon in &[10_000i64, 100_000] {
+        paired(horizon, rounds);
+    }
+}
+
+criterion_group!(benches, bench_obs_overhead);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

@@ -2,7 +2,7 @@
 //! parametric size so every bench target measures the same systems —
 //! plus the benchmark-trajectory emitter ([`emit_summary`]) that every
 //! bench target calls from `main` to fold its numbers into
-//! `BENCH_pr3.json` at the repository root.
+//! [`TRAJECTORY_FILE`] at the repository root.
 
 use pfair_sched::prelude::*;
 
@@ -31,7 +31,7 @@ pub fn reweight_burst(n: u32, m: u32, at: i64) -> Workload {
 }
 
 /// File the benchmark trajectory is written to, at the repo root.
-pub const TRAJECTORY_FILE: &str = "BENCH_pr3.json";
+pub const TRAJECTORY_FILE: &str = "BENCH_pr4.json";
 
 /// Serializes one drained benchmark result as a trajectory entry.
 fn result_entry(r: &criterion::BenchResult) -> pfair_json::Json {
@@ -53,7 +53,7 @@ fn int_json(v: u128) -> pfair_json::Json {
 }
 
 /// Drains the criterion registry and merges the results into
-/// `BENCH_pr3.json` at the repo root: one object keyed by benchmark
+/// [`TRAJECTORY_FILE`] at the repo root: one object keyed by benchmark
 /// name, entries from earlier bench targets in the same `cargo bench`
 /// run preserved, same-name entries overwritten.
 ///

@@ -51,6 +51,11 @@ fn corpus_produces_exactly_the_expected_diagnostics() {
         ("sched/lossy_casts.rs", 5, NO_LOSSY_CASTS),
         ("sched/lossy_casts.rs", 12, BAD_ANNOTATION),
         ("sched/lossy_casts.rs", 12, NO_LOSSY_CASTS),
+        ("sched/obs_aggregation.rs", 8, NO_FLOAT),
+        ("sched/obs_aggregation.rs", 8, NO_LOSSY_CASTS),
+        ("sched/obs_aggregation.rs", 9, NO_FLOAT),
+        ("sched/obs_aggregation.rs", 9, NO_LOSSY_CASTS),
+        ("sched/obs_aggregation.rs", 14, NO_PANIC),
         ("sched/panics.rs", 4, NO_PANIC),
         ("sched/panics.rs", 9, NO_PANIC),
         ("sched/panics.rs", 13, NO_PANIC),
@@ -90,5 +95,17 @@ fn sanctioned_interval_advancement_is_clean() {
             .iter()
             .any(|f| f.path == "sched/interval_advance_ok.rs"),
         "checked closed-form advancement should audit clean"
+    );
+}
+
+#[test]
+fn sanctioned_obs_aggregation_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.path == "sched/obs_aggregation_ok.rs"),
+        "integer-log2 bucketing and value-propagating lookups should audit clean"
     );
 }

@@ -1,0 +1,13 @@
+// Fixture: the same aggregation written in the sanctioned pfair-obs
+// form — exact power-of-two bucketing via integer log2, checked width
+// conversions, and absent names surfacing as values, not panics.
+// Expected: no findings.
+pub fn bucket_of(value: u64) -> Option<usize> {
+    let log = value.checked_ilog2()?;
+    usize::try_from(log).ok().map(|b| b.saturating_add(1))
+}
+
+/// Total of one named counter, absent names surfacing as `None`.
+pub fn counter_total(counters: &[(String, u64)], name: &str) -> Option<u64> {
+    counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}

@@ -7,6 +7,7 @@
 
 pub mod parser;
 pub mod report;
+pub mod tracecmd;
 
 use pfair_sched::engine::simulate;
 use pfair_sched::trace::SimResult;

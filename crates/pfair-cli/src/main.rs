@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pfair run <workload-file> [--render] [--verify]
+//! pfair trace [--whisper SEED] [--scheme oi|lj] [--horizon N] [--top K] [--out FILE]
 //! pfair example                 # print a documented sample file
 //! ```
 
@@ -52,6 +53,52 @@ fn main() {
                 }
             }
         }
+        Some("trace") => {
+            let mut opts = pfair_cli::tracecmd::TraceOptions::default();
+            let mut out_path = String::from("trace.json");
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--whisper" => {
+                        opts.seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--whisper needs a seed number"));
+                    }
+                    "--scheme" => {
+                        opts.scheme = it
+                            .next()
+                            .and_then(|v| pfair_cli::tracecmd::parse_scheme(v))
+                            .unwrap_or_else(|| die("--scheme needs 'oi' or 'lj'"));
+                    }
+                    "--horizon" => {
+                        opts.horizon = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&h| h > 0)
+                            .unwrap_or_else(|| die("--horizon needs a positive number"));
+                    }
+                    "--top" => {
+                        opts.top = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--top needs a number"));
+                    }
+                    "--out" => {
+                        out_path = it
+                            .next()
+                            .cloned()
+                            .unwrap_or_else(|| die("--out needs a file path"));
+                    }
+                    other => die(&format!("unknown trace option {other}")),
+                }
+            }
+            let (report, chrome) = pfair_cli::tracecmd::run_trace(&opts);
+            print!("{report}");
+            std::fs::write(&out_path, chrome.to_string_pretty())
+                .unwrap_or_else(|e| die(&format!("writing {out_path}: {e}")));
+            println!("wrote {out_path} (load in Perfetto or chrome://tracing)");
+        }
         Some("example") => print!("{}", parser::EXAMPLE),
         Some("--help") | Some("-h") | None => usage(),
         Some(other) => {
@@ -64,6 +111,9 @@ fn main() {
 
 fn usage() {
     println!("usage: pfair run <workload-file> [--render] [--verify] [--json OUT] [--svg OUT]");
+    println!(
+        "       pfair trace [--whisper SEED] [--scheme oi|lj] [--horizon N] [--top K] [--out FILE]"
+    );
     println!("       pfair example");
 }
 

@@ -44,6 +44,11 @@ pub fn summary(result: &SimResult) -> String {
         c.migrations,
         c.preemptions
     );
+    let _ = writeln!(
+        out,
+        "queue: {} stale pops; {} compaction(s) dropping {} stale entries",
+        c.stale_pops, c.compactions, c.compacted_stale
+    );
     out
 }
 
@@ -86,6 +91,8 @@ mod tests {
         assert!(s.contains("T1"));
         assert!(s.contains("0 deadline miss(es)"));
         assert!(s.contains("1 initiated"));
+        assert!(s.contains("stale pops"));
+        assert!(s.contains("compaction(s)"));
     }
 
     #[test]

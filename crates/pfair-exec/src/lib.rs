@@ -55,6 +55,7 @@ use parking_lot::Mutex;
 use pfair_core::task::TaskId;
 use pfair_core::time::Slot;
 use pfair_core::weight::Weight;
+use pfair_obs::{NoopProbe, Probe};
 use pfair_sched::engine::{Engine, SimConfig};
 use pfair_sched::event::{Event, EventKind, Workload};
 use pfair_sched::trace::SimResult;
@@ -86,11 +87,16 @@ struct RtTask {
 }
 
 /// Builder for an [`Executor`].
-pub struct ExecutorBuilder {
+///
+/// Generic over a [`Probe`] so a run can record structured engine
+/// events plus the executor-specific overrun/skip instants; the
+/// default [`NoopProbe`] compiles to nothing.
+pub struct ExecutorBuilder<P: Probe = NoopProbe> {
     workers: u32,
     quantum: Duration,
     horizon: Slot,
     tasks: Vec<(String, Weight, TaskBody)>,
+    probe: P,
 }
 
 impl ExecutorBuilder {
@@ -102,26 +108,43 @@ impl ExecutorBuilder {
             quantum: Duration::from_millis(10),
             horizon: 1_000_000,
             tasks: Vec::new(),
+            probe: NoopProbe,
         }
     }
+}
 
+impl<P: Probe> ExecutorBuilder<P> {
     /// Sets the quantum length.
-    pub fn quantum(mut self, quantum: Duration) -> ExecutorBuilder {
+    pub fn quantum(mut self, quantum: Duration) -> ExecutorBuilder<P> {
         self.quantum = quantum;
         self
     }
 
     /// Virtual time: no sleeping; each slot closes when all of its
     /// ticks have completed. Deterministic — intended for tests.
-    pub fn virtual_time(mut self) -> ExecutorBuilder {
+    pub fn virtual_time(mut self) -> ExecutorBuilder<P> {
         self.quantum = Duration::ZERO;
         self
     }
 
     /// Caps the total number of quanta the executor may ever run.
-    pub fn max_quanta(mut self, horizon: Slot) -> ExecutorBuilder {
+    pub fn max_quanta(mut self, horizon: Slot) -> ExecutorBuilder<P> {
         self.horizon = horizon;
         self
+    }
+
+    /// Attaches a probe, replacing any earlier one. The probe observes
+    /// every engine event of the run plus the executor's overrun/skip
+    /// instants, and comes back out of
+    /// [`Executor::shutdown_with_probe`].
+    pub fn with_probe<Q: Probe>(self, probe: Q) -> ExecutorBuilder<Q> {
+        ExecutorBuilder {
+            workers: self.workers,
+            quantum: self.quantum,
+            horizon: self.horizon,
+            tasks: self.tasks,
+            probe,
+        }
     }
 
     /// Registers a task with an initial weight and its per-tick body.
@@ -140,7 +163,7 @@ impl ExecutorBuilder {
 
     /// Builds the executor (spawns the worker pool; the clock starts on
     /// the first [`Executor::run`] call).
-    pub fn build(self) -> Executor {
+    pub fn build(self) -> Executor<P> {
         let mut workload = Workload::new();
         for (i, (_, weight, _)) in self.tasks.iter().enumerate() {
             workload.push(Event {
@@ -150,7 +173,11 @@ impl ExecutorBuilder {
                 kind: EventKind::Join(*weight),
             });
         }
-        let engine = Engine::new(SimConfig::oi(self.workers, self.horizon), &workload);
+        let engine = Engine::with_probe(
+            SimConfig::oi(self.workers, self.horizon),
+            &workload,
+            self.probe,
+        );
         let tasks: Vec<RtTask> = self
             .tasks
             .into_iter()
@@ -272,8 +299,8 @@ impl ExecReport {
 }
 
 /// The PD² real-time executor. Build with [`ExecutorBuilder`].
-pub struct Executor {
-    engine: Engine,
+pub struct Executor<P: Probe = NoopProbe> {
+    engine: Engine<P>,
     tasks: Vec<RtTask>,
     quantum: Duration,
     job_tx: Option<Sender<Job>>,
@@ -286,7 +313,7 @@ pub struct Executor {
     skips: Vec<u64>,
 }
 
-impl Executor {
+impl<P: Probe> Executor<P> {
     /// A remote control usable from any thread.
     pub fn controller(&self) -> Controller {
         Controller {
@@ -341,6 +368,8 @@ impl Executor {
                     // Previous tick still running: the quantum is lost.
                     self.skips[idx] += 1;
                     self.overruns[idx] += 1;
+                    self.engine.probe_mut().on_exec_overrun(id, t);
+                    self.engine.probe_mut().on_exec_skip(id, t);
                     continue;
                 }
                 self.busy[idx] = true;
@@ -397,7 +426,13 @@ impl Executor {
     }
 
     /// Stops the worker pool and returns the report.
-    pub fn shutdown(mut self) -> ExecReport {
+    pub fn shutdown(self) -> ExecReport {
+        self.shutdown_with_probe().0
+    }
+
+    /// [`Executor::shutdown`], also handing back the probe with
+    /// everything it recorded over the run.
+    pub fn shutdown_with_probe(mut self) -> (ExecReport, P) {
         // Closing the job channel terminates the workers.
         self.job_tx = None;
         for w in self.workers.drain(..) {
@@ -405,13 +440,17 @@ impl Executor {
         }
         let ticks_per_task = self.tasks.iter().map(|t| t.ticks).collect();
         let names = self.tasks.iter().map(|t| t.name.clone()).collect();
-        ExecReport {
-            sim: self.engine.finish(),
-            names,
-            ticks_per_task,
-            overruns: self.overruns,
-            skips: self.skips,
-        }
+        let (sim, probe) = self.engine.finish_with_probe();
+        (
+            ExecReport {
+                sim,
+                names,
+                ticks_per_task,
+                overruns: self.overruns,
+                skips: self.skips,
+            },
+            probe,
+        )
     }
 }
 
@@ -549,6 +588,31 @@ mod tests {
         let report = exec.shutdown();
         assert!(report.skips(h) > 0, "a 4x overrun must lose quanta");
         assert_eq!(max_seen.load(Ordering::SeqCst), 1, "no concurrent ticks");
+    }
+
+    #[test]
+    fn probe_observes_exec_skips_and_engine_events() {
+        // Same overrun scenario, observed through a metrics probe: the
+        // executor-level skip/overrun instants and the engine's slot
+        // count both land in the registry.
+        let mut b = ExecutorBuilder::new(2)
+            .quantum(Duration::from_millis(1))
+            .with_probe(pfair_obs::MetricsProbe::new());
+        let h = b.task("slow", Weight::new(rat(1, 2)), |_| {
+            std::thread::sleep(Duration::from_millis(4));
+        });
+        let mut exec = b.build();
+        exec.run(20);
+        let (report, probe) = exec.shutdown_with_probe();
+        let reg = probe.registry();
+        assert_eq!(reg.counter("slots"), 20);
+        assert_eq!(reg.counter("exec.skips"), report.skips(h));
+        assert_eq!(reg.counter("exec.overruns"), report.overruns(h));
+        assert!(reg.counter("exec.skips") > 0);
+        assert_eq!(
+            reg.counter("schedules"),
+            report.sim.counters.scheduled_quanta
+        );
     }
 }
 

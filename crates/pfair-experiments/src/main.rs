@@ -13,6 +13,7 @@
 //! options: --runs N     (default 61, the paper's replication count)
 //!          --csv DIR    (also write the Fig. 11 curves as CSV files)
 //!          --threads N  (worker threads; overrides PFAIR_THREADS)
+//!          --timing     (append per-run wall-clock columns; nondeterministic)
 //! ```
 
 mod baselines;
@@ -52,6 +53,7 @@ fn main() {
                         .unwrap_or_else(|| die("--threads needs a number >= 1")),
                 );
             }
+            "--timing" => runner::set_timing(true),
             "--help" | "-h" => {
                 print_help();
                 return;
@@ -94,7 +96,7 @@ fn main() {
 
 fn print_help() {
     println!(
-        "usage: pfair-experiments [all|fig11-speed|fig11-radius|counterexamples|windows|tradeoff|baselines|extensions|scaling|room] [--runs N] [--threads N] [--csv DIR]"
+        "usage: pfair-experiments [all|fig11-speed|fig11-radius|counterexamples|windows|tradeoff|baselines|extensions|scaling|room] [--runs N] [--threads N] [--csv DIR] [--timing]"
     );
 }
 

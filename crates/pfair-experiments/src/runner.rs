@@ -18,7 +18,7 @@
 //! (or a `--threads` CLI override), defaulting to the machine's
 //! available parallelism.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable naming the worker-thread count.
@@ -26,6 +26,22 @@ pub const THREADS_ENV: &str = "PFAIR_THREADS";
 
 /// Process-wide override set by the `--threads` CLI flag (0 = unset).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide per-job timing switch (the `--timing` CLI flag).
+/// Off by default so sweep output stays byte-identical run to run;
+/// wall-clock figures are inherently nondeterministic.
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enables (or disables) per-job wall-clock reporting in the sweeps
+/// that support it (the `--timing` CLI flag).
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::Relaxed);
+}
+
+/// `true` iff `--timing` was requested.
+pub fn timing() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
 
 /// Installs a process-wide worker-count override (the `--threads` CLI
 /// flag). Takes precedence over `PFAIR_THREADS`.
@@ -118,6 +134,24 @@ where
     tagged.into_iter().map(|(_, o)| o).collect()
 }
 
+/// [`par_map`], also measuring each job's wall time on its worker.
+/// Results stay in input order; the duration vector is index-aligned
+/// with them. The timings themselves are nondeterministic, which is
+/// why callers only *render* them behind [`timing`].
+pub fn par_map_timed<I, O, F>(items: Vec<I>, f: F) -> (Vec<O>, Vec<std::time::Duration>)
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let timed = par_map(items, |item| {
+        let start = std::time::Instant::now();
+        let out = f(item);
+        (out, start.elapsed())
+    });
+    timed.into_iter().unzip()
+}
+
 /// Fans independent simulation runs across the pool: one
 /// [`simulate`](pfair_sched::engine::simulate) call per
 /// `(SimConfig, Workload)` job, results in job order.
@@ -204,5 +238,44 @@ mod tests {
         }
         // And through the env-configured entry point used by sweeps.
         assert_eq!(render(&run_sims(mixed_scheme_jobs())), serial);
+    }
+
+    #[test]
+    fn par_map_timed_aligns_durations_with_results() {
+        let (out, times) = par_map_timed(vec![1u64, 2, 3, 4, 5], |x| x * 2);
+        assert_eq!(out, vec![2, 4, 6, 8, 10]);
+        assert_eq!(times.len(), out.len());
+    }
+
+    #[test]
+    fn probed_runs_are_byte_identical_across_pool_widths() {
+        use pfair_sched::engine::simulate_with;
+        use pfair_sched::prelude::{Fanout, MetricsProbe, TraceRecorder};
+
+        // Each job's full observability output — the ordered event
+        // stream, the Chrome trace, and the canonical metrics snapshot
+        // — rendered to one string.
+        let observe =
+            |jobs: Vec<(SimConfig, pfair_sched::event::Workload)>, workers: usize| -> Vec<String> {
+                par_map_threads(workers, jobs, |(cfg, w)| {
+                    let (_, Fanout(rec, metrics)) =
+                        simulate_with(cfg, &w, Fanout(TraceRecorder::new(), MetricsProbe::new()));
+                    let events: Vec<String> = rec
+                        .events()
+                        .iter()
+                        .map(|e| pfair_json::ToJson::to_json(e).to_string())
+                        .collect();
+                    format!(
+                        "{}\n{}\n{}",
+                        events.join("\n"),
+                        rec.chrome_trace(),
+                        metrics.registry().snapshot_text()
+                    )
+                })
+            };
+        let serial = observe(mixed_scheme_jobs(), 1);
+        assert!(serial.iter().any(|s| s.contains("reweight_initiated")));
+        let wide = observe(mixed_scheme_jobs(), 4);
+        assert_eq!(serial, wide, "probe output diverged across pool widths");
     }
 }

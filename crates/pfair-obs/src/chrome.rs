@@ -1,0 +1,879 @@
+//! Event recording and Chrome trace-event export.
+//!
+//! [`TraceRecorder`] is a [`Probe`] that keeps the full typed event
+//! stream plus one [`ReweightSpan`] per reweighting event, attributing
+//! both the *direct* cost reported at initiation and the *deferred*
+//! cost that surfaces later (stale queue entries stranded by the
+//! event's halts, the era-opening release push at enactment) back to
+//! the owning span. [`TraceRecorder::chrome_trace`] renders the whole
+//! thing as Chrome trace-event JSON — open the file in
+//! `chrome://tracing` or <https://ui.perfetto.dev> — with schedule
+//! lanes on pid 1 (one tid per task), tracker jumps on pid 2, and
+//! reweight spans stretching from initiation to enactment carrying
+//! `rule` and per-event cost in their args.
+//!
+//! Everything is integer-exact: timestamps are slot numbers, durations
+//! are slot counts, and the export goes through `pfair-json`, whose
+//! only number type is `i128`.
+
+use crate::probe::{Probe, ReweightCost, Rule};
+use pfair_core::task::TaskId;
+use pfair_core::time::Slot;
+use pfair_json::{obj, FromJson, Json, JsonError, ToJson};
+use std::collections::BTreeMap;
+
+/// One typed engine/executor event, in emission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// Subtask release (`era_first` marks an era-opening release).
+    Release {
+        /// Task released.
+        task: TaskId,
+        /// Subtask index.
+        index: u64,
+        /// Release slot.
+        t: Slot,
+        /// Subtask deadline.
+        deadline: Slot,
+        /// Whether this release opens an era.
+        era_first: bool,
+    },
+    /// Subtask scheduled in a slot.
+    Schedule {
+        /// Task scheduled.
+        task: TaskId,
+        /// Subtask index.
+        index: u64,
+        /// Slot it ran in.
+        t: Slot,
+    },
+    /// Task ran in the previous slot but lost its processor.
+    Preempt {
+        /// Task preempted.
+        task: TaskId,
+        /// Slot of the preemption.
+        t: Slot,
+    },
+    /// Subtask halted (rule O or a leave/LJ withdrawal).
+    Halt {
+        /// Task halted.
+        task: TaskId,
+        /// Subtask index.
+        index: u64,
+        /// Slot of the halt.
+        t: Slot,
+    },
+    /// Stale queue entry discarded by a pop.
+    StalePop {
+        /// Owning task.
+        task: TaskId,
+        /// Subtask index.
+        index: u64,
+        /// Slot of the pop.
+        t: Slot,
+    },
+    /// Stale queue entry dropped by a compaction sweep.
+    StaleDrop {
+        /// Owning task.
+        task: TaskId,
+        /// Subtask index.
+        index: u64,
+        /// Slot of the sweep.
+        t: Slot,
+    },
+    /// Reweighting initiation, with rule and direct cost.
+    ReweightInitiated {
+        /// Task reweighted.
+        task: TaskId,
+        /// Initiation slot.
+        t: Slot,
+        /// Rule that resolved it.
+        rule: Rule,
+        /// Direct cost measured while the rules ran.
+        cost: ReweightCost,
+        /// Projected enactment slot.
+        enact_at: Slot,
+    },
+    /// Reweighting enactment.
+    ReweightEnacted {
+        /// Task reweighted.
+        task: TaskId,
+        /// Enactment slot.
+        t: Slot,
+        /// Slot the event was initiated at.
+        initiated_at: Slot,
+    },
+    /// Closed-form tracker jump.
+    TrackerAdvance {
+        /// Task whose trackers jumped.
+        task: TaskId,
+        /// Jump start boundary.
+        from: Slot,
+        /// Jump end boundary.
+        to: Slot,
+    },
+    /// Executor tick overran its quantum budget.
+    ExecOverrun {
+        /// Task that overran.
+        task: TaskId,
+        /// Slot of the overrun.
+        t: Slot,
+    },
+    /// Executor quantum lost to a still-running previous tick.
+    ExecSkip {
+        /// Task that lost the quantum.
+        task: TaskId,
+        /// Slot of the skip.
+        t: Slot,
+    },
+}
+
+fn slot_json(t: Slot) -> Json {
+    Json::Int(i128::from(t))
+}
+
+fn u64_json(v: u64) -> Json {
+    Json::Int(i128::from(v))
+}
+
+impl ToJson for ObsEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            ObsEvent::Release {
+                task,
+                index,
+                t,
+                deadline,
+                era_first,
+            } => obj([
+                ("kind", Json::Str("release".into())),
+                ("task", task.to_json()),
+                ("index", u64_json(*index)),
+                ("t", slot_json(*t)),
+                ("deadline", slot_json(*deadline)),
+                ("era_first", Json::Bool(*era_first)),
+            ]),
+            ObsEvent::Schedule { task, index, t } => obj([
+                ("kind", Json::Str("schedule".into())),
+                ("task", task.to_json()),
+                ("index", u64_json(*index)),
+                ("t", slot_json(*t)),
+            ]),
+            ObsEvent::Preempt { task, t } => obj([
+                ("kind", Json::Str("preempt".into())),
+                ("task", task.to_json()),
+                ("t", slot_json(*t)),
+            ]),
+            ObsEvent::Halt { task, index, t } => obj([
+                ("kind", Json::Str("halt".into())),
+                ("task", task.to_json()),
+                ("index", u64_json(*index)),
+                ("t", slot_json(*t)),
+            ]),
+            ObsEvent::StalePop { task, index, t } => obj([
+                ("kind", Json::Str("stale_pop".into())),
+                ("task", task.to_json()),
+                ("index", u64_json(*index)),
+                ("t", slot_json(*t)),
+            ]),
+            ObsEvent::StaleDrop { task, index, t } => obj([
+                ("kind", Json::Str("stale_drop".into())),
+                ("task", task.to_json()),
+                ("index", u64_json(*index)),
+                ("t", slot_json(*t)),
+            ]),
+            ObsEvent::ReweightInitiated {
+                task,
+                t,
+                rule,
+                cost,
+                enact_at,
+            } => obj([
+                ("kind", Json::Str("reweight_initiated".into())),
+                ("task", task.to_json()),
+                ("t", slot_json(*t)),
+                ("rule", Json::Str(rule.label().into())),
+                ("queue_ops", u64_json(cost.queue_ops)),
+                ("halts", u64_json(cost.halts)),
+                ("enact_at", slot_json(*enact_at)),
+            ]),
+            ObsEvent::ReweightEnacted {
+                task,
+                t,
+                initiated_at,
+            } => obj([
+                ("kind", Json::Str("reweight_enacted".into())),
+                ("task", task.to_json()),
+                ("t", slot_json(*t)),
+                ("initiated_at", slot_json(*initiated_at)),
+            ]),
+            ObsEvent::TrackerAdvance { task, from, to } => obj([
+                ("kind", Json::Str("tracker_advance".into())),
+                ("task", task.to_json()),
+                ("from", slot_json(*from)),
+                ("to", slot_json(*to)),
+            ]),
+            ObsEvent::ExecOverrun { task, t } => obj([
+                ("kind", Json::Str("exec_overrun".into())),
+                ("task", task.to_json()),
+                ("t", slot_json(*t)),
+            ]),
+            ObsEvent::ExecSkip { task, t } => obj([
+                ("kind", Json::Str("exec_skip".into())),
+                ("task", task.to_json()),
+                ("t", slot_json(*t)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for ObsEvent {
+    fn from_json(value: &Json) -> Result<ObsEvent, JsonError> {
+        let kind: String = value.field("kind")?;
+        let task: TaskId = value.field("task")?;
+        match kind.as_str() {
+            "release" => Ok(ObsEvent::Release {
+                task,
+                index: value.field("index")?,
+                t: value.field("t")?,
+                deadline: value.field("deadline")?,
+                era_first: value.field("era_first")?,
+            }),
+            "schedule" => Ok(ObsEvent::Schedule {
+                task,
+                index: value.field("index")?,
+                t: value.field("t")?,
+            }),
+            "preempt" => Ok(ObsEvent::Preempt {
+                task,
+                t: value.field("t")?,
+            }),
+            "halt" => Ok(ObsEvent::Halt {
+                task,
+                index: value.field("index")?,
+                t: value.field("t")?,
+            }),
+            "stale_pop" => Ok(ObsEvent::StalePop {
+                task,
+                index: value.field("index")?,
+                t: value.field("t")?,
+            }),
+            "stale_drop" => Ok(ObsEvent::StaleDrop {
+                task,
+                index: value.field("index")?,
+                t: value.field("t")?,
+            }),
+            "reweight_initiated" => {
+                let rule_label: String = value.field("rule")?;
+                let rule = Rule::from_label(&rule_label)
+                    .ok_or_else(|| JsonError::new(format!("unknown rule `{rule_label}`")))?;
+                Ok(ObsEvent::ReweightInitiated {
+                    task,
+                    t: value.field("t")?,
+                    rule,
+                    cost: ReweightCost {
+                        queue_ops: value.field("queue_ops")?,
+                        halts: value.field("halts")?,
+                    },
+                    enact_at: value.field("enact_at")?,
+                })
+            }
+            "reweight_enacted" => Ok(ObsEvent::ReweightEnacted {
+                task,
+                t: value.field("t")?,
+                initiated_at: value.field("initiated_at")?,
+            }),
+            "tracker_advance" => Ok(ObsEvent::TrackerAdvance {
+                task,
+                from: value.field("from")?,
+                to: value.field("to")?,
+            }),
+            "exec_overrun" => Ok(ObsEvent::ExecOverrun {
+                task,
+                t: value.field("t")?,
+            }),
+            "exec_skip" => Ok(ObsEvent::ExecSkip {
+                task,
+                t: value.field("t")?,
+            }),
+            other => Err(JsonError::new(format!("unknown event kind `{other}`"))),
+        }
+    }
+}
+
+/// One reweighting event from initiation to enactment, with its
+/// attributed cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReweightSpan {
+    /// Task reweighted.
+    pub task: TaskId,
+    /// Rule that resolved the initiation.
+    pub rule: Rule,
+    /// Initiation slot.
+    pub initiated_at: Slot,
+    /// Enactment slot (`None` while pending or when superseded).
+    pub enacted_at: Option<Slot>,
+    /// Subtasks halted by this event.
+    pub halts: u64,
+    /// Queue operations attributed to this event: direct ops measured
+    /// while the rules ran, plus deferred stale pops/drops of entries
+    /// its halts stranded, plus the era-opening push at enactment.
+    pub queue_ops: u64,
+    /// Whether a later initiation for the same task replaced this one
+    /// before it was enacted.
+    pub superseded: bool,
+}
+
+impl ReweightSpan {
+    /// Total attributed cost in operations (queue ops + halts).
+    pub fn total_cost(&self) -> u64 {
+        self.queue_ops.saturating_add(self.halts)
+    }
+}
+
+/// A [`Probe`] that records the full event stream and builds
+/// per-reweighting-event cost spans. See the module docs for the
+/// attribution model.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<ObsEvent>,
+    spans: Vec<ReweightSpan>,
+    /// Pending (not yet enacted) span per task.
+    open: BTreeMap<TaskId, usize>,
+    /// Halted subtask → owning span, for deferred stale-entry cost.
+    halted_by: BTreeMap<(TaskId, u64), usize>,
+    /// Halts observed this slot and not yet claimed by an initiation.
+    unclaimed_halts: Vec<(TaskId, u64, Slot)>,
+    /// Most recently enacted span per task, for the era-opening push.
+    last_enacted: BTreeMap<TaskId, usize>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// The recorded event stream, in emission order.
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// All reweighting spans, in initiation order.
+    pub fn spans(&self) -> &[ReweightSpan] {
+        &self.spans
+    }
+
+    /// The `k` most expensive reweighting events by total attributed
+    /// cost (ties broken by earlier initiation, then lower task id).
+    pub fn top_reweights(&self, k: usize) -> Vec<&ReweightSpan> {
+        let mut sorted: Vec<&ReweightSpan> = self.spans.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.total_cost()
+                .cmp(&a.total_cost())
+                .then(a.initiated_at.cmp(&b.initiated_at))
+                .then(a.task.cmp(&b.task))
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    fn charge(&mut self, idx: usize, queue_ops: u64) {
+        if let Some(span) = self.spans.get_mut(idx) {
+            span.queue_ops = span.queue_ops.saturating_add(queue_ops);
+        }
+    }
+
+    /// The Chrome trace-event JSON document for this recording.
+    ///
+    /// Layout: pid 1 carries the schedule — one thread per task with
+    /// 1-slot `run` spans, reweight spans from initiation to
+    /// enactment, and instants for halts/preemptions/era releases;
+    /// pid 2 carries the closed-form tracker jumps as spans whose
+    /// duration is the interval width. Timestamps are slot numbers.
+    pub fn chrome_trace(&self) -> Json {
+        let mut trace: Vec<Json> = Vec::new();
+        let mut tids: Vec<TaskId> = Vec::new();
+        for ev in &self.events {
+            let task = match ev {
+                ObsEvent::Release { task, .. }
+                | ObsEvent::Schedule { task, .. }
+                | ObsEvent::Preempt { task, .. }
+                | ObsEvent::Halt { task, .. }
+                | ObsEvent::StalePop { task, .. }
+                | ObsEvent::StaleDrop { task, .. }
+                | ObsEvent::ReweightInitiated { task, .. }
+                | ObsEvent::ReweightEnacted { task, .. }
+                | ObsEvent::TrackerAdvance { task, .. }
+                | ObsEvent::ExecOverrun { task, .. }
+                | ObsEvent::ExecSkip { task, .. } => *task,
+            };
+            if !tids.contains(&task) {
+                tids.push(task);
+            }
+        }
+        tids.sort_unstable();
+        // Process/thread metadata so the viewers label the lanes.
+        for (pid, pname) in [(1, "schedule"), (2, "ideal trackers")] {
+            trace.push(obj([
+                ("name", Json::Str("process_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::Int(pid)),
+                ("tid", Json::Int(0)),
+                ("args", obj([("name", Json::Str(pname.into()))])),
+            ]));
+            for task in &tids {
+                trace.push(obj([
+                    ("name", Json::Str("thread_name".into())),
+                    ("ph", Json::Str("M".into())),
+                    ("pid", Json::Int(pid)),
+                    ("tid", task.to_json()),
+                    ("args", obj([("name", Json::Str(format!("T{}", task.0)))])),
+                ]));
+            }
+        }
+        // Reweight spans: initiation → enactment, cost in args.
+        for span in &self.spans {
+            let end = span.enacted_at.unwrap_or(span.initiated_at);
+            let dur = end.checked_sub(span.initiated_at).unwrap_or(0).max(1);
+            trace.push(obj([
+                ("name", Json::Str(format!("reweight {}", span.rule))),
+                ("cat", Json::Str("reweight".into())),
+                ("ph", Json::Str("X".into())),
+                ("ts", slot_json(span.initiated_at)),
+                ("dur", slot_json(dur)),
+                ("pid", Json::Int(1)),
+                ("tid", span.task.to_json()),
+                (
+                    "args",
+                    obj([
+                        ("rule", Json::Str(span.rule.label().into())),
+                        ("halts", u64_json(span.halts)),
+                        ("queue_ops", u64_json(span.queue_ops)),
+                        ("total_cost", u64_json(span.total_cost())),
+                        ("initiated_at", slot_json(span.initiated_at)),
+                        ("enacted_at", span.enacted_at.to_json()),
+                        ("superseded", Json::Bool(span.superseded)),
+                    ]),
+                ),
+            ]));
+        }
+        for ev in &self.events {
+            match ev {
+                ObsEvent::Schedule { task, index, t } => {
+                    trace.push(obj([
+                        ("name", Json::Str("run".into())),
+                        ("cat", Json::Str("schedule".into())),
+                        ("ph", Json::Str("X".into())),
+                        ("ts", slot_json(*t)),
+                        ("dur", Json::Int(1)),
+                        ("pid", Json::Int(1)),
+                        ("tid", task.to_json()),
+                        ("args", obj([("subtask", u64_json(*index))])),
+                    ]));
+                }
+                ObsEvent::TrackerAdvance { task, from, to } => {
+                    let dur = to.checked_sub(*from).unwrap_or(0).max(1);
+                    trace.push(obj([
+                        ("name", Json::Str("advance_to".into())),
+                        ("cat", Json::Str("tracker".into())),
+                        ("ph", Json::Str("X".into())),
+                        ("ts", slot_json(*from)),
+                        ("dur", slot_json(dur)),
+                        ("pid", Json::Int(2)),
+                        ("tid", task.to_json()),
+                        (
+                            "args",
+                            obj([("width", slot_json(to.checked_sub(*from).unwrap_or(0)))]),
+                        ),
+                    ]));
+                }
+                ObsEvent::Halt { task, index, t } => {
+                    trace.push(instant("halt", "reweight", *t, *task, Some(*index)));
+                }
+                ObsEvent::Preempt { task, t } => {
+                    trace.push(instant("preempt", "schedule", *t, *task, None));
+                }
+                ObsEvent::Release {
+                    task,
+                    index,
+                    t,
+                    era_first: true,
+                    ..
+                } => {
+                    trace.push(instant("era release", "release", *t, *task, Some(*index)));
+                }
+                ObsEvent::ExecOverrun { task, t } => {
+                    trace.push(instant("overrun", "exec", *t, *task, None));
+                }
+                ObsEvent::ExecSkip { task, t } => {
+                    trace.push(instant("skip", "exec", *t, *task, None));
+                }
+                _ => {}
+            }
+        }
+        obj([
+            ("displayTimeUnit", Json::Str("ms".into())),
+            ("traceEvents", Json::Array(trace)),
+        ])
+    }
+}
+
+/// A `ph: "i"` thread-scoped instant event.
+fn instant(name: &str, cat: &str, t: Slot, task: TaskId, index: Option<u64>) -> Json {
+    let args = match index {
+        Some(i) => obj([("subtask", u64_json(i))]),
+        None => Json::Object(Vec::new()),
+    };
+    obj([
+        ("name", Json::Str(name.into())),
+        ("cat", Json::Str(cat.into())),
+        ("ph", Json::Str("i".into())),
+        ("s", Json::Str("t".into())),
+        ("ts", slot_json(t)),
+        ("pid", Json::Int(1)),
+        ("tid", task.to_json()),
+        ("args", args),
+    ])
+}
+
+impl Probe for TraceRecorder {
+    fn on_release(&mut self, task: TaskId, index: u64, t: Slot, deadline: Slot, era_first: bool) {
+        self.events.push(ObsEvent::Release {
+            task,
+            index,
+            t,
+            deadline,
+            era_first,
+        });
+        // The era-opening push is deferred cost of the reweighting
+        // event whose enactment (this slot) released it.
+        if era_first {
+            if let Some(&idx) = self.last_enacted.get(&task) {
+                if self.spans.get(idx).is_some_and(|s| s.enacted_at == Some(t)) {
+                    self.charge(idx, 1);
+                }
+            }
+        }
+    }
+
+    fn on_schedule(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.events.push(ObsEvent::Schedule { task, index, t });
+    }
+
+    fn on_preempt(&mut self, task: TaskId, t: Slot) {
+        self.events.push(ObsEvent::Preempt { task, t });
+    }
+
+    fn on_halt(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.events.push(ObsEvent::Halt { task, index, t });
+        self.unclaimed_halts.push((task, index, t));
+    }
+
+    fn on_stale_pop(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.events.push(ObsEvent::StalePop { task, index, t });
+        if let Some(idx) = self.halted_by.remove(&(task, index)) {
+            self.charge(idx, 1);
+        }
+    }
+
+    fn on_stale_drop(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.events.push(ObsEvent::StaleDrop { task, index, t });
+        if let Some(idx) = self.halted_by.remove(&(task, index)) {
+            self.charge(idx, 1);
+        }
+    }
+
+    fn on_reweight_initiated(
+        &mut self,
+        task: TaskId,
+        t: Slot,
+        rule: Rule,
+        cost: ReweightCost,
+        enact_at: Slot,
+    ) {
+        self.events.push(ObsEvent::ReweightInitiated {
+            task,
+            t,
+            rule,
+            cost,
+            enact_at,
+        });
+        // A still-pending earlier event for this task is superseded.
+        if let Some(prev) = self.open.remove(&task) {
+            if let Some(span) = self.spans.get_mut(prev) {
+                span.superseded = true;
+            }
+        }
+        let idx = self.spans.len();
+        self.spans.push(ReweightSpan {
+            task,
+            rule,
+            initiated_at: t,
+            enacted_at: None,
+            halts: cost.halts,
+            queue_ops: cost.queue_ops,
+            superseded: false,
+        });
+        self.open.insert(task, idx);
+        // Claim this slot's halts of the reweighted task: stale queue
+        // entries they strand will be charged back to this span.
+        self.unclaimed_halts.retain(|&(h_task, h_index, h_t)| {
+            if h_task == task && h_t == t {
+                self.halted_by.insert((h_task, h_index), idx);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn on_reweight_enacted(&mut self, task: TaskId, t: Slot, initiated_at: Slot) {
+        self.events.push(ObsEvent::ReweightEnacted {
+            task,
+            t,
+            initiated_at,
+        });
+        if let Some(idx) = self.open.remove(&task) {
+            if let Some(span) = self.spans.get_mut(idx) {
+                span.enacted_at = Some(t);
+            }
+            self.last_enacted.insert(task, idx);
+        }
+    }
+
+    fn on_tracker_advance(&mut self, task: TaskId, from: Slot, to: Slot) {
+        self.events
+            .push(ObsEvent::TrackerAdvance { task, from, to });
+    }
+
+    fn on_exec_overrun(&mut self, task: TaskId, t: Slot) {
+        self.events.push(ObsEvent::ExecOverrun { task, t });
+    }
+
+    fn on_exec_skip(&mut self, task: TaskId, t: Slot) {
+        self.events.push(ObsEvent::ExecSkip { task, t });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::Release {
+                task: TaskId(0),
+                index: 1,
+                t: 0,
+                deadline: 4,
+                era_first: true,
+            },
+            ObsEvent::Schedule {
+                task: TaskId(0),
+                index: 1,
+                t: 0,
+            },
+            ObsEvent::Preempt {
+                task: TaskId(1),
+                t: 2,
+            },
+            ObsEvent::Halt {
+                task: TaskId(0),
+                index: 2,
+                t: 3,
+            },
+            ObsEvent::StalePop {
+                task: TaskId(0),
+                index: 2,
+                t: 4,
+            },
+            ObsEvent::StaleDrop {
+                task: TaskId(1),
+                index: 5,
+                t: 4,
+            },
+            ObsEvent::ReweightInitiated {
+                task: TaskId(0),
+                t: 3,
+                rule: Rule::O,
+                cost: ReweightCost {
+                    queue_ops: 2,
+                    halts: 1,
+                },
+                enact_at: 8,
+            },
+            ObsEvent::ReweightEnacted {
+                task: TaskId(0),
+                t: 8,
+                initiated_at: 3,
+            },
+            ObsEvent::TrackerAdvance {
+                task: TaskId(0),
+                from: 3,
+                to: 8,
+            },
+            ObsEvent::ExecOverrun {
+                task: TaskId(2),
+                t: 5,
+            },
+            ObsEvent::ExecSkip {
+                task: TaskId(2),
+                t: 6,
+            },
+        ]
+    }
+
+    #[test]
+    fn obs_events_round_trip_through_json() {
+        for ev in sample_events() {
+            let text = ev.to_json().to_string_pretty();
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(ObsEvent::from_json(&parsed).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn recorder_attributes_direct_and_deferred_cost() {
+        let mut rec = TraceRecorder::new();
+        // Rule-O event at t=3: one halt, two direct queue ops.
+        rec.on_halt(TaskId(0), 2, 3);
+        rec.on_reweight_initiated(
+            TaskId(0),
+            3,
+            Rule::O,
+            ReweightCost {
+                queue_ops: 2,
+                halts: 1,
+            },
+            8,
+        );
+        // Deferred: the halted subtask's queue entry goes stale.
+        rec.on_stale_pop(TaskId(0), 2, 5);
+        // Unrelated stale entry — not attributed.
+        rec.on_stale_drop(TaskId(1), 7, 5);
+        rec.on_reweight_enacted(TaskId(0), 8, 3);
+        // Era-opening push at the enactment slot is deferred cost too.
+        rec.on_release(TaskId(0), 3, 8, 12, true);
+        // A later era release is NOT attributed (wrong slot).
+        rec.on_release(TaskId(0), 4, 10, 14, true);
+
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        let span = &spans[0];
+        assert_eq!(span.rule, Rule::O);
+        assert_eq!(span.initiated_at, 3);
+        assert_eq!(span.enacted_at, Some(8));
+        assert_eq!(span.halts, 1);
+        // 2 direct + 1 stale pop + 1 era push.
+        assert_eq!(span.queue_ops, 4);
+        assert_eq!(span.total_cost(), 5);
+        assert!(!span.superseded);
+    }
+
+    #[test]
+    fn superseded_spans_are_marked() {
+        let mut rec = TraceRecorder::new();
+        rec.on_reweight_initiated(TaskId(0), 2, Rule::I, ReweightCost::default(), 9);
+        rec.on_reweight_initiated(TaskId(0), 4, Rule::O, ReweightCost::default(), 11);
+        rec.on_reweight_enacted(TaskId(0), 11, 4);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].superseded);
+        assert_eq!(spans[0].enacted_at, None);
+        assert!(!spans[1].superseded);
+        assert_eq!(spans[1].enacted_at, Some(11));
+    }
+
+    #[test]
+    fn top_reweights_sorts_by_cost_then_time() {
+        let mut rec = TraceRecorder::new();
+        rec.on_reweight_initiated(
+            TaskId(0),
+            1,
+            Rule::I,
+            ReweightCost {
+                queue_ops: 1,
+                halts: 0,
+            },
+            1,
+        );
+        rec.on_reweight_enacted(TaskId(0), 1, 1);
+        rec.on_reweight_initiated(
+            TaskId(1),
+            2,
+            Rule::O,
+            ReweightCost {
+                queue_ops: 3,
+                halts: 2,
+            },
+            7,
+        );
+        rec.on_reweight_initiated(
+            TaskId(2),
+            3,
+            Rule::Lj,
+            ReweightCost {
+                queue_ops: 4,
+                halts: 1,
+            },
+            5,
+        );
+        let top = rec.top_reweights(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].task, TaskId(1));
+        assert_eq!(top[0].total_cost(), 5);
+        assert_eq!(top[1].task, TaskId(2));
+    }
+
+    fn as_str(v: &Json) -> Option<&str> {
+        match v {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_has_expected_shape() {
+        let mut rec = TraceRecorder::new();
+        rec.on_release(TaskId(0), 1, 0, 4, true);
+        rec.on_schedule(TaskId(0), 1, 0);
+        rec.on_halt(TaskId(0), 2, 3);
+        rec.on_reweight_initiated(
+            TaskId(0),
+            3,
+            Rule::O,
+            ReweightCost {
+                queue_ops: 2,
+                halts: 1,
+            },
+            8,
+        );
+        rec.on_reweight_enacted(TaskId(0), 8, 3);
+        rec.on_tracker_advance(TaskId(0), 3, 8);
+
+        let json = rec.chrome_trace();
+        let text = json.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), json);
+
+        let Some(Json::Array(events)) = json.get("traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        let reweight = events
+            .iter()
+            .find(|e| e.get("cat").and_then(as_str) == Some("reweight"))
+            .expect("reweight span present");
+        assert_eq!(reweight.get("ph").and_then(as_str), Some("X"));
+        assert_eq!(reweight.get("ts").and_then(Json::as_int), Some(3));
+        assert_eq!(reweight.get("dur").and_then(Json::as_int), Some(5));
+        let args = reweight.get("args").expect("args");
+        assert_eq!(args.get("rule").and_then(as_str), Some("O"));
+        assert_eq!(args.get("total_cost").and_then(Json::as_int), Some(3));
+        let tracker = events
+            .iter()
+            .find(|e| e.get("cat").and_then(as_str) == Some("tracker"))
+            .expect("tracker span present");
+        assert_eq!(tracker.get("pid").and_then(Json::as_int), Some(2));
+        assert_eq!(tracker.get("dur").and_then(Json::as_int), Some(5));
+    }
+}

@@ -1,0 +1,36 @@
+//! # pfair-obs
+//!
+//! Structured tracing and exact-integer metrics for the PD² engine —
+//! the observability layer behind the paper's efficiency-versus-
+//! accuracy question. The aggregate `Counters` in `pfair-sched` can
+//! say *how many* queue operations and halts a run cost; this crate
+//! says *which reweighting event* caused each of them.
+//!
+//! Three pieces:
+//!
+//! * [`Probe`] — a statically dispatched event tap the engine and
+//!   executor are generic over. The default [`NoopProbe`] compiles
+//!   every hook to nothing (the `obs_overhead` bench in `crates/bench`
+//!   guards that it stays within noise of a probe-free engine).
+//! * [`Registry`]/[`MetricsProbe`] — exact-integer counters and
+//!   power-of-two-bucket histograms with deterministic text/JSON
+//!   snapshots; no floats anywhere, so the crate sits inside
+//!   `pfair-audit`'s strict lint scope.
+//! * [`TraceRecorder`] — records the typed event stream, attributes
+//!   direct *and deferred* cost to each reweighting event
+//!   ([`ReweightSpan`]), and exports Chrome trace-event JSON
+//!   ([`TraceRecorder::chrome_trace`]) viewable in `chrome://tracing`
+//!   or Perfetto.
+//!
+//! Combine probes with [`Fanout`] to record a trace and aggregate
+//! metrics in the same run.
+
+#![cfg_attr(not(test), warn(clippy::disallowed_types, clippy::disallowed_methods))]
+
+pub mod chrome;
+pub mod metrics;
+pub mod probe;
+
+pub use chrome::{ObsEvent, ReweightSpan, TraceRecorder};
+pub use metrics::{Histogram, MetricsProbe, Registry};
+pub use probe::{Fanout, NoopProbe, Probe, ReweightCost, Rule};

@@ -1,0 +1,503 @@
+//! Exact-integer metrics: counters and fixed-bucket histograms.
+//!
+//! Everything here stays in the integer domain — the registry holds
+//! `u64` counters and power-of-two-bucket histograms with `u128` sums,
+//! and its snapshots (text and JSON) render integers only — so the
+//! observability layer obeys the same exact-arithmetic invariant
+//! `pfair-audit` enforces on the scheduling crates (this crate is in
+//! the audit's lint scope). Histogram buckets are *fixed* at
+//! construction: bucket 0 holds the value 0 and bucket `i ≥ 1` holds
+//! values in `[2^(i−1), 2^i)`, so recording is a `checked_ilog2`, no
+//! allocation, no data-dependent layout — snapshots of identical runs
+//! are byte-identical regardless of arrival order.
+
+use crate::probe::{Probe, ReweightCost, Rule};
+use pfair_core::task::TaskId;
+use pfair_core::time::Slot;
+use pfair_json::{FromJson, Json, JsonError, ToJson};
+
+/// Number of histogram buckets: bucket 0 for the value 0, buckets
+/// 1..=64 for the 64 possible bit lengths of a `u64`.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket power-of-two histogram over `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, else bit length (`ilog2 + 1`).
+fn bucket_of(value: u64) -> usize {
+    value
+        .checked_ilog2()
+        .and_then(|b| usize::try_from(b).ok())
+        .map_or(0, |b| b.saturating_add(1))
+}
+
+/// Inclusive `[lo, hi]` range of values a bucket covers.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = bucket_of(value);
+        if let Some(slot) = self.counts.get_mut(b) {
+            *slot = slot.saturating_add(1);
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(u128::from(value));
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, low to high.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+fn int_to_json(v: u64) -> Json {
+    Json::Int(i128::from(v))
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        let buckets = self
+            .buckets()
+            .into_iter()
+            .map(|(lo, hi, c)| Json::Array(vec![int_to_json(lo), int_to_json(hi), int_to_json(c)]))
+            .collect();
+        pfair_json::obj([
+            ("count", int_to_json(self.count)),
+            (
+                "sum",
+                Json::Int(i128::try_from(self.sum).unwrap_or(i128::MAX)),
+            ),
+            ("max", int_to_json(self.max)),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
+fn u64_field(value: &Json, key: &str) -> Result<u64, JsonError> {
+    let raw: i128 = value.field(key)?;
+    u64::try_from(raw).map_err(|_| JsonError::new(format!("{key}: out of u64 range")))
+}
+
+impl FromJson for Histogram {
+    fn from_json(value: &Json) -> Result<Histogram, JsonError> {
+        let mut h = Histogram::new();
+        h.count = u64_field(value, "count")?;
+        let sum: i128 = value.field("sum")?;
+        h.sum = u128::try_from(sum).map_err(|_| JsonError::new("sum: negative"))?;
+        h.max = u64_field(value, "max")?;
+        let Some(Json::Array(buckets)) = value.get("buckets") else {
+            return Err(JsonError::new("buckets: missing or not an array"));
+        };
+        for b in buckets {
+            let Json::Array(triple) = b else {
+                return Err(JsonError::new("bucket: not an array"));
+            };
+            let lo = triple
+                .first()
+                .and_then(Json::as_int)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| JsonError::new("bucket lo"))?;
+            let c = triple
+                .get(2)
+                .and_then(Json::as_int)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| JsonError::new("bucket count"))?;
+            if let Some(slot) = h.counts.get_mut(bucket_of(lo)) {
+                *slot = c;
+            }
+        }
+        Ok(h)
+    }
+}
+
+/// An exact-integer metrics registry: named `u64` counters plus named
+/// [`Histogram`]s. Lookup is a linear scan (registries hold tens of
+/// names, and the hot path — the engine with [`NoopProbe`]
+/// (`crate::probe::NoopProbe`) — never touches one).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `by` to counter `name`, creating it at zero first.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if let Some((_, v)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *v = v.saturating_add(by);
+            return;
+        }
+        self.counters.push((name.to_string(), by));
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Records `value` into histogram `name`, creating it first.
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            h.record(value);
+            return;
+        }
+        let mut h = Histogram::new();
+        h.record(value);
+        self.histograms.push((name.to_string(), h));
+    }
+
+    /// Histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Counter names, sorted (the canonical snapshot order).
+    pub fn counter_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.counters.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The canonical text snapshot: counters then histograms, each
+    /// sorted by name, one per line, integers only. Identical runs
+    /// produce byte-identical snapshots.
+    pub fn snapshot_text(&self) -> String {
+        let mut out = String::new();
+        let mut counters: Vec<&(String, u64)> = self.counters.iter().collect();
+        counters.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in counters {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        let mut hists: Vec<&(String, Histogram)> = self.histograms.iter().collect();
+        hists.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in hists {
+            out.push_str(&format!(
+                "hist {name}: count={} sum={} max={}",
+                h.count(),
+                h.sum(),
+                h.max()
+            ));
+            for (lo, hi, c) in h.buckets() {
+                if lo == hi {
+                    out.push_str(&format!(" [{lo}]={c}"));
+                } else {
+                    out.push_str(&format!(" [{lo}..{hi}]={c}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ToJson for Registry {
+    fn to_json(&self) -> Json {
+        let mut counters: Vec<(String, Json)> = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), int_to_json(*v)))
+            .collect();
+        counters.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut hists: Vec<(String, Json)> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h.to_json()))
+            .collect();
+        hists.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        pfair_json::obj([
+            ("counters", Json::Object(counters)),
+            ("histograms", Json::Object(hists)),
+        ])
+    }
+}
+
+impl FromJson for Registry {
+    fn from_json(value: &Json) -> Result<Registry, JsonError> {
+        let mut reg = Registry::new();
+        let Some(Json::Object(counters)) = value.get("counters") else {
+            return Err(JsonError::new("counters: missing or not an object"));
+        };
+        for (name, v) in counters {
+            let raw = v
+                .as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| JsonError::new(format!("counter {name}: not a u64")))?;
+            reg.inc(name, raw);
+        }
+        let Some(Json::Object(hists)) = value.get("histograms") else {
+            return Err(JsonError::new("histograms: missing or not an object"));
+        };
+        for (name, v) in hists {
+            let h = Histogram::from_json(v)?;
+            reg.histograms.push((name.clone(), h));
+        }
+        Ok(reg)
+    }
+}
+
+/// Width of a slot interval as a `u64` (0 when `to ≤ from`).
+fn width(from: Slot, to: Slot) -> u64 {
+    to.checked_sub(from)
+        .and_then(|d| u64::try_from(d).ok())
+        .unwrap_or(0)
+}
+
+/// A [`Probe`] that aggregates every hook into a [`Registry`]:
+/// counters per event kind (reweights broken down by rule) and
+/// histograms of per-event direct cost, initiation→enactment latency,
+/// and tracker-jump interval widths.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsProbe {
+    reg: Registry,
+}
+
+impl MetricsProbe {
+    /// An empty metrics probe.
+    pub fn new() -> MetricsProbe {
+        MetricsProbe::default()
+    }
+
+    /// The aggregated registry.
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// Consumes the probe, returning the registry.
+    pub fn into_registry(self) -> Registry {
+        self.reg
+    }
+}
+
+impl Probe for MetricsProbe {
+    fn on_slot_start(&mut self, _t: Slot) {
+        self.reg.inc("slots", 1);
+    }
+
+    fn on_release(&mut self, _task: TaskId, _index: u64, _t: Slot, _deadline: Slot, era: bool) {
+        self.reg.inc("releases", 1);
+        if era {
+            self.reg.inc("releases.era_first", 1);
+        }
+    }
+
+    fn on_schedule(&mut self, _task: TaskId, _index: u64, _t: Slot) {
+        self.reg.inc("schedules", 1);
+    }
+
+    fn on_preempt(&mut self, _task: TaskId, _t: Slot) {
+        self.reg.inc("preemptions", 1);
+    }
+
+    fn on_halt(&mut self, _task: TaskId, _index: u64, _t: Slot) {
+        self.reg.inc("halts", 1);
+    }
+
+    fn on_stale_pop(&mut self, _task: TaskId, _index: u64, _t: Slot) {
+        self.reg.inc("queue.stale_pops", 1);
+    }
+
+    fn on_stale_drop(&mut self, _task: TaskId, _index: u64, _t: Slot) {
+        self.reg.inc("queue.stale_drops", 1);
+    }
+
+    fn on_reweight_initiated(
+        &mut self,
+        _task: TaskId,
+        t: Slot,
+        rule: Rule,
+        cost: ReweightCost,
+        enact_at: Slot,
+    ) {
+        self.reg.inc("reweight.initiated", 1);
+        match rule {
+            Rule::O => self.reg.inc("reweight.rule.O", 1),
+            Rule::I => self.reg.inc("reweight.rule.I", 1),
+            Rule::Lj => self.reg.inc("reweight.rule.LJ", 1),
+            Rule::Immediate => self.reg.inc("reweight.rule.immediate", 1),
+        }
+        self.reg.record(
+            "reweight.direct_cost",
+            cost.queue_ops.saturating_add(cost.halts),
+        );
+        self.reg.record("reweight.latency", width(t, enact_at));
+    }
+
+    fn on_reweight_enacted(&mut self, _task: TaskId, _t: Slot, _initiated_at: Slot) {
+        self.reg.inc("reweight.enacted", 1);
+    }
+
+    fn on_tracker_advance(&mut self, _task: TaskId, from: Slot, to: Slot) {
+        self.reg.inc("tracker.advances", 1);
+        self.reg.record("tracker.jump_width", width(from, to));
+    }
+
+    fn on_exec_overrun(&mut self, _task: TaskId, _t: Slot) {
+        self.reg.inc("exec.overruns", 1);
+    }
+
+    fn on_exec_skip(&mut self, _task: TaskId, _t: Slot) {
+        self.reg.inc("exec.skips", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_power_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), i, "lo bound of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "hi bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 7, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1009);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(
+            h.buckets(),
+            vec![(0, 0, 1), (1, 1, 2), (4, 7, 1), (512, 1023, 1)]
+        );
+    }
+
+    #[test]
+    fn registry_counters_and_snapshot_are_sorted() {
+        let mut r = Registry::new();
+        r.inc("zeta", 2);
+        r.inc("alpha", 1);
+        r.inc("zeta", 3);
+        r.record("lat", 5);
+        let text = r.snapshot_text();
+        assert_eq!(r.counter("zeta"), 5);
+        assert!(text.starts_with("counter alpha = 1\ncounter zeta = 5\n"));
+        assert!(text.contains("hist lat: count=1 sum=5 max=5 [4..7]=1"));
+    }
+
+    #[test]
+    fn registry_json_round_trips() {
+        let mut r = Registry::new();
+        r.inc("b", 7);
+        r.inc("a", 3);
+        r.record("h", 0);
+        r.record("h", 9);
+        let json = r.to_json();
+        let text = json.to_string_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        let back = Registry::from_json(&parsed).unwrap();
+        assert_eq!(back.counter("a"), 3);
+        assert_eq!(back.counter("b"), 7);
+        assert_eq!(back.histogram("h").unwrap().count(), 2);
+        assert_eq!(back.histogram("h").unwrap().sum(), 9);
+        // Canonical form survives the round trip byte-for-byte.
+        assert_eq!(back.to_json().to_string_pretty(), text);
+    }
+
+    #[test]
+    fn metrics_probe_aggregates_rules_and_costs() {
+        let mut p = MetricsProbe::new();
+        p.on_slot_start(0);
+        p.on_slot_start(1);
+        p.on_reweight_initiated(
+            TaskId(0),
+            1,
+            Rule::O,
+            ReweightCost {
+                queue_ops: 0,
+                halts: 1,
+            },
+            9,
+        );
+        p.on_reweight_enacted(TaskId(0), 9, 1);
+        p.on_tracker_advance(TaskId(0), 1, 9);
+        let reg = p.into_registry();
+        assert_eq!(reg.counter("slots"), 2);
+        assert_eq!(reg.counter("reweight.initiated"), 1);
+        assert_eq!(reg.counter("reweight.rule.O"), 1);
+        assert_eq!(reg.counter("reweight.enacted"), 1);
+        assert_eq!(reg.histogram("reweight.latency").unwrap().max(), 8);
+        assert_eq!(reg.histogram("tracker.jump_width").unwrap().sum(), 8);
+    }
+}

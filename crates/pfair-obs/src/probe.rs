@@ -1,0 +1,314 @@
+//! The [`Probe`] trait: the engine's structured-event tap.
+//!
+//! The engine is generic over a probe (`Engine<P: Probe = NoopProbe>`),
+//! so every hook below is resolved by **static dispatch**. With the
+//! default [`NoopProbe`] each call monomorphizes to an empty inlined
+//! body and the compiled hot path is identical to a probe-free engine —
+//! an invariant the `obs_overhead` benchmark in `crates/bench` guards
+//! (NoopProbe within noise of the default entry point at 10k/100k-slot
+//! horizons).
+//!
+//! Hooks fire at the same slot-pipeline boundaries the paper's rules
+//! are stated at: slot starts, subtask releases/schedules/preemptions,
+//! rule-O halts, reweight initiation/enactment, and the closed-form
+//! `advance_to` tracker jumps of the event-driven bookkeeping. Stale
+//! queue-entry discards ([`Probe::on_stale_pop`],
+//! [`Probe::on_stale_drop`]) are reported individually so a recorder
+//! can attribute the *deferred* queue cost of a reweighting event (the
+//! entries its halts stranded) back to that event — the per-operation
+//! cost accounting the aggregate [`Counters`]
+//! (`pfair_sched::overhead::Counters`) cannot express.
+
+use pfair_core::task::TaskId;
+use pfair_core::time::Slot;
+
+/// Which reweighting rule resolved an initiation (the paper's rules O
+/// and I, the leave/join pair L+J, or the trivial immediate enactment
+/// when no subtask of the task has been released yet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Rule O (omission-changeable): the last-released subtask was not
+    /// yet scheduled; it is halted and the change waits on the
+    /// predecessor's `I_SW` completion.
+    O,
+    /// Rule I (ideal-changeable): the last-released subtask was already
+    /// scheduled; the change waits on its `I_SW` completion (increases
+    /// switch the scheduling weight immediately).
+    I,
+    /// Leave/join (rules L+J): unscheduled subtasks are withdrawn and
+    /// the task rejoins after rule L's exit delay.
+    Lj,
+    /// No subtask released yet: the new weight takes effect at once.
+    Immediate,
+}
+
+impl Rule {
+    /// Canonical short label (`"O"`, `"I"`, `"LJ"`, `"immediate"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Rule::O => "O",
+            Rule::I => "I",
+            Rule::Lj => "LJ",
+            Rule::Immediate => "immediate",
+        }
+    }
+
+    /// Inverse of [`Rule::label`].
+    pub fn from_label(s: &str) -> Option<Rule> {
+        match s {
+            "O" => Some(Rule::O),
+            "I" => Some(Rule::I),
+            "LJ" => Some(Rule::Lj),
+            "immediate" => Some(Rule::Immediate),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cost measured while a reweighting initiation's rules ran: the
+/// *direct* cost, charged at initiation time. Deferred cost (stale
+/// queue entries stranded by the halts, the era-opening release push)
+/// arrives through [`Probe::on_stale_pop`]/[`Probe::on_stale_drop`]
+/// and [`Probe::on_release`] and is attributed by recorders.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReweightCost {
+    /// Ready-queue pushes + pops performed while the rules ran.
+    pub queue_ops: u64,
+    /// Subtasks halted by the rules (rule O halts one; LJ withdraws
+    /// every unscheduled subtask).
+    pub halts: u64,
+}
+
+/// Structured-event tap for the engine and executor. Every method has
+/// an empty default body, so an implementation overrides only what it
+/// observes and the rest compiles away.
+pub trait Probe {
+    /// Slot `t` is about to be simulated.
+    fn on_slot_start(&mut self, t: Slot) {
+        let _ = t;
+    }
+
+    /// Subtask `index` of `task` was released at `t` with the given
+    /// deadline; `era_first` marks an era-opening release (a join,
+    /// enactment, or rejoin — where Eqn (5) samples drift).
+    fn on_release(&mut self, task: TaskId, index: u64, t: Slot, deadline: Slot, era_first: bool) {
+        let _ = (task, index, t, deadline, era_first);
+    }
+
+    /// Subtask `index` of `task` was scheduled in slot `t`.
+    fn on_schedule(&mut self, task: TaskId, index: u64, t: Slot) {
+        let _ = (task, index, t);
+    }
+
+    /// `task` ran in slot `t − 1`, still has released unscheduled work,
+    /// and was not selected in slot `t`.
+    fn on_preempt(&mut self, task: TaskId, t: Slot) {
+        let _ = (task, t);
+    }
+
+    /// Subtask `index` of `task` was halted at `t` (rule O, or a
+    /// leave/LJ withdrawal).
+    fn on_halt(&mut self, task: TaskId, index: u64, t: Slot) {
+        let _ = (task, index, t);
+    }
+
+    /// A stale (halted/withdrawn) queue entry for subtask `index` of
+    /// `task` was discarded by a pop in slot `t` — deferred queue cost
+    /// of whatever halted it.
+    fn on_stale_pop(&mut self, task: TaskId, index: u64, t: Slot) {
+        let _ = (task, index, t);
+    }
+
+    /// A stale queue entry was dropped by a compaction sweep in slot
+    /// `t` (it never reached a pop).
+    fn on_stale_drop(&mut self, task: TaskId, index: u64, t: Slot) {
+        let _ = (task, index, t);
+    }
+
+    /// A reweighting request for `task` was granted at `t` and resolved
+    /// by `rule` at direct cost `cost`; the change is projected to be
+    /// enacted at `enact_at` (`== t` when it fired immediately — an
+    /// [`Probe::on_reweight_enacted`] call follows in that case).
+    fn on_reweight_initiated(
+        &mut self,
+        task: TaskId,
+        t: Slot,
+        rule: Rule,
+        cost: ReweightCost,
+        enact_at: Slot,
+    ) {
+        let _ = (task, t, rule, cost, enact_at);
+    }
+
+    /// The change initiated at `initiated_at` for `task` was enacted at
+    /// `t`: the scheduling weight switched (or, for a rule-I increase,
+    /// the era-opening release was finally scheduled) and the
+    /// reweighting event is complete.
+    fn on_reweight_enacted(&mut self, task: TaskId, t: Slot, initiated_at: Slot) {
+        let _ = (task, t, initiated_at);
+    }
+
+    /// The event-driven bookkeeping jumped `task`'s ideal trackers from
+    /// boundary `from` to `to` in closed form (interval width
+    /// `to − from`). Never fires in history mode, where the per-slot
+    /// oracle keeps the trackers current.
+    fn on_tracker_advance(&mut self, task: TaskId, from: Slot, to: Slot) {
+        let _ = (task, from, to);
+    }
+
+    /// Executor only: `task`'s tick ran past its quantum budget.
+    fn on_exec_overrun(&mut self, task: TaskId, t: Slot) {
+        let _ = (task, t);
+    }
+
+    /// Executor only: a scheduled quantum of `task` was lost because
+    /// its previous tick was still running.
+    fn on_exec_skip(&mut self, task: TaskId, t: Slot) {
+        let _ = (task, t);
+    }
+}
+
+/// The default probe: observes nothing, costs nothing. Every hook
+/// inlines to an empty body under static dispatch, so
+/// `Engine<NoopProbe>` compiles to the same hot path as an engine with
+/// no probe parameter at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+/// Fans every hook out to two probes (e.g. a [`TraceRecorder`] and a
+/// [`MetricsProbe`] on the same run). Compose freely:
+/// `Fanout(a, Fanout(b, c))`.
+///
+/// [`TraceRecorder`]: crate::chrome::TraceRecorder
+/// [`MetricsProbe`]: crate::metrics::MetricsProbe
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fanout<A, B>(pub A, pub B);
+
+impl<A: Probe, B: Probe> Probe for Fanout<A, B> {
+    fn on_slot_start(&mut self, t: Slot) {
+        self.0.on_slot_start(t);
+        self.1.on_slot_start(t);
+    }
+
+    fn on_release(&mut self, task: TaskId, index: u64, t: Slot, deadline: Slot, era_first: bool) {
+        self.0.on_release(task, index, t, deadline, era_first);
+        self.1.on_release(task, index, t, deadline, era_first);
+    }
+
+    fn on_schedule(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.0.on_schedule(task, index, t);
+        self.1.on_schedule(task, index, t);
+    }
+
+    fn on_preempt(&mut self, task: TaskId, t: Slot) {
+        self.0.on_preempt(task, t);
+        self.1.on_preempt(task, t);
+    }
+
+    fn on_halt(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.0.on_halt(task, index, t);
+        self.1.on_halt(task, index, t);
+    }
+
+    fn on_stale_pop(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.0.on_stale_pop(task, index, t);
+        self.1.on_stale_pop(task, index, t);
+    }
+
+    fn on_stale_drop(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.0.on_stale_drop(task, index, t);
+        self.1.on_stale_drop(task, index, t);
+    }
+
+    fn on_reweight_initiated(
+        &mut self,
+        task: TaskId,
+        t: Slot,
+        rule: Rule,
+        cost: ReweightCost,
+        enact_at: Slot,
+    ) {
+        self.0.on_reweight_initiated(task, t, rule, cost, enact_at);
+        self.1.on_reweight_initiated(task, t, rule, cost, enact_at);
+    }
+
+    fn on_reweight_enacted(&mut self, task: TaskId, t: Slot, initiated_at: Slot) {
+        self.0.on_reweight_enacted(task, t, initiated_at);
+        self.1.on_reweight_enacted(task, t, initiated_at);
+    }
+
+    fn on_tracker_advance(&mut self, task: TaskId, from: Slot, to: Slot) {
+        self.0.on_tracker_advance(task, from, to);
+        self.1.on_tracker_advance(task, from, to);
+    }
+
+    fn on_exec_overrun(&mut self, task: TaskId, t: Slot) {
+        self.0.on_exec_overrun(task, t);
+        self.1.on_exec_overrun(task, t);
+    }
+
+    fn on_exec_skip(&mut self, task: TaskId, t: Slot) {
+        self.0.on_exec_skip(task, t);
+        self.1.on_exec_skip(task, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_labels_round_trip() {
+        for r in [Rule::O, Rule::I, Rule::Lj, Rule::Immediate] {
+            assert_eq!(Rule::from_label(r.label()), Some(r));
+        }
+        assert_eq!(Rule::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn noop_probe_accepts_every_hook() {
+        let mut p = NoopProbe;
+        p.on_slot_start(0);
+        p.on_release(TaskId(0), 1, 0, 4, true);
+        p.on_schedule(TaskId(0), 1, 0);
+        p.on_preempt(TaskId(0), 1);
+        p.on_halt(TaskId(0), 1, 2);
+        p.on_stale_pop(TaskId(0), 1, 3);
+        p.on_stale_drop(TaskId(0), 1, 3);
+        p.on_reweight_initiated(TaskId(0), 2, Rule::O, ReweightCost::default(), 5);
+        p.on_reweight_enacted(TaskId(0), 5, 2);
+        p.on_tracker_advance(TaskId(0), 2, 5);
+        p.on_exec_overrun(TaskId(0), 7);
+        p.on_exec_skip(TaskId(0), 8);
+    }
+
+    #[test]
+    fn fanout_forwards_to_both() {
+        #[derive(Default)]
+        struct CountProbe {
+            calls: u64,
+        }
+        impl Probe for CountProbe {
+            fn on_slot_start(&mut self, _t: Slot) {
+                self.calls += 1;
+            }
+            fn on_halt(&mut self, _task: TaskId, _index: u64, _t: Slot) {
+                self.calls += 1;
+            }
+        }
+        let mut f = Fanout(CountProbe::default(), CountProbe::default());
+        f.on_slot_start(0);
+        f.on_halt(TaskId(1), 2, 3);
+        f.on_schedule(TaskId(1), 2, 3); // not counted by either
+        assert_eq!(f.0.calls, 2);
+        assert_eq!(f.1.calls, 2);
+    }
+}

@@ -45,6 +45,7 @@ use pfair_core::task::TaskId;
 use pfair_core::time::{slot_index, Slot};
 use pfair_core::weight::Weight;
 use pfair_core::window::{SubtaskWindow, WindowCache};
+use pfair_obs::{NoopProbe, Probe, ReweightCost, Rule};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Static configuration of a simulation run.
@@ -132,6 +133,9 @@ struct Pending {
     /// Fires in step 2 of this slot.
     at: Slot,
     kind: PendKind,
+    /// Slot the owning reweighting event was initiated at (probe
+    /// reporting only — rule semantics never read it).
+    initiated_at: Slot,
 }
 
 /// A released subtask the engine still tracks.
@@ -305,8 +309,14 @@ impl TaskState {
 /// collect the [`SimResult`] with [`Engine::finish`]. `Clone` snapshots
 /// the full simulation state (used by benchmarks to measure single
 /// slots from a prepared state).
+///
+/// The engine is generic over a [`Probe`], resolved by static dispatch:
+/// the default [`NoopProbe`] compiles every hook to nothing, so
+/// `Engine::new` callers pay for observability only when they opt in
+/// via [`Engine::with_probe`].
 #[derive(Clone)]
-pub struct Engine {
+pub struct Engine<P: Probe = NoopProbe> {
+    probe: P,
     config: SimConfig,
     events: Vec<Event>,
     next_event: usize,
@@ -336,11 +346,20 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine for the given workload.
+    /// Builds an engine for the given workload (no probe — the
+    /// zero-cost [`NoopProbe`] is used).
     pub fn new(config: SimConfig, workload: &Workload) -> Engine {
+        Engine::with_probe(config, workload, NoopProbe)
+    }
+}
+
+impl<P: Probe> Engine<P> {
+    /// Builds an engine whose hooks report to `probe`.
+    pub fn with_probe(config: SimConfig, workload: &Workload, probe: P) -> Engine<P> {
         let n = workload.task_count();
         let tasks = (0..n).map(|i| TaskState::placeholder(TaskId(i))).collect();
         Engine {
+            probe,
             selector: RuleSelector::new(config.scheme.clone(), n),
             admission: AdmissionController::new(config.admission, config.processors, n),
             events: workload.sorted_events(),
@@ -355,6 +374,24 @@ impl Engine {
             enact_at: BTreeMap::new(),
             leave_at: BTreeMap::new(),
             config,
+        }
+    }
+
+    /// The engine's probe (live drivers emit executor-side events —
+    /// overruns, skips — through this).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Event-driven tracker synchronization with observation: wraps
+    /// [`TaskState::sync_ideals_to`] and reports the closed-form jump
+    /// (when one happened) to the probe.
+    fn sync_task(&mut self, id: TaskId, t: Slot) {
+        let task = &mut self.tasks[id.idx()];
+        let from = task.isw.now();
+        task.sync_ideals_to(t);
+        if from < t {
+            self.probe.on_tracker_advance(id, from, t);
         }
     }
 
@@ -394,6 +431,7 @@ impl Engine {
     pub fn step(&mut self) -> Vec<TaskId> {
         let t = self.now;
         assert!(t < self.config.horizon, "stepping past the horizon");
+        self.probe.on_slot_start(t);
 
         // Steps 1–3: timed state changes. Joins/leaves and initiations
         // come from the event stream (and online injections); enactments
@@ -426,7 +464,7 @@ impl Engine {
 
         // Bound the ready queue: lazy invalidation must not let stale
         // entries accumulate without limit over long horizons.
-        self.maybe_compact();
+        self.maybe_compact(t);
 
         for task in &mut self.tasks {
             task.prune(self.config.record_history);
@@ -442,19 +480,24 @@ impl Engine {
     /// `2·tasks + 64` is mostly stale. Refilling past the threshold
     /// again takes at least `tasks + 64` pushes, which pays for the
     /// `O(len)` sweep — amortized constant work per push.
-    fn maybe_compact(&mut self) {
+    fn maybe_compact(&mut self, t: Slot) {
         let threshold = 2 * self.tasks.len() + 64;
         if self.queue.len() <= threshold {
             return;
         }
         let tasks = &self.tasks;
-        self.queue.compact(&mut self.counters, |e| {
-            let task = &tasks[e.task.idx()];
-            task.in_system
-                && task.subs.iter().any(|s| {
-                    s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
-                })
-        });
+        let probe = &mut self.probe;
+        self.queue.compact_traced(
+            &mut self.counters,
+            |e| {
+                let task = &tasks[e.task.idx()];
+                task.in_system
+                    && task.subs.iter().any(|s| {
+                        s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
+                    })
+            },
+            |e| probe.on_stale_drop(e.task, e.index, t),
+        );
     }
 
     /// Applies injected events due at or before `t`.
@@ -479,19 +522,37 @@ impl Engine {
     }
 
     /// Consumes the engine, producing the run's results.
-    pub fn finish(mut self) -> SimResult {
+    pub fn finish(self) -> SimResult {
+        self.finish_with_probe().0
+    }
+
+    /// Consumes the engine, producing the run's results and handing the
+    /// probe back (a recorder probe owns the collected trace).
+    pub fn finish_with_probe(mut self) -> (SimResult, P) {
         // End-of-run boundary: bring every still-present task's trackers
         // up to the last simulated slot (no-op in history mode; departed
         // tasks were synced when they left).
         let now = self.now;
-        for ts in &mut self.tasks {
-            if ts.in_system {
-                ts.sync_ideals_to(now);
-            }
+        let present: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|ts| ts.in_system)
+            .map(|ts| ts.id)
+            .collect();
+        for id in present {
+            self.sync_task(id, now);
         }
         let record_history = self.config.record_history;
-        let tasks = self
-            .tasks
+        let Engine {
+            probe,
+            config,
+            tasks,
+            misses,
+            counters,
+            now,
+            ..
+        } = self;
+        let tasks = tasks
             .into_iter()
             .map(|mut ts| TaskResult {
                 id: ts.id,
@@ -512,13 +573,14 @@ impl Engine {
                 }),
             })
             .collect();
-        SimResult {
-            processors: self.config.processors,
-            horizon: self.now,
+        let result = SimResult {
+            processors: config.processors,
+            horizon: now,
             tasks,
-            misses: self.misses,
-            counters: self.counters,
-        }
+            misses,
+            counters,
+        };
+        (result, probe)
     }
 
     // ---- step 1: joins & leaves -------------------------------------
@@ -528,14 +590,15 @@ impl Engine {
             return;
         };
         for id in Self::in_task_order(due) {
-            let task = &mut self.tasks[id.idx()];
-            if task.leaving == Some(t) {
-                // The ideals stop accruing at departure; close them out.
-                task.sync_ideals_to(t);
-                task.in_system = false;
-                task.leaving = None;
-                self.admission.release(task.id);
+            if self.tasks[id.idx()].leaving != Some(t) {
+                continue;
             }
+            // The ideals stop accruing at departure; close them out.
+            self.sync_task(id, t);
+            let task = &mut self.tasks[id.idx()];
+            task.in_system = false;
+            task.leaving = None;
+            self.admission.release(id);
         }
     }
 
@@ -566,10 +629,10 @@ impl Engine {
             let Some(pending) = self.tasks[i].pending.take() else {
                 continue;
             };
-            let task = &mut self.tasks[i];
             // The enactment changes the scheduling weight: advance the
             // trackers across the closing era first, under its weight.
-            task.sync_ideals_to(t);
+            self.sync_task(id, t);
+            let task = &mut self.tasks[i];
             match pending.kind {
                 PendKind::Enact => {
                     task.swt = pending.target;
@@ -587,6 +650,7 @@ impl Engine {
             task.era_open_pending = true;
             task.next_release = Some(t);
             self.note_release(id, t);
+            self.probe.on_reweight_enacted(id, t, pending.initiated_at);
         }
     }
 
@@ -625,7 +689,7 @@ impl Engine {
     /// slot 4). Ignored while a reweighting change is pending (no
     /// release is scheduled to delay) or when the task is absent.
     fn handle_delay(&mut self, id: TaskId, t: Slot, by: u32) {
-        let task = &mut self.tasks[id.idx()];
+        let task = &self.tasks[id.idx()];
         if !task.in_system || by == 0 {
             return;
         }
@@ -635,7 +699,8 @@ impl Engine {
         if r_old < t {
             return;
         }
-        task.sync_ideals_to(t);
+        self.sync_task(id, t);
+        let task = &mut self.tasks[id.idx()];
         let r_new = r_old + i64::from(by);
         task.next_release = Some(r_new);
         let inactive_from = task
@@ -681,7 +746,7 @@ impl Engine {
         }
         // Totals must be settled through `t` before the task can depart
         // immediately (leave_at == t) or halt its unscheduled subtasks.
-        self.tasks[id.idx()].sync_ideals_to(t);
+        self.sync_task(id, t);
         let (withdraw, leave_at) = {
             let task = &self.tasks[id.idx()];
             let withdraw: Vec<u64> = task
@@ -716,10 +781,10 @@ impl Engine {
     /// (stale queue entry) and `I_SW` (allocations stop; `I_CSW` takes
     /// everything back).
     fn halt_subtask(&mut self, id: TaskId, index: u64, t: Slot) {
-        let task = &mut self.tasks[id.idx()];
         // `halt` takes back exactly the allocations accrued so far, so the
         // tracker must first be caught up to the halt boundary.
-        task.sync_ideals_to(t);
+        self.sync_task(id, t);
+        let task = &mut self.tasks[id.idx()];
         let rec = task.isw.halt(index, t);
         if self.config.record_history {
             task.halted_corrections.extend(rec.slot_allocs);
@@ -728,6 +793,7 @@ impl Engine {
         let sub = task.sub_mut(index).expect("halting unknown subtask");
         sub.halted_at = Some(t);
         self.counters.halts += 1;
+        self.probe.on_halt(id, index, t);
     }
 
     fn handle_reweight(&mut self, id: TaskId, t: Slot, want: Weight) {
@@ -753,7 +819,7 @@ impl Engine {
         // Catch the trackers up to the initiation boundary first: `I_PS`
         // accrues the old weight up to `t` before `set_wt`, and the rules
         // below project `I_SW` completions from the current slot.
-        self.tasks[id.idx()].sync_ideals_to(t);
+        self.sync_task(id, t);
 
         // The actual weight (and I_PS) changes at initiation, always.
         {
@@ -764,16 +830,35 @@ impl Engine {
 
         let current_drift = self.tasks[id.idx()].drift.at(t);
         let choice = self.selector.choose(id, t, old_swt, v, current_drift);
-        match choice {
+        // Direct per-event cost: queue operations and halts performed
+        // while the rules run. Deferred cost (stale entries stranded by
+        // the halts) is attributed later via the stale-pop/drop hooks.
+        let ops_before = self.counters.heap_ops();
+        let halts_before = self.counters.halts;
+        let rule = match choice {
             RuleChoice::FineGrained => self.reweight_oi(id, t, v),
             RuleChoice::LeaveJoin => self.reweight_lj(id, t, v),
+        };
+        let cost = ReweightCost {
+            queue_ops: self.counters.heap_ops().saturating_sub(ops_before),
+            halts: self.counters.halts.saturating_sub(halts_before),
+        };
+        let pending = self.tasks[id.idx()].pending;
+        let enact_at = pending.map_or(t, |p| p.at);
+        self.probe
+            .on_reweight_initiated(id, t, rule, cost, enact_at);
+        if pending.is_none() {
+            // The rules fired on the spot: initiation and enactment
+            // coincide (the probe sees them ordered).
+            self.probe.on_reweight_enacted(id, t, t);
         }
     }
 
     /// Rules O and I of the paper (PD²-OI). A pre-existing pending change
     /// is superseded: the rules re-run against the current state, which
     /// realizes the "skipped event" semantics of §3.2 and property (C).
-    fn reweight_oi(&mut self, id: TaskId, t: Slot, v: Rational) {
+    /// Returns the rule that resolved the initiation (probe reporting).
+    fn reweight_oi(&mut self, id: TaskId, t: Slot, v: Rational) -> Rule {
         let (last, d_passed) = {
             let task = &self.tasks[id.idx()];
             let last = task.last_released().copied();
@@ -792,14 +877,14 @@ impl Engine {
             if let Ok(w) = Weight::try_new(v) {
                 self.admission.note_enacted(id, w);
             }
-            return;
+            return Rule::Immediate;
         };
 
         if d_passed {
             // d(T_j) ≤ t_c: enact at max(t_c, d + b).
             let at = (tj.window.deadline + i64::from(tj.window.b)).max(t);
             self.park_or_enact(id, t, v, at, PendKind::Enact);
-            return;
+            return Rule::O;
         }
 
         let scheduled = tj.scheduled_at.is_some();
@@ -841,6 +926,7 @@ impl Engine {
             );
             let at = proj.map_or(t, |d| (d + i64::from(tj.window.b)).max(t));
             self.park_or_enact(id, t, v, at, kind);
+            Rule::I
         } else {
             // Omission-changeable (rule O): halt T_j (unless a superseded
             // event already did) and enact at max(t_c, D(I_SW, T_{j−1}) +
@@ -867,13 +953,14 @@ impl Engine {
                     self.park_or_enact(id, t, v, at, PendKind::Enact);
                 }
             }
+            Rule::O
         }
     }
 
     /// Leave/join reweighting (PD²-LJ): withdraw unscheduled subtasks,
     /// wait out rule L on the last-scheduled subtask, rejoin with the new
-    /// weight.
-    fn reweight_lj(&mut self, id: TaskId, t: Slot, v: Rational) {
+    /// weight. Returns [`Rule::Lj`] (probe reporting).
+    fn reweight_lj(&mut self, id: TaskId, t: Slot, v: Rational) -> Rule {
         let withdraw: Vec<u64> = self.tasks[id.idx()]
             .subs
             .iter()
@@ -887,6 +974,7 @@ impl Engine {
             .last_scheduled
             .map_or(t, |w| (w.deadline + i64::from(w.b)).max(t));
         self.park_or_enact(id, t, v, at, PendKind::Enact);
+        Rule::Lj
     }
 
     /// Installs a pending change, or fires it on the spot when its time
@@ -914,6 +1002,7 @@ impl Engine {
                 target: v,
                 at,
                 kind,
+                initiated_at: t,
             });
             self.enact_at.entry(at).or_default().push(id);
         }
@@ -926,14 +1015,17 @@ impl Engine {
             return;
         };
         for id in Self::in_task_order(due) {
-            let task = &mut self.tasks[id.idx()];
-            if !task.in_system || task.next_release != Some(t) {
-                continue; // moved, suppressed, or already fired
+            {
+                let task = &self.tasks[id.idx()];
+                if !task.in_system || task.next_release != Some(t) {
+                    continue; // moved, suppressed, or already fired
+                }
             }
             // Per-release synchronization boundary: drift samples read
             // A(·, 0, t) below, and settling completions here also keeps
             // `subs` and the tracker's retained records bounded.
-            task.sync_ideals_to(t);
+            self.sync_task(id, t);
+            let task = &mut self.tasks[id.idx()];
             let index = task.next_index;
             task.next_index += 1;
             let rank = index - task.era_base;
@@ -1002,6 +1094,8 @@ impl Engine {
             if let Some(r) = successor {
                 self.note_release(id, r);
             }
+            self.probe
+                .on_release(id, index, t, window.deadline, era_first);
         }
     }
 
@@ -1012,13 +1106,18 @@ impl Engine {
         let mut chosen: Vec<TaskId> = Vec::with_capacity(m);
         while chosen.len() < m {
             let tasks = &self.tasks;
-            let Some(entry) = self.queue.pop_live(&mut self.counters, |e| {
-                let task = &tasks[e.task.idx()];
-                task.in_system
-                    && task.subs.iter().any(|s| {
-                        s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
-                    })
-            }) else {
+            let probe = &mut self.probe;
+            let Some(entry) = self.queue.pop_live_traced(
+                &mut self.counters,
+                |e| {
+                    let task = &tasks[e.task.idx()];
+                    task.in_system
+                        && task.subs.iter().any(|s| {
+                            s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
+                        })
+                },
+                |e| probe.on_stale_pop(e.task, e.index, t),
+            ) else {
                 break;
             };
             let task = &mut self.tasks[entry.task.idx()];
@@ -1034,6 +1133,7 @@ impl Engine {
                 task.scheduled_slots.push(t);
             }
             self.counters.scheduled_quanta += 1;
+            self.probe.on_schedule(entry.task, entry.index, t);
             chosen.push(entry.task);
         }
 
@@ -1045,12 +1145,17 @@ impl Engine {
 
         // Preemptions: ran last slot, not chosen now, still has released
         // unscheduled work.
+        let mut preempted: Vec<TaskId> = Vec::new();
         for task in &mut self.tasks {
             let runs_now = chosen.contains(&task.id);
             if task.ran_last_slot && !runs_now && task.head_pos().is_some() {
                 self.counters.preemptions += 1;
+                preempted.push(task.id);
             }
             task.ran_last_slot = runs_now;
+        }
+        for id in preempted {
+            self.probe.on_preempt(id, t);
         }
 
         // Promote successors of scheduled heads (eligible from t + 1, but
@@ -1159,10 +1264,20 @@ impl Engine {
 }
 
 /// Runs a full simulation: build, run to horizon, collect.
+///
+/// Literally [`simulate_with`] instantiated at [`NoopProbe`] — one code
+/// path, so the `obs_overhead` bench's probe-free baseline and noop
+/// series exercise the same machine code.
 pub fn simulate(config: SimConfig, workload: &Workload) -> SimResult {
-    let mut engine = Engine::new(config, workload);
+    simulate_with(config, workload, NoopProbe).0
+}
+
+/// Runs a full simulation under observation, returning the results and
+/// the probe (which owns whatever it collected).
+pub fn simulate_with<P: Probe>(config: SimConfig, workload: &Workload, probe: P) -> (SimResult, P) {
+    let mut engine = Engine::with_probe(config, workload, probe);
     engine.run();
-    engine.finish()
+    engine.finish_with_probe()
 }
 
 #[cfg(test)]
@@ -1393,6 +1508,80 @@ mod tests {
             "the workload never triggered a compaction (peak len {peak}); it is not a stress test"
         );
         assert!(r.counters.compacted_stale > 0);
+    }
+
+    /// Probes observe a stream consistent with the aggregate counters,
+    /// and the recorder resolves every initiation into a span that is
+    /// either enacted or superseded.
+    #[test]
+    fn probes_observe_reweighting_consistently() {
+        use pfair_obs::{Fanout, MetricsProbe, TraceRecorder};
+        let mut w = Workload::new();
+        // One CPU saturated by two half-weight tasks; the tiny task's
+        // far-deadline subtask sits unscheduled, so reweighting it is
+        // omission-changeable (rule O). The half-weight task's head is
+        // always scheduled promptly, so reweighting it is rule I.
+        w.join(0, 0, 1, 50);
+        w.join(1, 0, 1, 2);
+        w.join(2, 0, 1, 2); // clamped by policing to the leftover capacity
+        w.reweight(0, 5, 1, 40); // unscheduled head: rule O
+        w.reweight(1, 9, 1, 3); // scheduled head: rule I (parked decrease)
+        w.reweight(1, 9, 2, 5); // same-slot supersede of the parked change
+        let (r, Fanout(rec, metrics)) = simulate_with(
+            SimConfig::oi(1, 60),
+            &w,
+            Fanout(TraceRecorder::new(), MetricsProbe::new()),
+        );
+        assert!(r.is_miss_free());
+        let reg = metrics.registry();
+        assert_eq!(reg.counter("slots"), 60);
+        assert_eq!(
+            reg.counter("reweight.initiated"),
+            r.counters.reweight_initiations
+        );
+        assert_eq!(reg.counter("halts"), r.counters.halts);
+        assert_eq!(reg.counter("schedules"), r.counters.scheduled_quanta);
+        assert_eq!(reg.counter("preemptions"), r.counters.preemptions);
+        assert_eq!(reg.counter("queue.stale_pops"), r.counters.stale_pops);
+        // Event-driven mode: syncs jump the trackers in closed form.
+        assert!(reg.counter("tracker.advances") > 0);
+
+        let spans = rec.spans();
+        assert_eq!(
+            u64::try_from(spans.len()).unwrap(),
+            r.counters.reweight_initiations
+        );
+        assert!(spans.iter().all(|s| s.enacted_at.is_some() || s.superseded));
+        assert!(spans.iter().any(|s| s.rule == pfair_obs::Rule::I));
+        assert!(spans.iter().any(|s| s.rule == pfair_obs::Rule::O));
+        // The superseded decrease never enacts; its replacement does.
+        assert_eq!(spans.iter().filter(|s| s.superseded).count(), 1);
+        // The trace export stays parseable.
+        let text = rec.chrome_trace().to_string_pretty();
+        assert!(pfair_json::Json::parse(&text).is_ok());
+    }
+
+    /// The NoopProbe run and a probed run agree on results: probes
+    /// observe, they never steer.
+    #[test]
+    fn probed_run_matches_unprobed_run() {
+        let mut w = Workload::new();
+        for i in 0..6 {
+            w.join(i, 0, 1, 3);
+        }
+        w.reweight(2, 9, 1, 6);
+        w.leave(3, 15);
+        w.reweight(4, 21, 2, 5);
+        let plain = simulate(SimConfig::oi(2, 80), &w);
+        let (probed, _rec) =
+            simulate_with(SimConfig::oi(2, 80), &w, pfair_obs::TraceRecorder::new());
+        assert_eq!(plain.counters, probed.counters);
+        assert_eq!(plain.misses, probed.misses);
+        for (a, b) in plain.tasks.iter().zip(probed.tasks.iter()) {
+            assert_eq!(a.scheduled_count, b.scheduled_count);
+            assert_eq!(a.isw_total, b.isw_total);
+            assert_eq!(a.ps_total, b.ps_total);
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod workloads;
 /// The types most users need.
 pub mod prelude {
     pub use crate::admission::AdmissionPolicy;
-    pub use crate::engine::{simulate, Engine, SimConfig};
+    pub use crate::engine::{simulate, simulate_with, Engine, SimConfig};
     pub use crate::event::{Event, EventKind, Workload};
     pub use crate::overhead::Counters;
     pub use crate::priority::TieBreak;
@@ -67,4 +67,5 @@ pub mod prelude {
     pub use pfair_core::rational::{rat, Rational};
     pub use pfair_core::task::TaskId;
     pub use pfair_core::weight::Weight;
+    pub use pfair_obs::{Fanout, MetricsProbe, NoopProbe, Probe, TraceRecorder};
 }

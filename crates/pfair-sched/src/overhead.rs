@@ -99,6 +99,33 @@ impl Counters {
     pub fn heap_ops(&self) -> u64 {
         self.heap_pushes + self.heap_pops
     }
+
+    /// The counters as a `pfair-obs` [`Registry`](pfair_obs::Registry),
+    /// one counter per field under its field name. `Counters` stays the
+    /// engine-facing view (a flat `Copy` struct the hot path bumps
+    /// unconditionally); the registry form is the unified snapshot
+    /// format shared with probe-collected metrics.
+    pub fn to_registry(&self) -> pfair_obs::Registry {
+        let mut reg = pfair_obs::Registry::new();
+        for (name, value) in [
+            ("heap_pushes", self.heap_pushes),
+            ("heap_pops", self.heap_pops),
+            ("stale_pops", self.stale_pops),
+            ("reweight_initiations", self.reweight_initiations),
+            ("reweight_enactments", self.reweight_enactments),
+            ("halts", self.halts),
+            ("scheduled_quanta", self.scheduled_quanta),
+            ("slots_with_holes", self.slots_with_holes),
+            ("migrations", self.migrations),
+            ("preemptions", self.preemptions),
+            ("rejected_heavy_reweights", self.rejected_heavy_reweights),
+            ("compactions", self.compactions),
+            ("compacted_stale", self.compacted_stale),
+        ] {
+            reg.inc(name, value);
+        }
+        reg
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +147,28 @@ mod tests {
         let c = Counters::default();
         assert_eq!(c.heap_ops(), 0);
         assert_eq!(c.migrations, 0);
+    }
+
+    #[test]
+    fn registry_view_mirrors_every_field() {
+        let c = Counters {
+            heap_pushes: 1,
+            heap_pops: 2,
+            stale_pops: 3,
+            reweight_initiations: 4,
+            reweight_enactments: 5,
+            halts: 6,
+            scheduled_quanta: 7,
+            slots_with_holes: 8,
+            migrations: 9,
+            preemptions: 10,
+            rejected_heavy_reweights: 11,
+            compactions: 12,
+            compacted_stale: 13,
+        };
+        let reg = c.to_registry();
+        assert_eq!(reg.counter("heap_pushes"), 1);
+        assert_eq!(reg.counter("compacted_stale"), 13);
+        assert_eq!(reg.counter_names().len(), 13);
     }
 }

@@ -60,7 +60,20 @@ impl ReadyQueue {
     pub fn pop_live(
         &mut self,
         counters: &mut Counters,
+        is_live: impl FnMut(&QueueEntry) -> bool,
+    ) -> Option<QueueEntry> {
+        self.pop_live_traced(counters, is_live, |_| {})
+    }
+
+    /// [`ReadyQueue::pop_live`] with an observer: `on_stale` is invoked
+    /// for each stale entry discarded on the way to a live one, so a
+    /// probe can attribute the deferred queue cost back to the
+    /// reweighting event whose halt stranded the entry.
+    pub fn pop_live_traced(
+        &mut self,
+        counters: &mut Counters,
         mut is_live: impl FnMut(&QueueEntry) -> bool,
+        mut on_stale: impl FnMut(&QueueEntry),
     ) -> Option<QueueEntry> {
         while let Some(Reverse(entry)) = self.heap.pop() {
             counters.heap_pops += 1;
@@ -68,6 +81,7 @@ impl ReadyQueue {
                 return Some(entry);
             }
             counters.stale_pops += 1;
+            on_stale(&entry);
         }
         None
     }
@@ -85,14 +99,29 @@ impl ReadyQueue {
     /// bound, keeping the amortized per-slot cost constant). Removals
     /// are tallied in [`Counters::compacted_stale`], not `stale_pops` —
     /// they never reach a pop.
-    pub fn compact(
+    pub fn compact(&mut self, counters: &mut Counters, is_live: impl FnMut(&QueueEntry) -> bool) {
+        self.compact_traced(counters, is_live, |_| {});
+    }
+
+    /// [`ReadyQueue::compact`] with an observer: `on_drop` is invoked
+    /// for each stale entry the sweep removes (these never reach a
+    /// pop, so [`ReadyQueue::pop_live_traced`]'s observer would miss
+    /// them).
+    pub fn compact_traced(
         &mut self,
         counters: &mut Counters,
         mut is_live: impl FnMut(&QueueEntry) -> bool,
+        mut on_drop: impl FnMut(&QueueEntry),
     ) {
         let before = self.heap.len();
         let mut entries = std::mem::take(&mut self.heap).into_vec();
-        entries.retain(|Reverse(e)| is_live(e));
+        entries.retain(|Reverse(e)| {
+            let live = is_live(e);
+            if !live {
+                on_drop(e);
+            }
+            live
+        });
         counters.compactions += 1;
         counters.compacted_stale += (before - entries.len()) as u64; // audit: allow(lossy-cast, usize→u64 is lossless on the supported targets)
         self.heap = BinaryHeap::from(entries);

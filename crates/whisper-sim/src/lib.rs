@@ -33,7 +33,8 @@ pub mod scenario;
 pub mod stats;
 
 use pfair_core::time::Slot;
-use pfair_sched::engine::{simulate, SimConfig};
+use pfair_obs::{NoopProbe, Probe};
+use pfair_sched::engine::{simulate_with, SimConfig};
 use pfair_sched::overhead::Counters;
 use pfair_sched::reweight::Scheme;
 pub use scenario::{generate_workload, Scenario, HORIZON, PROCESSORS};
@@ -62,15 +63,32 @@ pub fn run_whisper(sc: &Scenario, scheme: Scheme) -> WhisperMetrics {
 
 /// [`run_whisper`] with an explicit horizon (used by benchmarks).
 pub fn run_whisper_for(sc: &Scenario, scheme: Scheme, horizon: Slot) -> WhisperMetrics {
+    run_whisper_probed(sc, scheme, horizon, NoopProbe).0
+}
+
+/// [`run_whisper_for`] observed through a probe: every engine event of
+/// the Whisper run (releases, reweights with per-event cost, tracker
+/// jumps, …) is reported to `probe`, which is handed back alongside
+/// the metrics. Used by `pfair-cli trace` to render a full Chrome
+/// trace of a scenario.
+pub fn run_whisper_probed<P: Probe>(
+    sc: &Scenario,
+    scheme: Scheme,
+    horizon: Slot,
+    probe: P,
+) -> (WhisperMetrics, P) {
     let workload = generate_workload(sc);
     let config = SimConfig::oi(PROCESSORS, horizon).with_scheme(scheme);
-    let result = simulate(config, &workload);
-    WhisperMetrics {
-        max_drift: result.max_abs_drift_at(horizon).to_f64(),
-        pct_of_ideal: result.mean_pct_of_ideal(),
-        misses: result.misses.len(),
-        counters: result.counters,
-    }
+    let (result, probe) = simulate_with(config, &workload, probe);
+    (
+        WhisperMetrics {
+            max_drift: result.max_abs_drift_at(horizon).to_f64(),
+            pct_of_ideal: result.mean_pct_of_ideal(),
+            misses: result.misses.len(),
+            counters: result.counters,
+        },
+        probe,
+    )
 }
 
 #[cfg(test)]
@@ -93,5 +111,19 @@ mod tests {
         assert_eq!(lj.misses, 0);
         // The headline comparison of §5: OI tracks the ideal better.
         assert!(oi.pct_of_ideal >= lj.pct_of_ideal - 1.0);
+    }
+
+    #[test]
+    fn probed_run_matches_and_records_reweights() {
+        let sc = Scenario::new(2.0, 0.25, true, 3);
+        let plain = run_whisper_for(&sc, Scheme::Oi, 500);
+        let (probed, rec) =
+            run_whisper_probed(&sc, Scheme::Oi, 500, pfair_obs::TraceRecorder::new());
+        assert_eq!(plain.counters, probed.counters);
+        assert_eq!(
+            u64::try_from(rec.spans().len()).unwrap(),
+            probed.counters.reweight_initiations
+        );
+        assert!(!rec.events().is_empty());
     }
 }

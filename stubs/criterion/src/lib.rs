@@ -52,6 +52,18 @@ pub fn take_results() -> Vec<BenchResult> {
     std::mem::take(&mut RESULTS.lock().expect("results registry poisoned"))
 }
 
+/// Records an externally measured benchmark into the registry — for
+/// targets whose comparison needs interleaved (paired) timing that the
+/// sequential [`Bencher`] API cannot express, e.g. A/B overhead guards
+/// where machine drift between two separate measurement windows would
+/// swamp the difference being measured.
+pub fn record_result(result: BenchResult) {
+    RESULTS
+        .lock()
+        .expect("results registry poisoned")
+        .push(result);
+}
+
 /// `true` iff `--quick` was passed on the bench binary's command line.
 pub fn quick_mode() -> bool {
     static QUICK: OnceLock<bool> = OnceLock::new();
@@ -59,7 +71,21 @@ pub fn quick_mode() -> bool {
 }
 
 /// (warm-up budget, measurement budget) for the active mode.
+///
+/// `BENCH_MEASURE_MS` overrides the measurement budget (warm-up scales
+/// to a fifth of it) — for runs that need tighter medians than the
+/// fast default allows.
 fn budgets() -> (Duration, Duration) {
+    if let Some(ms) = std::env::var("BENCH_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms >= 1)
+    {
+        return (
+            Duration::from_millis((ms / 5).max(1)),
+            Duration::from_millis(ms),
+        );
+    }
     if quick_mode() {
         (Duration::from_millis(2), Duration::from_millis(10))
     } else {
