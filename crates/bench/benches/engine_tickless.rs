@@ -1,0 +1,71 @@
+//! Tickless batching vs per-slot stepping, end to end.
+//!
+//! The tickless driver (PR 5) advances quiet spans in closed form and
+//! routes release-only slots through a reduced pipeline, so whole-run
+//! cost should scale with the number of *eventful* slots rather than
+//! the horizon. Each pair below runs the same workload to the same
+//! horizon twice — `per_slot_*` with `SimConfig::per_slot()` (the
+//! oracle), `tickless_*` with the default config — over two regimes:
+//!
+//! * `underloaded`: eight weight-≈1/100 tasks on four processors.
+//!   Windows are ~100 slots wide, so almost every slot is quiet and
+//!   batching should win by well over an order of magnitude at long
+//!   horizons (the ISSUE target is ≥5×).
+//! * `saturated`: eight half-weight tasks on four processors. Every
+//!   slot schedules work, batching never engages, and the pair guards
+//!   against the tickless dispatch regressing the busy path.
+//!
+//! Entries land in the repo-root trajectory as
+//! `engine/{per_slot,tickless}_{1k,10k,100k}/{underloaded,saturated}`;
+//! CI greps for the pair names.
+
+use bench::uniform_workload;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use pfair_sched::engine::{simulate, SimConfig};
+use pfair_sched::event::Workload;
+use std::hint::black_box;
+
+/// Eight sparse tasks on four CPUs with coprime-ish periods so their
+/// releases interleave instead of clustering on one slot.
+fn underloaded_workload() -> Workload {
+    let mut w = Workload::new();
+    for i in 0..8u32 {
+        w.join(i, i64::from(i), 1, 97 + i128::from(i) * 3);
+    }
+    w
+}
+
+fn bench_engine_tickless(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let processors = 4u32;
+    let scenarios: [(&str, Workload); 2] = [
+        ("underloaded", underloaded_workload()),
+        ("saturated", uniform_workload(2 * processors, processors)),
+    ];
+    for &(label, horizon) in &[("1k", 1_000i64), ("10k", 10_000), ("100k", 100_000)] {
+        for (scenario, w) in &scenarios {
+            group.bench_with_input(
+                BenchmarkId::new(format!("per_slot_{label}"), scenario),
+                &horizon,
+                |b, &horizon| {
+                    b.iter(|| {
+                        black_box(simulate(SimConfig::oi(processors, horizon).per_slot(), w))
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("tickless_{label}"), scenario),
+                &horizon,
+                |b, &horizon| b.iter(|| black_box(simulate(SimConfig::oi(processors, horizon), w))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_tickless);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

@@ -56,6 +56,11 @@ fn corpus_produces_exactly_the_expected_diagnostics() {
         ("sched/obs_aggregation.rs", 9, NO_FLOAT),
         ("sched/obs_aggregation.rs", 9, NO_LOSSY_CASTS),
         ("sched/obs_aggregation.rs", 14, NO_PANIC),
+        ("sched/packed_priority.rs", 9, NO_LOSSY_CASTS),
+        ("sched/packed_priority.rs", 9, RAW_ARITH),
+        ("sched/packed_priority.rs", 10, NO_LOSSY_CASTS),
+        ("sched/packed_priority.rs", 16, NO_LOSSY_CASTS),
+        ("sched/packed_priority.rs", 17, NO_PANIC),
         ("sched/panics.rs", 4, NO_PANIC),
         ("sched/panics.rs", 9, NO_PANIC),
         ("sched/panics.rs", 13, NO_PANIC),
@@ -95,6 +100,18 @@ fn sanctioned_interval_advancement_is_clean() {
             .iter()
             .any(|f| f.path == "sched/interval_advance_ok.rs"),
         "checked closed-form advancement should audit clean"
+    );
+}
+
+#[test]
+fn sanctioned_packed_priority_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.path == "sched/packed_priority_ok.rs"),
+        "clamped bias and try_from width changes should audit clean"
     );
 }
 

@@ -1,0 +1,18 @@
+// Fixture: the same key packing written in the sanctioned form — the
+// bias clamped into its band so the shifted-domain sum cannot wrap,
+// `From`/`try_from` width changes, and the out-of-band case surfaced
+// as a value instead of a panic.
+// Expected: no findings.
+pub fn pack_key(deadline: i64, b: bool, tie: u32) -> u128 {
+    let bound: i64 = 1 << 46;
+    let clamped = deadline.clamp(-bound, bound - 1);
+    let biased = u128::try_from(clamped + bound).unwrap_or(0);
+    (biased << 33) | (u128::from(!b) << 32) | u128::from(tie)
+}
+
+/// Recover the deadline field, surfacing out-of-band keys as a value.
+pub fn unpack_deadline(key: u128) -> Option<i64> {
+    let bound: i64 = 1 << 46;
+    let field = i64::try_from((key >> 33) & ((1 << 47) - 1)).ok()?;
+    field.checked_sub(bound)
+}

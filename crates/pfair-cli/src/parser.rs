@@ -237,6 +237,7 @@ pub fn parse(input: &str) -> Result<Spec, ParseError> {
         tie_break,
         admission,
         record_history: true,
+        tickless: true,
     };
     Ok(Spec { config, workload })
 }

@@ -1,0 +1,324 @@
+//! A bucketed calendar queue for slot-indexed engine events.
+//!
+//! The engine keeps three slot → task-list indexes (releases, parked
+//! enactments, rule-L departures). They were `BTreeMap<Slot, Vec<_>>`:
+//! `O(log n)` per insert and per-slot probe, with the per-slot probe
+//! paid on *every* slot whether or not anything is due. A calendar
+//! queue exploits the access pattern instead — keys are drawn from a
+//! narrow moving window just ahead of `now`, and the consumer visits
+//! slots in nondecreasing order:
+//!
+//! - [`CalendarRing::insert`] is `O(1)` amortized: a push onto the
+//!   bucket `slot mod WINDOW` (or onto a small overflow list for the
+//!   rare far-future key — long delays, distant rule-L departures).
+//! - [`CalendarRing::take`] is `O(1)` plus the entries returned: one
+//!   occupancy-bitmap test rejects empty slots without touching the
+//!   bucket array.
+//! - [`CalendarRing::next_occupied`] — the query the tickless batching
+//!   layer plans spans with — scans the occupancy bitmap a word (64
+//!   slots) at a time: `O(1)` when the ring is empty (the common case
+//!   in a quiet span), `O(WINDOW/64)` worst case.
+//!
+//! The window advances lazily: when `take(t)` is called past the
+//! current window, every bucketed entry is already consumed (per-slot
+//! mode visits every slot; tickless mode never skips a slot any ring
+//! reports occupied), so rotation just rebases the window and migrates
+//! newly-in-range overflow entries into buckets.
+//!
+//! Entries are *hints*, exactly as the BTreeMap entries were: the
+//! engine re-validates each against current task state when its slot
+//! fires, so stale entries (superseded pendings, moved releases) cost
+//! one skipped id, never a wrong action. A stale entry can also make
+//! `next_occupied` conservative (an earlier boundary than necessary) —
+//! batching then splits a span, which is slower but never wrong.
+
+use pfair_core::task::TaskId;
+use pfair_core::time::{Slot, NEVER};
+
+/// Bucketed window span in slots. Must be a power of two (the bucket
+/// map is `slot mod WINDOW_SLOTS`). 512 covers every release/enactment
+/// horizon the reweighting rules produce for the weights in this repo's
+/// experiments; larger gaps (long IS delays) ride the overflow list.
+const WINDOW_SLOTS: Slot = 512;
+/// The same span as a bucket count.
+const WINDOW: usize = 512;
+/// Occupancy bitmap words (64 buckets per word).
+const WORDS: usize = WINDOW / 64;
+
+/// A slot-indexed multimap over a moving window of time.
+#[derive(Clone, Debug)]
+pub struct CalendarRing {
+    /// First slot of the current window; `take` keeps `base ≤ t`.
+    base: Slot,
+    /// One bucket per window slot, indexed `slot mod WINDOW_SLOTS`.
+    buckets: Vec<Vec<TaskId>>,
+    /// Bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Entries beyond the window, migrated into buckets at rotation.
+    overflow: Vec<(Slot, TaskId)>,
+    /// Exact minimum slot in `overflow` (`NEVER` when it is empty).
+    overflow_min: Slot,
+    /// Live entry count across the buckets.
+    in_window: usize,
+}
+
+impl CalendarRing {
+    /// An empty ring whose window starts at `start`.
+    pub fn new(start: Slot) -> CalendarRing {
+        CalendarRing {
+            base: start,
+            buckets: vec![Vec::new(); WINDOW],
+            occupied: [0; WORDS],
+            overflow: Vec::new(),
+            overflow_min: NEVER,
+            in_window: 0,
+        }
+    }
+
+    fn bucket_of(slot: Slot) -> usize {
+        usize::try_from(slot.rem_euclid(WINDOW_SLOTS)).unwrap_or(0)
+    }
+
+    /// Registers `id` at slot `at`. `at` must not precede the last
+    /// consumed slot (the engine only schedules future work).
+    pub fn insert(&mut self, at: Slot, id: TaskId) {
+        debug_assert!(at >= self.base, "insert at {at} before window base");
+        if at >= self.base.saturating_add(WINDOW_SLOTS) {
+            self.overflow_min = self.overflow_min.min(at);
+            self.overflow.push((at, id));
+            return;
+        }
+        let b = Self::bucket_of(at);
+        self.buckets[b].push(id);
+        self.occupied[b / 64] |= 1u64 << (b % 64);
+        self.in_window += 1;
+    }
+
+    /// Removes and returns every entry registered at slot `t`.
+    /// Callers consume slots in nondecreasing order.
+    pub fn take(&mut self, t: Slot) -> Vec<TaskId> {
+        if t >= self.base.saturating_add(WINDOW_SLOTS) {
+            self.rotate(t);
+        }
+        debug_assert!(t >= self.base, "take at {t} before window base");
+        let b = Self::bucket_of(t);
+        if self.occupied[b / 64] & (1u64 << (b % 64)) == 0 {
+            return Vec::new();
+        }
+        self.occupied[b / 64] &= !(1u64 << (b % 64));
+        let out = std::mem::take(&mut self.buckets[b]);
+        self.in_window -= out.len();
+        out
+    }
+
+    /// Number of entries registered at exactly slot `t` (without
+    /// consuming them) — the tickless layer's fits-on-M precheck.
+    pub fn due_count(&self, t: Slot) -> usize {
+        if t >= self.base && t < self.base.saturating_add(WINDOW_SLOTS) {
+            self.buckets[Self::bucket_of(t)].len()
+        } else {
+            self.overflow.iter().filter(|(at, _)| *at == t).count()
+        }
+    }
+
+    /// The earliest occupied slot `≥ from`, or `None` when the ring
+    /// holds nothing at or after `from`. This is exact (overflow
+    /// entries included via their maintained minimum), so batching can
+    /// trust a `None` to mean "nothing ahead at all".
+    pub fn next_occupied(&self, from: Slot) -> Option<Slot> {
+        if self.in_window > 0 {
+            let end = self.base.saturating_add(WINDOW_SLOTS);
+            let mut s = from.max(self.base);
+            while s < end {
+                // Word-window alignment: buckets `s mod WINDOW` share a
+                // word exactly when the slots share `s div 64` (WINDOW
+                // is a multiple of 64), so one masked word covers slots
+                // `s ..= s | 63`.
+                let b = Self::bucket_of(s);
+                let bit = s.rem_euclid(64);
+                let word = self.occupied[b / 64];
+                let masked = word & (u64::MAX << usize::try_from(bit).unwrap_or(0));
+                if masked != 0 {
+                    let hit = s + i64::from(masked.trailing_zeros()) - bit;
+                    if hit < end {
+                        return Some(hit);
+                    }
+                    break;
+                }
+                s = s + 64 - bit;
+            }
+        }
+        if self.overflow.is_empty() || self.overflow_min < from {
+            // `overflow_min < from` cannot happen for in-order consumers
+            // (overflow slots sit beyond the window, hence beyond `from`);
+            // treat it as exhausted rather than report a past slot.
+            None
+        } else {
+            Some(self.overflow_min)
+        }
+    }
+
+    /// Total entries (bucketed + overflow).
+    pub fn len(&self) -> usize {
+        self.in_window + self.overflow.len()
+    }
+
+    /// `true` iff the ring holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rebases the window at `t` and pulls newly-in-range overflow
+    /// entries into buckets. Only called once `t` has moved past the
+    /// whole current window, by which point every bucketed entry has
+    /// been consumed (callers take slots in order and never skip an
+    /// occupied one), so the buckets are empty.
+    fn rotate(&mut self, t: Slot) {
+        debug_assert_eq!(self.in_window, 0, "rotating over unconsumed entries");
+        if self.in_window != 0 {
+            // Defensive: a (contract-violating) skipped entry sits at a
+            // past slot, where it could alias a future bucket. Its
+            // BTreeMap equivalent — a key never queried again — would
+            // never fire either; drop it rather than misfire it.
+            for bucket in &mut self.buckets {
+                bucket.clear();
+            }
+            self.occupied = [0; WORDS];
+            self.in_window = 0;
+        }
+        self.base = t;
+        if self.overflow.is_empty() {
+            return;
+        }
+        let end = t.saturating_add(WINDOW_SLOTS);
+        let mut kept: Vec<(Slot, TaskId)> = Vec::new();
+        let mut kept_min = NEVER;
+        for (at, id) in std::mem::take(&mut self.overflow) {
+            if at < end {
+                debug_assert!(at >= t, "overflow entry at {at} already passed");
+                if at >= t {
+                    let b = Self::bucket_of(at);
+                    self.buckets[b].push(id);
+                    self.occupied[b / 64] |= 1u64 << (b % 64);
+                    self.in_window += 1;
+                }
+            } else {
+                kept_min = kept_min.min(at);
+                kept.push((at, id));
+            }
+        }
+        self.overflow = kept;
+        self.overflow_min = kept_min;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: Vec<TaskId>) -> Vec<u32> {
+        v.into_iter().map(|t| t.0).collect()
+    }
+
+    #[test]
+    fn take_returns_entries_in_insertion_order() {
+        let mut r = CalendarRing::new(0);
+        r.insert(3, TaskId(5));
+        r.insert(3, TaskId(2));
+        r.insert(4, TaskId(9));
+        assert_eq!(ids(r.take(0)), Vec::<u32>::new());
+        assert_eq!(ids(r.take(3)), vec![5, 2]);
+        assert_eq!(ids(r.take(3)), Vec::<u32>::new());
+        assert_eq!(ids(r.take(4)), vec![9]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn due_count_matches_without_consuming() {
+        let mut r = CalendarRing::new(0);
+        r.insert(7, TaskId(1));
+        r.insert(7, TaskId(2));
+        assert_eq!(r.due_count(7), 2);
+        assert_eq!(r.due_count(6), 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(ids(r.take(7)), vec![1, 2]);
+        assert_eq!(r.due_count(7), 0);
+    }
+
+    #[test]
+    fn next_occupied_is_exact_within_the_window() {
+        let mut r = CalendarRing::new(0);
+        assert_eq!(r.next_occupied(0), None);
+        r.insert(130, TaskId(0));
+        r.insert(5, TaskId(1));
+        assert_eq!(r.next_occupied(0), Some(5));
+        assert_eq!(r.next_occupied(5), Some(5));
+        assert_eq!(r.next_occupied(6), Some(130));
+        r.take(5);
+        assert_eq!(r.next_occupied(0), Some(130));
+        r.take(130);
+        assert_eq!(r.next_occupied(0), None);
+    }
+
+    #[test]
+    fn overflow_entries_report_and_migrate() {
+        let mut r = CalendarRing::new(0);
+        let far = WINDOW_SLOTS + 300; // beyond the initial window
+        r.insert(far, TaskId(3));
+        r.insert(far + 700, TaskId(4)); // beyond even the rotated window
+        assert_eq!(r.next_occupied(0), Some(far));
+        assert_eq!(r.due_count(far), 1);
+        // Consuming slots in order up to `far` crosses a rotation.
+        for t in 0..far {
+            assert_eq!(r.take(t), Vec::new());
+        }
+        assert_eq!(ids(r.take(far)), vec![3]);
+        assert_eq!(r.next_occupied(far + 1), Some(far + 700));
+        assert_eq!(ids(r.take(far + 700)), vec![4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn next_occupied_scans_across_word_boundaries() {
+        let mut r = CalendarRing::new(0);
+        // One entry far into the window, past several bitmap words,
+        // at a non-word-aligned slot.
+        r.insert(389, TaskId(7));
+        assert_eq!(r.next_occupied(0), Some(389));
+        assert_eq!(r.next_occupied(389), Some(389));
+        assert_eq!(r.next_occupied(390), None);
+    }
+
+    #[test]
+    fn nonzero_base_and_unaligned_rotation() {
+        let mut r = CalendarRing::new(37);
+        r.insert(37, TaskId(0));
+        assert_eq!(ids(r.take(37)), vec![0]);
+        // Jump far ahead (in-order: every slot between is empty).
+        let late = 37 + 3 * WINDOW_SLOTS + 11;
+        r.insert(40, TaskId(1));
+        assert_eq!(ids(r.take(40)), vec![1]);
+        for t in 41..late {
+            assert!(r.take(t).is_empty());
+        }
+        r.insert(late + 2, TaskId(5));
+        assert_eq!(r.next_occupied(late), Some(late + 2));
+        assert_eq!(ids(r.take(late + 2)), vec![5]);
+    }
+
+    #[test]
+    fn interleaved_insert_take_streams() {
+        // Inserts race ahead of takes, as the engine's release chain
+        // does: each consumed release schedules the next.
+        let mut r = CalendarRing::new(0);
+        r.insert(0, TaskId(0));
+        let mut got = Vec::new();
+        for t in 0..2_000 {
+            for id in r.take(t) {
+                got.push(t);
+                r.insert(t + 7, id); // successor release
+            }
+        }
+        assert_eq!(got, (0..2_000).step_by(7).collect::<Vec<i64>>());
+    }
+}

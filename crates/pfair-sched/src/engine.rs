@@ -32,21 +32,22 @@
 //!    PD²-OI with admission policing).
 
 use crate::admission::{AdmissionController, AdmissionPolicy};
+use crate::calendar::CalendarRing;
 use crate::event::{Event, EventKind, Workload};
 use crate::overhead::Counters;
-use crate::priority::{Priority, TieBreak};
-use crate::queue::{QueueEntry, ReadyQueue};
+use crate::priority::{Priority, TieBreak, TieTable};
+use crate::queue::{compaction_threshold, QueueEntry, ReadyQueue};
 use crate::reweight::{RuleChoice, RuleSelector, Scheme};
 use crate::trace::{Miss, SimResult, SubtaskRecord, TaskHistory, TaskResult};
 use pfair_core::drift::DriftTrack;
 use pfair_core::ideal::{IswTracker, PsTracker};
 use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
-use pfair_core::time::{slot_index, Slot};
+use pfair_core::time::{slot_index, Slot, NEVER};
 use pfair_core::weight::Weight;
 use pfair_core::window::{SubtaskWindow, WindowCache};
 use pfair_obs::{NoopProbe, Probe, ReweightCost, Rule};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -63,6 +64,14 @@ pub struct SimConfig {
     pub admission: AdmissionPolicy,
     /// Retain full subtask traces and per-slot ideal series.
     pub record_history: bool,
+    /// Closed-form slot batching: advance over quiet spans (empty ready
+    /// queue, no event due) in one jump instead of per-slot pipeline
+    /// iterations. Output is bit-identical to the per-slot oracle —
+    /// probes included, since batched spans replay the per-slot hooks —
+    /// so this is on by default; disable via [`SimConfig::per_slot`] to
+    /// run the oracle. History runs always use the per-slot path (the
+    /// per-slot ideal series must be materialized anyway).
+    pub tickless: bool,
 }
 
 impl SimConfig {
@@ -75,6 +84,7 @@ impl SimConfig {
             tie_break: TieBreak::default(),
             admission: AdmissionPolicy::Police,
             record_history: false,
+            tickless: true,
         }
     }
 
@@ -107,6 +117,13 @@ impl SimConfig {
     /// Builder-style: enable history recording.
     pub fn with_history(mut self) -> SimConfig {
         self.record_history = true;
+        self
+    }
+
+    /// Builder-style: disable slot batching, forcing the per-slot
+    /// oracle path (equivalence tests diff this against the default).
+    pub fn per_slot(mut self) -> SimConfig {
+        self.tickless = false;
         self
     }
 }
@@ -330,19 +347,23 @@ pub struct Engine<P: Probe = NoopProbe> {
     /// Events injected online (e.g., by the real-time executor), merged
     /// into the stream at each step.
     injected: Vec<Event>,
+    /// Dense per-task tie ranks, precomputed once from
+    /// `config.tie_break` (a `Ranked` policy's `key` is a linear scan —
+    /// too slow for the release hot path).
+    tie: TieTable,
     /// Slot-indexed schedule of upcoming subtask releases: tasks whose
     /// `next_release` was set to the key slot. Entries are validated
     /// against the task's current `next_release` when their slot
     /// arrives (a later delay/park/leave makes them stale), so each
     /// slot costs `O(due)` instead of a scan over every task.
-    release_at: BTreeMap<Slot, Vec<TaskId>>,
+    release_at: CalendarRing,
     /// Slot-indexed parked reweighting changes (`Pending::at`);
     /// validated against `TaskState::pending` on firing, since a
     /// superseding initiation or a leave may have replaced the entry.
-    enact_at: BTreeMap<Slot, Vec<TaskId>>,
+    enact_at: CalendarRing,
     /// Slot-indexed rule-L departures; validated against
     /// `TaskState::leaving` on firing.
-    leave_at: BTreeMap<Slot, Vec<TaskId>>,
+    leave_at: CalendarRing,
 }
 
 impl Engine {
@@ -370,9 +391,10 @@ impl<P: Probe> Engine<P> {
             misses: Vec::new(),
             now: 0,
             injected: Vec::new(),
-            release_at: BTreeMap::new(),
-            enact_at: BTreeMap::new(),
-            leave_at: BTreeMap::new(),
+            tie: TieTable::new(&config.tie_break, n),
+            release_at: CalendarRing::new(0),
+            enact_at: CalendarRing::new(0),
+            leave_at: CalendarRing::new(0),
             config,
         }
     }
@@ -420,9 +442,142 @@ impl<P: Probe> Engine<P> {
     }
 
     /// Runs every remaining slot up to the horizon.
+    ///
+    /// With `config.tickless` (the default) quiet spans — empty ready
+    /// queue, no event due — are advanced in closed form; the result,
+    /// counters, and probe stream are bit-identical to stepping every
+    /// slot (see DESIGN.md, "Tickless invariant"). History runs always
+    /// take the per-slot path: they materialize per-slot ideal series.
     pub fn run(&mut self) {
-        while self.now < self.config.horizon {
-            self.step();
+        if self.config.tickless && !self.config.record_history {
+            self.run_tickless();
+        } else {
+            while self.now < self.config.horizon {
+                self.step();
+            }
+        }
+    }
+
+    /// Event-horizon driver. Each iteration runs one full per-slot
+    /// [`Engine::step`], then — while the ready queue is empty and no
+    /// enactment/departure/stream/injected event is due — consumes the
+    /// quiet span ahead in one of two closed forms: a pure skip to the
+    /// next event horizon, or a "quick release slot" for release-only
+    /// slots whose due set fits on the `M` processors.
+    fn run_tickless(&mut self) {
+        let horizon = self.config.horizon;
+        while self.now < horizon {
+            let mut prev = self.step();
+            while self.now < horizon && self.queue.is_empty() && self.injected.is_empty() {
+                let t = self.now;
+                let boundary = self.next_boundary(t).min(horizon);
+                if boundary <= t {
+                    break; // a non-release event needs the full pipeline now
+                }
+                let next_release = self.release_at.next_occupied(t).unwrap_or(NEVER);
+                if next_release >= boundary {
+                    self.skip_quiet_span(t, boundary, &mut prev);
+                    break;
+                }
+                if next_release > t {
+                    self.skip_quiet_span(t, next_release, &mut prev);
+                }
+                if !self.quick_release_slot(next_release, &mut prev) {
+                    break; // crowded or stale slot: the full pipeline takes it
+                }
+            }
+        }
+    }
+
+    /// The earliest upcoming slot at which anything other than a
+    /// subtask release can change engine state: a parked enactment, a
+    /// rule-L departure, or the next workload-stream event.
+    fn next_boundary(&self, t: Slot) -> Slot {
+        let stream = self.events.get(self.next_event).map_or(NEVER, |e| e.at);
+        let enact = self.enact_at.next_occupied(t).unwrap_or(NEVER);
+        let leave = self.leave_at.next_occupied(t).unwrap_or(NEVER);
+        stream.min(enact).min(leave)
+    }
+
+    /// Advances over `start..end` in one jump. Legal because the ready
+    /// queue is empty (hence no task holds a released, unscheduled,
+    /// unhalted subtask — every head has a live queue entry) and no
+    /// event of any kind is due in the span: each skipped slot would
+    /// have scheduled nothing, preempted nothing, missed nothing, and
+    /// counted one hole. Probe hooks are replayed per skipped slot so
+    /// an observing run's stream is bit-identical; under [`NoopProbe`]
+    /// the replay loop compiles to nothing and the jump is O(1).
+    fn skip_quiet_span(&mut self, start: Slot, end: Slot, prev: &mut Vec<TaskId>) {
+        debug_assert!(start < end, "empty quiet span");
+        debug_assert!(self.queue.is_empty(), "batching over a non-empty queue");
+        if self.config.processors > 0 {
+            self.counters.slots_with_holes += u64::try_from(end - start).unwrap_or(0);
+        }
+        // First slot: last slot's chosen tasks stop running, exactly as
+        // the oracle's ran-flag scan would record. Later slots change no
+        // flags at all (nothing runs, nothing ran).
+        self.probe.on_slot_start(start);
+        let last = std::mem::take(prev);
+        self.sweep_ran_flags(start, &last, &[]);
+        for s in start + 1..end {
+            self.probe.on_slot_start(s);
+        }
+        self.now = end;
+    }
+
+    /// Runs a release-only slot without the full pipeline: every due
+    /// release fires through the shared [`Engine::release_batch`], and —
+    /// because the queue held nothing else — PD² selection schedules
+    /// exactly the released heads. Returns `false` (leaving all state
+    /// untouched) when the due set might not fit on the processors, in
+    /// which case the caller falls back to a full [`Engine::step`].
+    fn quick_release_slot(&mut self, t: Slot, prev: &mut Vec<TaskId>) -> bool {
+        let m = self.config.processors as usize; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+        let due_count = self.release_at.due_count(t);
+        if due_count == 0 || due_count > m {
+            return false;
+        }
+        self.probe.on_slot_start(t);
+        let due = self.release_at.take(t);
+        self.release_batch(t, due);
+        let chosen = self.pop_and_schedule(t);
+        let last = std::mem::take(prev);
+        self.sweep_ran_flags(t, &last, &chosen);
+        self.promote_successors(&chosen);
+        // Only the released (= chosen) tasks changed state; pruning them
+        // matches the oracle's all-task prune, which no-ops elsewhere.
+        for &id in &chosen {
+            self.tasks[id.idx()].prune(false);
+        }
+        self.now = t + 1;
+        *prev = chosen;
+        true
+    }
+
+    /// Delta form of the oracle's ran-flag/preemption scan: only tasks
+    /// in last slot's chosen set can hold `ran_last_slot`, so updating
+    /// `prev ∪ chosen` touches every flag the full scan would change.
+    /// Preempted tasks are reported in ascending id order, matching the
+    /// oracle's task-order iteration.
+    fn sweep_ran_flags(&mut self, t: Slot, prev: &[TaskId], chosen: &[TaskId]) {
+        let mut preempted: Vec<TaskId> = Vec::new();
+        for &id in prev {
+            if chosen.contains(&id) {
+                continue;
+            }
+            let task = &mut self.tasks[id.idx()];
+            task.ran_last_slot = false;
+            if task.head_pos().is_some() {
+                self.counters.preemptions += 1;
+                preempted.push(id);
+            }
+        }
+        for &id in chosen {
+            self.tasks[id.idx()].ran_last_slot = true;
+        }
+        preempted.sort_unstable_by_key(|id| id.0);
+        for id in preempted {
+            self.probe.on_preempt(id, t);
         }
     }
 
@@ -476,12 +631,12 @@ impl<P: Probe> Engine<P> {
     /// Compacts the ready queue once stale entries can dominate it.
     ///
     /// At most one live entry per task is ever enqueued (a task's head,
-    /// pushed at release or promotion), so a queue longer than
-    /// `2·tasks + 64` is mostly stale. Refilling past the threshold
-    /// again takes at least `tasks + 64` pushes, which pays for the
-    /// `O(len)` sweep — amortized constant work per push.
+    /// pushed at release or promotion), so the task count bounds the
+    /// live entries; [`compaction_threshold`] documents why exceeding
+    /// it by its tuned margin means stale entries dominate and the
+    /// sweep amortizes to constant work per push.
     fn maybe_compact(&mut self, t: Slot) {
-        let threshold = 2 * self.tasks.len() + 64;
+        let threshold = compaction_threshold(self.tasks.len());
         if self.queue.len() <= threshold {
             return;
         }
@@ -586,9 +741,10 @@ impl<P: Probe> Engine<P> {
     // ---- step 1: joins & leaves -------------------------------------
 
     fn fire_departures(&mut self, t: Slot) {
-        let Some(due) = self.leave_at.remove(&t) else {
+        let due = self.leave_at.take(t);
+        if due.is_empty() {
             return;
-        };
+        }
         for id in Self::in_task_order(due) {
             if self.tasks[id.idx()].leaving != Some(t) {
                 continue;
@@ -614,9 +770,10 @@ impl<P: Probe> Engine<P> {
     // ---- step 2: enactments ------------------------------------------
 
     fn fire_enactments(&mut self, t: Slot) {
-        let Some(due) = self.enact_at.remove(&t) else {
+        let due = self.enact_at.take(t);
+        if due.is_empty() {
             return;
-        };
+        }
         for id in Self::in_task_order(due) {
             let i = id.idx();
             let fire = matches!(
@@ -659,7 +816,7 @@ impl<P: Probe> Engine<P> {
     /// are filtered by the `next_release == Some(t)` check when their
     /// slot comes up.
     fn note_release(&mut self, id: TaskId, at: Slot) {
-        self.release_at.entry(at).or_default().push(id);
+        self.release_at.insert(at, id);
     }
 
     // ---- step 3: event-stream processing -----------------------------
@@ -773,7 +930,7 @@ impl<P: Probe> Engine<P> {
             self.admission.release(id);
         } else {
             task.leaving = Some(leave_at);
-            self.leave_at.entry(leave_at).or_default().push(id);
+            self.leave_at.insert(leave_at, id);
         }
     }
 
@@ -1004,16 +1161,25 @@ impl<P: Probe> Engine<P> {
                 kind,
                 initiated_at: t,
             });
-            self.enact_at.entry(at).or_default().push(id);
+            self.enact_at.insert(at, id);
         }
     }
 
     // ---- step 4: releases ---------------------------------------------
 
     fn fire_releases(&mut self, t: Slot) {
-        let Some(due) = self.release_at.remove(&t) else {
+        let due = self.release_at.take(t);
+        if due.is_empty() {
             return;
-        };
+        }
+        self.release_batch(t, due);
+    }
+
+    /// Releases every valid entry of a slot's due list. Shared verbatim
+    /// between the per-slot pipeline and the tickless quick path, so
+    /// window arithmetic, tracker syncs, drift samples, queue pushes,
+    /// and probe emissions are one code path.
+    fn release_batch(&mut self, t: Slot, due: Vec<TaskId>) {
         for id in Self::in_task_order(due) {
             {
                 let task = &self.tasks[id.idx()];
@@ -1025,6 +1191,7 @@ impl<P: Probe> Engine<P> {
             // A(·, 0, t) below, and settling completions here also keeps
             // `subs` and the tracker's retained records bounded.
             self.sync_task(id, t);
+            let tie_rank = self.tie.rank(id);
             let task = &mut self.tasks[id.idx()];
             let index = task.next_index;
             task.next_index += 1;
@@ -1079,13 +1246,7 @@ impl<P: Probe> Engine<P> {
             // New schedulable head?
             if task.head_pos().map(|p| task.subs[p].index) == Some(index) {
                 let entry = QueueEntry {
-                    priority: Priority::new(
-                        window.deadline,
-                        window.b,
-                        gd,
-                        task.id,
-                        &self.config.tie_break,
-                    ),
+                    priority: Priority::pack(window.deadline, window.b, gd, tie_rank),
                     task: task.id,
                     index,
                 };
@@ -1102,6 +1263,35 @@ impl<P: Probe> Engine<P> {
     // ---- step 5: PD² selection -----------------------------------------
 
     fn select_and_schedule(&mut self, t: Slot) -> Vec<TaskId> {
+        let chosen = self.pop_and_schedule(t);
+
+        // Preemptions: ran last slot, not chosen now, still has released
+        // unscheduled work. The tickless quick path replaces this full
+        // scan with a delta over last slot's chosen set
+        // (`sweep_ran_flags`), which is equivalent because `ran_last_slot`
+        // is only ever true for members of the previous chosen set.
+        let mut preempted: Vec<TaskId> = Vec::new();
+        for task in &mut self.tasks {
+            let runs_now = chosen.contains(&task.id);
+            if task.ran_last_slot && !runs_now && task.head_pos().is_some() {
+                self.counters.preemptions += 1;
+                preempted.push(task.id);
+            }
+            task.ran_last_slot = runs_now;
+        }
+        for id in preempted {
+            self.probe.on_preempt(id, t);
+        }
+
+        self.promote_successors(&chosen);
+        chosen
+    }
+
+    /// PD² selection proper: pops up to `M` live subtasks from the ready
+    /// queue, marks them scheduled, counts holes, and assigns
+    /// processors. Shared verbatim between the per-slot pipeline and the
+    /// tickless quick path.
+    fn pop_and_schedule(&mut self, t: Slot) -> Vec<TaskId> {
         let m = self.config.processors as usize; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
         let mut chosen: Vec<TaskId> = Vec::with_capacity(m);
         while chosen.len() < m {
@@ -1142,35 +1332,24 @@ impl<P: Probe> Engine<P> {
         }
 
         self.assign_processors(&chosen);
+        chosen
+    }
 
-        // Preemptions: ran last slot, not chosen now, still has released
-        // unscheduled work.
-        let mut preempted: Vec<TaskId> = Vec::new();
-        for task in &mut self.tasks {
-            let runs_now = chosen.contains(&task.id);
-            if task.ran_last_slot && !runs_now && task.head_pos().is_some() {
-                self.counters.preemptions += 1;
-                preempted.push(task.id);
-            }
-            task.ran_last_slot = runs_now;
-        }
-        for id in preempted {
-            self.probe.on_preempt(id, t);
-        }
-
-        // Promote successors of scheduled heads (eligible from t + 1, but
-        // pushing now is safe: selection for slot t is over).
-        for &id in &chosen {
+    /// Pushes the new schedulable head of every just-scheduled task
+    /// (eligible from t + 1, but pushing now is safe: selection for
+    /// slot t is over).
+    fn promote_successors(&mut self, chosen: &[TaskId]) {
+        for &id in chosen {
+            let tie_rank = self.tie.rank(id);
             let task = &self.tasks[id.idx()];
             if let Some(pos) = task.head_pos() {
                 let s = task.subs[pos];
                 let entry = QueueEntry {
-                    priority: Priority::new(
+                    priority: Priority::pack(
                         s.window.deadline,
                         s.window.b,
                         s.group_deadline,
-                        id,
-                        &self.config.tie_break,
+                        tie_rank,
                     ),
                     task: id,
                     index: s.index,
@@ -1178,7 +1357,6 @@ impl<P: Probe> Engine<P> {
                 self.queue.push(entry, &mut self.counters);
             }
         }
-        chosen
     }
 
     /// Greedy sticky assignment: tasks keep their previous processor when
@@ -1388,6 +1566,34 @@ mod tests {
         }
     }
 
+    /// The tickless driver is bit-identical to the per-slot oracle on a
+    /// mixed workload with long quiet spans, reweights, an IS delay
+    /// past the calendar window (overflow path), and a rule-L leave.
+    #[test]
+    fn tickless_matches_per_slot_oracle() {
+        let mut w = Workload::new();
+        w.join(0, 0, 1, 50);
+        w.join(1, 0, 1, 2);
+        w.join(2, 3, 1, 9);
+        w.reweight(0, 20, 1, 40);
+        w.delay(2, 30, 600);
+        w.reweight(1, 45, 1, 3);
+        w.leave(1, 300);
+        let cfg = SimConfig::oi(2, 1_500);
+        let oracle = simulate(cfg.clone().per_slot(), &w);
+        let fast = simulate(cfg, &w);
+        assert_eq!(oracle.counters, fast.counters);
+        assert_eq!(oracle.misses, fast.misses);
+        assert_eq!(oracle.horizon, fast.horizon);
+        for (a, b) in oracle.tasks.iter().zip(fast.tasks.iter()) {
+            assert_eq!(a.scheduled_count, b.scheduled_count);
+            assert_eq!(a.ps_total, b.ps_total);
+            assert_eq!(a.isw_total, b.isw_total);
+            assert_eq!(a.icsw_total, b.icsw_total);
+            assert_eq!(a.drift.samples(), b.drift.samples());
+        }
+    }
+
     /// Holes are counted: an under-utilized system idles processors.
     #[test]
     fn hole_accounting() {
@@ -1462,8 +1668,8 @@ mod tests {
     /// heap (half-weight tasks keep all processors busy, so stale
     /// entries only drain when their deadline approaches). Lazy
     /// invalidation alone would hold hundreds of them; the compaction
-    /// sweep keeps the heap within its `2·tasks + 64` bound at every
-    /// slot boundary.
+    /// sweep keeps the heap within its `compaction_threshold` bound at
+    /// every slot boundary.
     #[test]
     fn long_horizon_queue_stays_bounded() {
         let churn: u32 = 32;
@@ -1489,7 +1695,7 @@ mod tests {
         }
         let tasks = churn as usize + 8;
         let mut e = Engine::new(SimConfig::oi(4, horizon), &w);
-        let bound = 2 * tasks + 64;
+        let bound = compaction_threshold(tasks);
         let mut peak = 0;
         while e.now() < horizon {
             e.step();

@@ -39,6 +39,7 @@
 #![cfg_attr(not(test), warn(clippy::disallowed_types, clippy::disallowed_methods))]
 
 pub mod admission;
+pub mod calendar;
 pub mod edf;
 pub mod engine;
 pub mod epdf_ps;

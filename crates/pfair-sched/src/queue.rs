@@ -13,6 +13,31 @@ use pfair_core::task::TaskId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Stale-entry growth factor the compaction threshold allows over the
+/// live-entry bound. At most one live entry per task is ever enqueued
+/// (a task's head, pushed at release or promotion), so a factor of 2
+/// means compaction fires only once stale entries can outnumber live
+/// ones — below that, the `O(len)` sweep would cost more than the sift
+/// inflation it removes.
+pub const COMPACT_GROWTH_FACTOR: usize = 2;
+
+/// Flat slack added to the compaction threshold so tiny task sets
+/// (where `2·tasks` is a handful of entries) don't compact on every
+/// few pushes. 64 entries keep the heap within one cache page's worth
+/// of `QueueEntry`s while letting small systems run sweep-free.
+pub const COMPACT_SLACK: usize = 64;
+
+/// The queue length above which the engine compacts, given the number
+/// of tasks bounding the live-entry count.
+///
+/// Rationale: refilling from `live_bound` back past the threshold takes
+/// at least `(COMPACT_GROWTH_FACTOR − 1)·live_bound + COMPACT_SLACK`
+/// pushes, which pays for the `O(len)` sweep — amortized constant work
+/// per push, while the heap stays `O(tasks)` at slot boundaries.
+pub fn compaction_threshold(live_bound: usize) -> usize {
+    COMPACT_GROWTH_FACTOR * live_bound + COMPACT_SLACK
+}
+
 /// An entry in the ready queue: one released, schedulable subtask.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct QueueEntry {
@@ -136,11 +161,11 @@ impl ReadyQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::priority::TieBreak;
 
     fn entry(deadline: i64, b: bool, task: u32, index: u64) -> QueueEntry {
         QueueEntry {
-            priority: Priority::new(deadline, b, deadline, TaskId(task), &TieBreak::TaskIdAsc),
+            // Tie rank = task id, matching the TaskIdAsc policy's table.
+            priority: Priority::pack(deadline, b, deadline, task),
             task: TaskId(task),
             index,
         }
@@ -213,13 +238,47 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(c.compacted_stale, 0);
     }
+
+    /// Compaction must not reorder survivors that share a priority key:
+    /// the heap's order among equal keys is fixed by `QueueEntry`'s full
+    /// `Ord` (priority, then task, then index), so a rebuilt heap pops
+    /// the identical sequence the unswept heap would have.
+    #[test]
+    fn compaction_never_reorders_equal_key_survivors() {
+        let mut swept = ReadyQueue::new();
+        let mut c = Counters::default();
+        // Three equal-priority groups; interleave pushes across groups
+        // and sprinkle stale entries (odd indices) through each.
+        for index in 0..24u64 {
+            for (task, deadline) in [(3u32, 5i64), (1, 5), (2, 9)] {
+                swept.push(
+                    QueueEntry {
+                        priority: Priority::pack(deadline, true, deadline, 7),
+                        task: TaskId(task),
+                        index,
+                    },
+                    &mut c,
+                );
+            }
+        }
+        let mut unswept = swept.clone();
+        let is_live = |e: &QueueEntry| e.index.is_multiple_of(2);
+        swept.compact(&mut c, is_live);
+        let mut c2 = Counters::default();
+        let pops = |q: &mut ReadyQueue, c: &mut Counters| -> Vec<(u32, u64)> {
+            std::iter::from_fn(|| q.pop_live(c, is_live))
+                .map(|e| (e.task.0, e.index))
+                .collect()
+        };
+        assert_eq!(pops(&mut swept, &mut c), pops(&mut unswept, &mut c2));
+    }
 }
 
 #[cfg(test)]
 mod more_tests {
     use super::*;
     use crate::overhead::Counters;
-    use crate::priority::{Priority, TieBreak};
+    use crate::priority::Priority;
     use pfair_core::task::TaskId;
 
     #[test]
@@ -229,7 +288,7 @@ mod more_tests {
         for i in 0..5u64 {
             q.push(
                 QueueEntry {
-                    priority: Priority::new(5, true, 5, TaskId(0), &TieBreak::TaskIdAsc),
+                    priority: Priority::pack(5, true, 5, 0),
                     task: TaskId(0),
                     index: i + 1,
                 },
@@ -247,10 +306,9 @@ mod more_tests {
         // Among equal-deadline b=1 entries, the later group deadline wins.
         let mut q = ReadyQueue::new();
         let mut c = Counters::default();
-        let tb = TieBreak::TaskIdAsc;
         q.push(
             QueueEntry {
-                priority: Priority::new(5, true, 6, TaskId(0), &tb),
+                priority: Priority::pack(5, true, 6, 0),
                 task: TaskId(0),
                 index: 1,
             },
@@ -258,7 +316,7 @@ mod more_tests {
         );
         q.push(
             QueueEntry {
-                priority: Priority::new(5, true, 9, TaskId(1), &tb),
+                priority: Priority::pack(5, true, 9, 1),
                 task: TaskId(1),
                 index: 1,
             },

@@ -1,0 +1,185 @@
+//! Tickless batching ≡ per-slot stepping at the engine level.
+//!
+//! The tickless driver (`SimConfig::tickless`, the default) advances
+//! quiet spans — empty ready queue, no event due — in closed form, and
+//! runs release-only slots through a reduced "quick" pipeline. Both
+//! shortcuts reuse the oracle's own release/selection/promotion code
+//! verbatim and replay per-slot probe hooks, so a batched run must be
+//! *bit-identical* to stepping every slot: the rendered `SimResult`,
+//! every drift sample, every overhead counter, and a `MetricsProbe`'s
+//! full registry snapshot. Randomized AIS scripts across OI, LJ, and
+//! hybrid schemes drive both paths through reweights (rules O/I/L/J),
+//! IS delays (including past the calendar-ring window), rule-L leaves,
+//! admission rejections, and saturated stretches where batching never
+//! engages.
+
+use pfair_json::ToJson;
+use pfair_obs::MetricsProbe;
+use pfair_sched::engine::{simulate_with, SimConfig};
+use pfair_sched::event::Workload;
+use pfair_sched::reweight::{HybridPolicy, Scheme};
+use proptest::prelude::*;
+
+const HORIZON: i64 = 160;
+
+/// Light weights with small denominators keep windows short (dense,
+/// batching rarely engages); large denominators open long windows
+/// (sparse, batching dominates). Mix both.
+fn arb_weight() -> impl Strategy<Value = (i128, i128)> {
+    (2i128..=60).prop_flat_map(|den| (1i128..=(den / 2).max(1), Just(den)))
+}
+
+#[derive(Debug, Clone)]
+struct TaskPlan {
+    join_weight: (i128, i128),
+    join_at: i64,
+    reweights: Vec<(i64, (i128, i128))>,
+    delay: Option<(i64, u32)>,
+    leave_at: Option<i64>,
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    processors: u32,
+    tasks: Vec<TaskPlan>,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    // Delays up to 600 slots push releases past the 512-slot calendar
+    // window, exercising the overflow list and ring rotation.
+    let delay = (0u32..=2, 1i64..HORIZON - 20, 1u32..600)
+        .prop_map(|(on, at, by)| (on == 0).then_some((at, by)));
+    let leave = (0u32..=2, 40i64..HORIZON - 5).prop_map(|(on, at)| (on == 0).then_some(at));
+    let task = (
+        arb_weight(),
+        0i64..=30,
+        prop::collection::vec(((1i64..HORIZON - 10), arb_weight()), 0..=3),
+        delay,
+        leave,
+    )
+        .prop_map(
+            |(join_weight, join_at, reweights, delay, leave_at)| TaskPlan {
+                join_weight,
+                join_at,
+                reweights,
+                delay,
+                leave_at,
+            },
+        );
+    (1u32..=4, prop::collection::vec(task, 1..=8))
+        .prop_map(|(processors, tasks)| Plan { processors, tasks })
+}
+
+fn workload_of(plan: &Plan) -> Workload {
+    let mut w = Workload::new();
+    for (i, t) in plan.tasks.iter().enumerate() {
+        let id = u32::try_from(i).unwrap_or(0);
+        w.join(id, t.join_at, t.join_weight.0, t.join_weight.1);
+        for (at, wt) in &t.reweights {
+            if *at > t.join_at {
+                w.reweight(id, *at, wt.0, wt.1);
+            }
+        }
+        if let Some((at, by)) = t.delay {
+            if at > t.join_at {
+                w.delay(id, at, by);
+            }
+        }
+        if let Some(at) = t.leave_at {
+            if at > t.join_at {
+                w.leave(id, at);
+            }
+        }
+    }
+    w
+}
+
+/// Asserts a batched run is bit-identical to the per-slot oracle on the
+/// same workload: rendered results, drift samples, counters, and the
+/// metrics registry a probe accumulates from the replayed hook stream.
+fn assert_tickless_matches_oracle(plan: &Plan, cfg: SimConfig) {
+    let w = workload_of(plan);
+    let (oracle, oracle_metrics) = simulate_with(cfg.clone().per_slot(), &w, MetricsProbe::new());
+    let (fast, fast_metrics) = simulate_with(cfg, &w, MetricsProbe::new());
+
+    // One canonical rendering covers every field SimResult reports
+    // (totals, drift, misses, counters, horizon).
+    assert_eq!(
+        oracle.to_json().to_string_pretty(),
+        fast.to_json().to_string_pretty(),
+        "rendered SimResult diverged"
+    );
+    // Field-level spot checks keep failures readable.
+    assert_eq!(&oracle.counters, &fast.counters);
+    assert_eq!(&oracle.misses, &fast.misses);
+    for (o, f) in oracle.tasks.iter().zip(fast.tasks.iter()) {
+        assert_eq!(o.scheduled_count, f.scheduled_count, "task {}", o.id);
+        assert_eq!(o.ps_total, f.ps_total, "I_PS of task {}", o.id);
+        assert_eq!(o.isw_total, f.isw_total, "I_SW of task {}", o.id);
+        assert_eq!(o.icsw_total, f.icsw_total, "I_CSW of task {}", o.id);
+        assert_eq!(
+            o.drift.samples(),
+            f.drift.samples(),
+            "drift samples of task {}",
+            o.id
+        );
+    }
+    // The probe saw the same hook stream, slot replay included.
+    assert_eq!(
+        oracle_metrics.registry().snapshot_text(),
+        fast_metrics.registry().snapshot_text(),
+        "metrics snapshots diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PD²-OI: rules O and I park enactments on the calendar ring;
+    /// spans must split exactly at every enactment boundary.
+    #[test]
+    fn oi_tickless_matches_per_slot(plan in arb_plan()) {
+        assert_tickless_matches_oracle(&plan, SimConfig::oi(plan.processors, HORIZON));
+    }
+
+    /// PD²-LJ: withdrawals strand stale queue entries and rule-L
+    /// departures land on the leave ring; batching must stay
+    /// conservative around both.
+    #[test]
+    fn lj_tickless_matches_per_slot(plan in arb_plan()) {
+        assert_tickless_matches_oracle(&plan, SimConfig::leave_join(plan.processors, HORIZON));
+    }
+
+    /// Hybrid policies switch schemes mid-run; quiet-span detection
+    /// must hold across the switches.
+    #[test]
+    fn hybrid_tickless_matches_per_slot(plan in arb_plan(), nth in 1u32..4) {
+        let cfg = SimConfig::oi(plan.processors, HORIZON)
+            .with_scheme(Scheme::Hybrid(HybridPolicy::EveryNth(nth)));
+        assert_tickless_matches_oracle(&plan, cfg);
+    }
+}
+
+/// A deterministic long-horizon whisper-style run: sparse weights open
+/// hundreds-of-slots quiet spans, rotating the calendar ring many times
+/// and mixing quick release slots with full boundary steps.
+#[test]
+fn long_sparse_run_is_bit_identical() {
+    let mut w = Workload::new();
+    for i in 0..6u32 {
+        w.join(i, i64::from(i) * 3, 1, 100 + i128::from(i) * 7);
+    }
+    w.reweight(0, 400, 1, 80);
+    w.reweight(1, 1_000, 1, 150);
+    w.delay(2, 500, 700); // past the ring window: overflow + rotation
+    w.leave(3, 2_000);
+    w.reweight(4, 3_000, 1, 90);
+    let cfg = SimConfig::oi(4, 5_000);
+    let (oracle, om) = simulate_with(cfg.clone().per_slot(), &w, MetricsProbe::new());
+    let (fast, fm) = simulate_with(cfg, &w, MetricsProbe::new());
+    assert_eq!(
+        oracle.to_json().to_string_pretty(),
+        fast.to_json().to_string_pretty()
+    );
+    assert_eq!(om.registry().snapshot_text(), fm.registry().snapshot_text());
+}
