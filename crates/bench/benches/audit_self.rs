@@ -1,0 +1,57 @@
+//! Audit self-benchmark: what the v2 analyzer costs on this very
+//! workspace.
+//!
+//! The audit is a CI gate that reruns on every push, so its wall time
+//! is part of the developer loop. Two series pin where that time
+//! goes: `parse` is the front half alone (walk + lex + shape every
+//! in-tree `.rs` file), `full` is the entire pipeline — parsing, the
+//! call-graph panic-reachability BFS, the determinism and float-taint
+//! walks, interval analysis of the `prove(overflow-bounds)` set, and
+//! allow-discharge. A trajectory bump in `full` that `parse` does not
+//! share means a pass regressed, not the parser.
+
+use criterion::{criterion_group, Criterion};
+use pfair_audit::config::Config;
+use pfair_audit::{analyze_root, audit_report};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+/// Workspace root, two levels above `crates/bench`.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load_config(root: &Path) -> Config {
+    let src = std::fs::read_to_string(root.join("audit.toml")).expect("audit.toml at repo root");
+    Config::parse(&src).expect("audit.toml parses")
+}
+
+fn bench_audit_self(c: &mut Criterion) {
+    let root = workspace_root();
+    let cfg = load_config(&root);
+
+    c.bench_function("audit_self/parse", |b| {
+        b.iter(|| {
+            let ws = analyze_root(&root, &cfg).expect("workspace readable");
+            black_box(ws.files.len())
+        });
+    });
+
+    c.bench_function("audit_self/full", |b| {
+        b.iter(|| {
+            let report = audit_report(&root, &cfg).expect("workspace readable");
+            assert!(
+                report.active().is_empty(),
+                "the workspace must stay audit-clean while being benched"
+            );
+            black_box(report.entries.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_audit_self);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

@@ -9,6 +9,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::lints::canonical_lint;
+
 /// Scope of one lint: where it applies and where it is switched off.
 #[derive(Clone, Debug, Default)]
 pub struct LintScope {
@@ -18,6 +20,10 @@ pub struct LintScope {
     /// Path prefixes exempted from the lint, taking precedence over
     /// `paths`.
     pub allow_paths: Vec<String>,
+    /// For the panic-reach pass: the functions whose transitive call
+    /// trees must be panic-free, as `Type::method`, `Type::*`, or a
+    /// free-function name.
+    pub entry_points: Vec<String>,
 }
 
 /// Parsed `audit.toml`.
@@ -91,8 +97,17 @@ impl Config {
                 section = name.trim().to_string();
                 // A bare `[lint.x]` header enables the lint tree-wide;
                 // it must not require a paths/allow-paths key to exist.
+                // Unknown lint names are configuration rot and are
+                // rejected here, with the header's line.
                 if let Some(lint) = section.strip_prefix("lint.") {
-                    cfg.lints.entry(lint.to_string()).or_default();
+                    let canonical = canonical_lint(lint).ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!(
+                            "unknown lint `{lint}` (run `pfair-audit list-lints` for the catalog)"
+                        ),
+                    })?;
+                    section = format!("lint.{canonical}");
+                    cfg.lints.entry(canonical.to_string()).or_default();
                 }
                 continue;
             }
@@ -144,6 +159,7 @@ impl Config {
             match key {
                 "paths" => scope.paths = values,
                 "allow-paths" => scope.allow_paths = values,
+                "entry-points" => scope.entry_points = values,
                 _ => {
                     return Err(ConfigError {
                         line,
@@ -253,6 +269,21 @@ paths = ["crates/pfair-core/src"]
     fn bare_lint_header_enables_the_lint_tree_wide() {
         let cfg = Config::parse("[lint.no-float-in-scheduling]").unwrap();
         assert!(cfg.lint_applies("no-float-in-scheduling", "crates/x/src/lib.rs"));
+    }
+
+    #[test]
+    fn entry_points_parse_and_unknown_lint_headers_are_spanned() {
+        let cfg = Config::parse(
+            "[lint.panic-reach]\nentry-points = [\"Engine::run\", \"ReadyQueue::*\"]",
+        )
+        .unwrap();
+        assert_eq!(cfg.lints["panic-reach"].entry_points.len(), 2);
+        let err = Config::parse("\n\n[lint.no-such-lint]").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("no-such-lint"));
+        // Alias headers canonicalize.
+        let cfg = Config::parse("[lint.panic]\npaths = [\"src\"]").unwrap();
+        assert!(cfg.lints.contains_key(crate::lints::NO_PANIC));
     }
 
     #[test]

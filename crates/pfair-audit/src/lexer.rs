@@ -384,6 +384,8 @@ fn lex_quote(cur: &mut Cursor<'_>, line: u32) -> Tok {
 }
 
 fn lex_number(cur: &mut Cursor<'_>, line: u32) -> Tok {
+    let start = cur.rest;
+    let start_len = start.len();
     let mut is_float = false;
     if cur.peek() == Some('0') && matches!(cur.peek2(), Some('x' | 'o' | 'b')) {
         cur.bump();
@@ -426,6 +428,10 @@ fn lex_number(cur: &mut Cursor<'_>, line: u32) -> Tok {
             line,
         }
     } else {
+        // The digit text (prefix included, suffix stripped) is retained
+        // so the abstract interpreter can recover the literal's value.
+        let consumed = start_len - cur.rest.len() - suffix.len();
+        let text = start[..consumed].to_string();
         Tok {
             kind: TokKind::Int {
                 suffix: if suffix.is_empty() {
@@ -434,7 +440,7 @@ fn lex_number(cur: &mut Cursor<'_>, line: u32) -> Tok {
                     Some(suffix)
                 },
             },
-            text: String::new(),
+            text,
             line,
         }
     }

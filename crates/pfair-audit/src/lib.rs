@@ -9,10 +9,20 @@
 //! input, and unchecked wide-integer arithmetic stays quarantined in
 //! the two modules whose overflow behavior is documented policy.
 //!
-//! This crate enforces those invariants as a standalone binary:
+//! Version 2 grows the token lints into a three-stage analyzer: a
+//! hand-rolled recursive-descent parser ([`parser`]) produces per-file
+//! ASTs ([`ast`]), a workspace call graph ([`callgraph`]) links them,
+//! and four passes ([`passes`]) prove panic-freedom of the scheduling
+//! entry points, the absence of nondeterminism sources, overflow
+//! bounds of annotated arithmetic (via the interval interpreter in
+//! [`absint`]), and that float-derived values never launder into
+//! exact quantities.
+//!
+//! The standalone binary drives it:
 //!
 //! ```text
 //! cargo run -p pfair-audit -- check .
+//! cargo run -p pfair-audit -- check . --report json --out audit.json
 //! ```
 //!
 //! It exits nonzero with `file:line` diagnostics when any invariant is
@@ -21,10 +31,17 @@
 //! <reason>)` comments, which must carry a reason and must actually
 //! suppress something.
 
+pub mod absint;
+pub mod ast;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
+pub mod passes;
+pub mod report;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -32,7 +49,9 @@ use std::path::{Path, PathBuf};
 
 use config::Config;
 use lexer::LexFile;
-use lints::{parse_allows, run_lint, RawFinding, BAD_ANNOTATION, CATALOG};
+use lints::{parse_allows, run_lint, RawFinding, BAD_ANNOTATION, CATALOG, PARSE_ERROR};
+use passes::panic_reach::EntryStatus;
+use passes::{analyze_source, Workspace};
 
 /// One diagnostic attributed to a file.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -57,21 +76,51 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Audits one file's source text against every configured lint.
-///
-/// `rel_path` decides which lints apply (via `cfg`); the returned
-/// findings are deduplicated per `(line, lint)` and sorted.
-pub fn audit_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
-    let file = LexFile::lex(src);
-    let allows = parse_allows(&file);
-    let mut used_allow = vec![false; allows.len()];
-    let mut out: Vec<Finding> = Vec::new();
+/// One finding after allow-discharge: still a diagnostic, but carrying
+/// whether a typed annotation suppressed it and with what reason.
+#[derive(Clone, Debug)]
+pub struct AuditEntry {
+    /// The diagnostic.
+    pub finding: Finding,
+    /// True when a reasoned `audit: allow` covers it.
+    pub allowed: bool,
+    /// The annotation's justification, when allowed.
+    pub reason: Option<String>,
+}
 
+/// The full audit result: every finding (discharged ones included, for
+/// the JSON artifact), plus the panic-reach proof summary.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// All findings in `(path, line, lint)` order.
+    pub entries: Vec<AuditEntry>,
+    /// Panic-reach entry points with post-discharge verdicts.
+    pub entry_points: Vec<EntryStatus>,
+    /// Number of files analyzed.
+    pub files: usize,
+    /// Number of recovered parse errors (analysis blind spots).
+    pub parse_errors: usize,
+}
+
+impl AuditReport {
+    /// Findings not discharged by an allow — the CI gate.
+    pub fn active(&self) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .filter(|e| !e.allowed)
+            .map(|e| e.finding.clone())
+            .collect()
+    }
+}
+
+/// Token-lint findings for one lexed file, scoped by `cfg`.
+fn token_findings(rel_path: &str, file: &LexFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
     for (lint, _) in CATALOG {
         if !cfg.lint_applies(lint, rel_path) {
             continue;
         }
-        let mut raw = run_lint(lint, &file);
+        let mut raw = run_lint(lint, file);
         raw.dedup_by(|a, b| a.line == b.line && a.lint == b.lint);
         for RawFinding {
             line,
@@ -79,38 +128,83 @@ pub fn audit_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             message,
         } in raw
         {
-            // An allow annotation covers findings on its own line
-            // (trailing comment) or the line directly below it.
-            let allowed = allows
-                .iter()
-                .enumerate()
-                .find(|(_, a)| a.lint == Ok(lint) && (a.line == line || a.line + 1 == line));
-            match allowed {
-                Some((idx, a)) if !a.reason.is_empty() => used_allow[idx] = true,
-                Some((idx, _)) => {
-                    // Reason missing: the finding stands, plus a nudge.
-                    used_allow[idx] = true;
-                    out.push(finding(rel_path, line, lint, message));
-                    out.push(Finding {
+            out.push(Finding {
+                path: rel_path.to_string(),
+                line,
+                lint: lint.to_string(),
+                message,
+            });
+        }
+    }
+    out
+}
+
+/// Discharges one file's findings against its `audit: allow`
+/// annotations. An annotation covers findings of its lint on its own
+/// line (trailing comment) or the line directly below. Missing
+/// reasons, unknown lint names, and allows that suppress nothing are
+/// findings themselves, so the escape hatch cannot rot silently.
+fn discharge_file(
+    rel_path: &str,
+    lex: &LexFile,
+    mut raw: Vec<Finding>,
+    cfg: &Config,
+) -> Vec<AuditEntry> {
+    let allows = parse_allows(lex);
+    let mut used_allow = vec![false; allows.len()];
+    raw.sort();
+    raw.dedup();
+    let mut out: Vec<AuditEntry> = Vec::new();
+
+    for f in raw {
+        // A same-line (trailing) allow wins over one on the line above,
+        // so adjacent annotated lines each consume their own allow.
+        let matching = |a: &&lints::Allow| matches!(&a.lint, Ok(l) if *l == f.lint);
+        let covering = allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| matching(a) && a.line == f.line)
+            .or_else(|| {
+                allows
+                    .iter()
+                    .enumerate()
+                    .find(|(_, a)| matching(a) && a.line + 1 == f.line)
+            });
+        match covering {
+            Some((idx, a)) if !a.reason.is_empty() => {
+                used_allow[idx] = true;
+                out.push(AuditEntry {
+                    finding: f,
+                    allowed: true,
+                    reason: Some(a.reason.clone()),
+                });
+            }
+            Some((idx, _)) => {
+                // Reason missing: the finding stands, plus a nudge.
+                used_allow[idx] = true;
+                out.push(AuditEntry {
+                    finding: Finding {
                         path: rel_path.to_string(),
-                        line,
+                        line: f.line,
                         lint: BAD_ANNOTATION.to_string(),
                         message: format!(
                             "allow({lint}) must carry a justification: \
-                             `// audit: allow({lint}, <reason>)`"
+                             `// audit: allow({lint}, <reason>)`",
+                            lint = f.lint
                         ),
-                    });
-                }
-                None => out.push(finding(rel_path, line, lint, message)),
+                    },
+                    allowed: false,
+                    reason: None,
+                });
+                out.push(active(f));
             }
+            None => out.push(active(f)),
         }
     }
 
-    // Annotations must stay honest: unknown lint names and allows that
-    // no longer suppress anything are findings themselves.
     for (idx, a) in allows.iter().enumerate() {
         match &a.lint {
-            Err(unknown) => out.push(Finding {
+            Err(unknown) => out.push(active(Finding {
                 path: rel_path.to_string(),
                 line: a.line,
                 lint: BAD_ANNOTATION.to_string(),
@@ -122,47 +216,135 @@ pub fn audit_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),
-            }),
+            })),
             Ok(lint) if !used_allow[idx] && cfg.lint_applies(lint, rel_path) => {
-                out.push(Finding {
+                out.push(active(Finding {
                     path: rel_path.to_string(),
                     line: a.line,
                     lint: BAD_ANNOTATION.to_string(),
                     message: format!(
                         "allow({lint}) suppresses nothing on the next line; remove it"
                     ),
-                });
+                }));
             }
             Ok(_) => {}
         }
     }
+    out
+}
 
+fn active(finding: Finding) -> AuditEntry {
+    AuditEntry {
+        finding,
+        allowed: false,
+        reason: None,
+    }
+}
+
+/// Audits one file's source text against the token lints only — the
+/// v1 surface, kept for fixture corpora and spot checks. The AST
+/// passes need the whole workspace; see [`audit_workspace`].
+pub fn audit_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let file = LexFile::lex(src);
+    let raw = token_findings(rel_path, &file, cfg);
+    let mut out: Vec<Finding> = discharge_file(rel_path, &file, raw, cfg)
+        .into_iter()
+        .filter(|e| !e.allowed)
+        .map(|e| e.finding)
+        .collect();
     out.sort();
     out.dedup();
     out
 }
 
-fn finding(path: &str, line: u32, lint: &str, message: String) -> Finding {
-    Finding {
-        path: path.to_string(),
-        line,
-        lint: lint.to_string(),
-        message,
+/// Lexes and parses every `.rs` file under `root` (honoring the
+/// config's `exclude` list) into a [`Workspace`].
+pub fn analyze_root(root: &Path, cfg: &Config) -> io::Result<Workspace> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, cfg, &mut paths)?;
+    paths.sort();
+    let mut ws = Workspace::default();
+    for rel in paths {
+        let src = fs::read_to_string(root.join(&rel))?;
+        ws.files.push(analyze_source(&rel, &src));
+    }
+    Ok(ws)
+}
+
+/// The full v2 pipeline over a parsed workspace: token lints, parse
+/// errors, the four AST/call-graph passes, then allow-discharge.
+pub fn audit_workspace(ws: &Workspace, cfg: &Config) -> AuditReport {
+    let mut all: Vec<Finding> = Vec::new();
+    let mut parse_errors = 0usize;
+    for file in &ws.files {
+        all.extend(token_findings(&file.path, &file.lex, cfg));
+        for e in &file.errors {
+            parse_errors += 1;
+            all.push(Finding {
+                path: file.path.clone(),
+                line: e.line,
+                lint: PARSE_ERROR.to_string(),
+                message: format!("parse error (analysis blind spot): {}", e.message),
+            });
+        }
+    }
+    let pass_out = passes::run_all(ws, cfg);
+    all.extend(pass_out.findings);
+
+    let mut grouped: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in all {
+        grouped.entry(f.path.clone()).or_default().push(f);
+    }
+    let mut entries = Vec::new();
+    for file in &ws.files {
+        let raw = grouped.remove(&file.path).unwrap_or_default();
+        entries.extend(discharge_file(&file.path, &file.lex, raw, cfg));
+    }
+    // Findings not attributed to a parsed file (e.g. unresolved entry
+    // points, attributed to audit.toml) cannot be allow-discharged.
+    for (_, raws) in grouped {
+        entries.extend(raws.into_iter().map(active));
+    }
+    entries.sort_by(|a, b| a.finding.cmp(&b.finding));
+    entries.dedup_by(|a, b| a.finding == b.finding && a.allowed == b.allowed);
+
+    // An entry point is proven panic-free only when every reachable
+    // source site is either absent or discharged with a reason.
+    let entry_points = pass_out
+        .entry_points
+        .into_iter()
+        .map(|mut s| {
+            let marker = format!("entry `{}`", s.spec);
+            s.panic_free = s.resolved
+                && !entries.iter().any(|e| {
+                    !e.allowed
+                        && e.finding.lint == lints::PANIC_REACH
+                        && e.finding.message.contains(&marker)
+                });
+            s
+        })
+        .collect();
+
+    AuditReport {
+        entries,
+        entry_points,
+        files: ws.files.len(),
+        parse_errors,
     }
 }
 
-/// Recursively audits every `.rs` file under `root`, honoring the
-/// config's `exclude` list. Paths in findings are relative to `root`.
+/// Recursively audits every `.rs` file under `root` through the full
+/// v2 pipeline, returning the *active* (un-discharged) findings.
+/// Paths in findings are relative to `root`.
 pub fn audit_root(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, cfg, &mut files)?;
-    files.sort();
-    let mut out = Vec::new();
-    for rel in files {
-        let src = fs::read_to_string(root.join(&rel))?;
-        out.extend(audit_source(&rel, &src, cfg));
-    }
-    Ok(out)
+    Ok(audit_report(root, cfg)?.active())
+}
+
+/// Like [`audit_root`], but returning the full report (discharged
+/// findings and entry-point statuses included) for the JSON artifact.
+pub fn audit_report(root: &Path, cfg: &Config) -> io::Result<AuditReport> {
+    let ws = analyze_root(root, cfg)?;
+    Ok(audit_workspace(&ws, cfg))
 }
 
 fn collect_rs_files(
@@ -255,5 +437,47 @@ let b = y as usize;
             audit_source("crates/pfair-core/src/lag.rs", src, &cfg).len(),
             1
         );
+    }
+
+    #[test]
+    fn workspace_pipeline_discharges_pass_findings() {
+        let src = "\
+pub fn entry(v: &[u64]) -> u64 {
+    // audit: allow(panic-reach, caller guarantees a non-empty slice)
+    v[0]
+}
+";
+        let mut cfg = cfg_all();
+        cfg.lints
+            .get_mut(lints::PANIC_REACH)
+            .unwrap()
+            .entry_points
+            .push("entry".into());
+        let ws = Workspace {
+            files: vec![analyze_source("src/lib.rs", src)],
+        };
+        let report = audit_workspace(&ws, &cfg);
+        assert!(report.active().is_empty(), "{:?}", report.active());
+        let allowed: Vec<&AuditEntry> = report.entries.iter().filter(|e| e.allowed).collect();
+        assert_eq!(allowed.len(), 1);
+        assert_eq!(allowed[0].finding.lint, lints::PANIC_REACH);
+        assert!(report.entry_points[0].panic_free);
+    }
+
+    #[test]
+    fn workspace_pipeline_reports_undischarged_reachability() {
+        let src = "pub fn entry(v: &[u64]) -> u64 { v[0] }\n";
+        let mut cfg = cfg_all();
+        cfg.lints
+            .get_mut(lints::PANIC_REACH)
+            .unwrap()
+            .entry_points
+            .push("entry".into());
+        let ws = Workspace {
+            files: vec![analyze_source("src/lib.rs", src)],
+        };
+        let report = audit_workspace(&ws, &cfg);
+        assert_eq!(report.active().len(), 1);
+        assert!(!report.entry_points[0].panic_free);
     }
 }

@@ -29,10 +29,23 @@ pub const NO_LOSSY_CASTS: &str = "no-lossy-casts";
 pub const NO_PANIC: &str = "no-panic-in-library";
 /// Canonical name of the raw-arithmetic lint.
 pub const RAW_ARITH: &str = "raw-arithmetic-quarantine";
+/// Canonical name of the call-graph panic-reachability pass.
+pub const PANIC_REACH: &str = "panic-reach";
+/// Canonical name of the determinism-dataflow pass.
+pub const NONDETERMINISM: &str = "nondeterminism";
+/// Canonical name of the interval/overflow pass.
+pub const OVERFLOW_INTERVAL: &str = "overflow-interval";
+/// Canonical name of the exact-arithmetic float-taint pass.
+pub const FLOAT_TAINT: &str = "float-taint";
 /// Pseudo-lint reporting malformed or unused `audit: allow` annotations.
 pub const BAD_ANNOTATION: &str = "audit-annotation";
+/// Pseudo-lint reporting files the parser could not fully shape; a
+/// parse error is an analysis blind spot, so it gates like a finding.
+pub const PARSE_ERROR: &str = "audit-parse";
 
 /// All real lints, with one-line descriptions (shown by `list-lints`).
+/// The first four are the PR 1 token lints; the last four are the
+/// AST/call-graph passes.
 pub const CATALOG: &[(&str, &str)] = &[
     (
         NO_FLOAT,
@@ -50,6 +63,22 @@ pub const CATALOG: &[(&str, &str)] = &[
         RAW_ARITH,
         "unchecked +,-,* on raw i64/i128 operands outside rational.rs/time.rs",
     ),
+    (
+        PANIC_REACH,
+        "panic sources transitively reachable from the scheduling entry points",
+    ),
+    (
+        NONDETERMINISM,
+        "hash-order, wall-clock, thread-id, and pointer-derived values in scheduling code",
+    ),
+    (
+        OVERFLOW_INTERVAL,
+        "interval analysis of `audit: prove(overflow-bounds)` functions",
+    ),
+    (
+        FLOAT_TAINT,
+        "float/lossy values must never flow into Rational, Priority, or slot counts",
+    ),
 ];
 
 /// Short aliases accepted inside `audit: allow(..)` annotations.
@@ -59,6 +88,10 @@ pub fn canonical_lint(name: &str) -> Option<&'static str> {
         NO_LOSSY_CASTS | "lossy-cast" => Some(NO_LOSSY_CASTS),
         NO_PANIC | "panic" => Some(NO_PANIC),
         RAW_ARITH | "raw-arithmetic" => Some(RAW_ARITH),
+        PANIC_REACH => Some(PANIC_REACH),
+        NONDETERMINISM | "nondet" => Some(NONDETERMINISM),
+        OVERFLOW_INTERVAL | "overflow" => Some(OVERFLOW_INTERVAL),
+        FLOAT_TAINT => Some(FLOAT_TAINT),
         _ => None,
     }
 }
@@ -251,36 +284,123 @@ pub struct Allow {
     pub reason: String,
 }
 
-/// Extracts `audit: allow(..)` annotations from a file's comments.
+/// An `// audit: prove(<property>)` directive: opts the next function
+/// into a strict analysis mode (today: `overflow-bounds`).
+#[derive(Clone, Debug)]
+pub struct Prove {
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// The property name inside the parentheses.
+    pub property: String,
+}
+
+/// An `// audit: assume(<name> in <lo>..=<hi>)` directive: a documented
+/// input contract seeding the overflow pass's interval for a parameter
+/// or local.
+#[derive(Clone, Debug)]
+pub struct Assume {
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// The constrained binding.
+    pub name: String,
+    /// Lower-bound expression text (may reference workspace consts).
+    pub lo: String,
+    /// Upper-bound expression text (inclusive).
+    pub hi: String,
+}
+
+/// Extracts `audit: allow(..)` annotations from a file's comments. A
+/// single comment may carry several `;`-separated clauses
+/// (`// audit: allow(panic, r1); allow(panic-reach, r2)`), each
+/// suppressing its own lint on the same covered line.
 pub fn parse_allows(file: &LexFile) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in &file.comments {
         let Some(idx) = c.text.find("audit:") else {
             continue;
         };
-        let rest = c.text[idx + "audit:".len()..].trim_start();
-        let Some(rest) = rest.strip_prefix("allow") else {
+        let mut rest = &c.text[idx + "audit:".len()..];
+        loop {
+            let trimmed = rest.trim_start();
+            let Some(after_kw) = trimmed
+                .strip_prefix("allow")
+                .map(str::trim_start)
+                .and_then(|r| r.strip_prefix('('))
+            else {
+                break;
+            };
+            let Some(close) = after_kw.find(')') else {
+                break;
+            };
+            let inner = &after_kw[..close];
+            let (name, reason) = match inner.split_once(',') {
+                Some((n, r)) => (n.trim(), r.trim()),
+                None => (inner.trim(), ""),
+            };
+            out.push(Allow {
+                line: c.line,
+                lint: canonical_lint(name).ok_or_else(|| name.to_string()),
+                reason: reason.to_string(),
+            });
+            rest = after_kw[close + 1..]
+                .trim_start()
+                .strip_prefix(';')
+                .unwrap_or("");
+        }
+    }
+    out
+}
+
+/// Extracts `audit: prove(..)` directives.
+pub fn parse_proves(file: &LexFile) -> Vec<Prove> {
+    let mut out = Vec::new();
+    for c in &file.comments {
+        if let Some(inner) = directive_body(&c.text, "prove") {
+            out.push(Prove {
+                line: c.line,
+                property: inner.trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts `audit: assume(name in lo..=hi)` directives. Malformed
+/// bodies are returned with empty bounds so the overflow pass can
+/// report them instead of silently ignoring the contract.
+pub fn parse_assumes(file: &LexFile) -> Vec<Assume> {
+    let mut out = Vec::new();
+    for c in &file.comments {
+        let Some(inner) = directive_body(&c.text, "assume") else {
             continue;
         };
-        let rest = rest.trim_start();
-        let Some(rest) = rest.strip_prefix('(') else {
-            continue;
+        let (name, bounds) = match inner.split_once(" in ") {
+            Some((n, b)) => (n.trim().to_string(), b.trim()),
+            None => (inner.trim().to_string(), ""),
         };
-        let Some(close) = rest.find(')') else {
-            continue;
+        let (lo, hi) = match bounds.split_once("..=") {
+            Some((l, h)) => (l.trim().to_string(), h.trim().to_string()),
+            None => (String::new(), String::new()),
         };
-        let inner = &rest[..close];
-        let (name, reason) = match inner.split_once(',') {
-            Some((n, r)) => (n.trim(), r.trim()),
-            None => (inner.trim(), ""),
-        };
-        out.push(Allow {
+        out.push(Assume {
             line: c.line,
-            lint: canonical_lint(name).ok_or_else(|| name.to_string()),
-            reason: reason.to_string(),
+            name,
+            lo,
+            hi,
         });
     }
     out
+}
+
+/// The parenthesized body of `audit: <keyword>(..)`, if the comment
+/// carries that directive.
+fn directive_body<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    let idx = text.find("audit:")?;
+    let rest = text[idx + "audit:".len()..].trim_start();
+    let rest = rest.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    Some(&rest[..close])
 }
 
 #[cfg(test)]
@@ -328,6 +448,34 @@ mod tests {
     fn raw_arith_ignores_deref_and_arrows() {
         let src = "fn f(x: &i64) -> i64 { *x }\nlet c: fn() -> i128 = f;";
         assert!(lines(RAW_ARITH, src).is_empty());
+    }
+
+    #[test]
+    fn multi_clause_allows_parse_from_one_comment() {
+        let f = LexFile::lex(
+            "// audit: allow(panic, slot fits by construction); allow(panic-reach, clamp bounds the index)\nlet x = v[i];",
+        );
+        let allows = parse_allows(&f);
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].lint, Ok(NO_PANIC));
+        assert_eq!(allows[1].lint, Ok(PANIC_REACH));
+        assert_eq!(allows[1].reason, "clamp bounds the index");
+        assert_eq!(allows[0].line, allows[1].line);
+    }
+
+    #[test]
+    fn prove_and_assume_directives_parse() {
+        let f = LexFile::lex(
+            "// audit: prove(overflow-bounds)\n// audit: assume(deadline in -SLOT_BOUND..=SLOT_BOUND)\nfn biased(deadline: i64) -> u128 { 0 }",
+        );
+        let proves = parse_proves(&f);
+        assert_eq!(proves.len(), 1);
+        assert_eq!(proves[0].property, "overflow-bounds");
+        let assumes = parse_assumes(&f);
+        assert_eq!(assumes.len(), 1);
+        assert_eq!(assumes[0].name, "deadline");
+        assert_eq!(assumes[0].lo, "-SLOT_BOUND");
+        assert_eq!(assumes[0].hi, "SLOT_BOUND");
     }
 
     #[test]

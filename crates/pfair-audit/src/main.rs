@@ -1,19 +1,24 @@
-//! Command-line front end: `pfair-audit check [ROOT] [--config PATH]`.
+//! Command-line front end:
+//! `pfair-audit check [ROOT] [--config PATH] [--report json] [--out FILE]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use pfair_audit::config::Config;
-use pfair_audit::{audit_root, lints};
+use pfair_audit::{audit_report, lints, report};
 
 const USAGE: &str = "\
 usage: pfair-audit <command>
 
 commands:
-  check [ROOT] [--config PATH]   audit the tree at ROOT (default `.`)
-                                 against PATH (default ROOT/audit.toml);
-                                 exits 1 when findings exist
-  list-lints                     print the lint catalog
+  check [ROOT] [--config PATH] [--report json] [--out FILE]
+      audit the tree at ROOT (default `.`) against PATH (default
+      ROOT/audit.toml); exits 1 when active findings exist.
+      --report json prints the full machine-readable report (all
+      findings, discharged ones included, plus panic-reach entry-point
+      verdicts); --out FILE writes it to FILE instead of stdout.
+  list-lints
+      print the lint catalog
 ";
 
 fn main() -> ExitCode {
@@ -36,6 +41,8 @@ fn main() -> ExitCode {
 fn check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
+    let mut report_json = false;
+    let mut out_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,12 +53,34 @@ fn check(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--report" => match it.next().map(String::as_str) {
+                Some("json") => report_json = true,
+                Some(other) => {
+                    eprintln!("pfair-audit: unknown report format `{other}` (only `json`)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("pfair-audit: --report needs a format (`json`)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("pfair-audit: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             flag if flag.starts_with('-') => {
                 eprintln!("pfair-audit: unknown flag `{flag}`");
                 return ExitCode::from(2);
             }
             path => root = PathBuf::from(path),
         }
+    }
+    if out_path.is_some() && !report_json {
+        eprintln!("pfair-audit: --out requires --report json");
+        return ExitCode::from(2);
     }
     let config_path = config_path.unwrap_or_else(|| root.join("audit.toml"));
     let config_src = match std::fs::read_to_string(&config_path) {
@@ -61,6 +90,9 @@ fn check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Unknown lint names in `[lint.*]` headers are rejected with a
+    // spanned error by the parser itself — a typo'd section would
+    // otherwise silently audit nothing.
     let cfg = match Config::parse(&config_src) {
         Ok(c) => c,
         Err(e) => {
@@ -68,37 +100,43 @@ fn check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // The config must stay as honest as the annotations: a typo'd
-    // `[lint.*]` section would otherwise silently audit nothing.
-    for name in cfg.lints.keys() {
-        if !lints::CATALOG.iter().any(|(known, _)| known == name) {
-            eprintln!(
-                "pfair-audit: unknown lint `{name}` in {}; known lints: {}",
-                config_path.display(),
-                lints::CATALOG
-                    .iter()
-                    .map(|(n, _)| *n)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            return ExitCode::from(2);
-        }
-    }
-    match audit_root(&root, &cfg) {
-        Ok(findings) if findings.is_empty() => {
-            println!("pfair-audit: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            println!("pfair-audit: {} finding(s)", findings.len());
-            ExitCode::FAILURE
-        }
+    let rep = match audit_report(&root, &cfg) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("pfair-audit: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if report_json {
+        let json = report::render_json(&rep);
+        match &out_path {
+            Some(p) => {
+                if let Err(e) = std::fs::write(p, &json) {
+                    eprintln!("pfair-audit: cannot write {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+            None => print!("{json}"),
+        }
+    }
+    let active = rep.active();
+    if active.is_empty() {
+        if !report_json || out_path.is_some() {
+            println!(
+                "pfair-audit: clean ({} files, {} discharged allow(s), {} entry point(s) panic-free)",
+                rep.files,
+                rep.entries.len(),
+                rep.entry_points.iter().filter(|e| e.panic_free).count()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !report_json || out_path.is_some() {
+            for f in &active {
+                println!("{f}");
+            }
+            println!("pfair-audit: {} finding(s)", active.len());
+        }
+        ExitCode::FAILURE
     }
 }

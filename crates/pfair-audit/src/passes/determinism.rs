@@ -1,0 +1,271 @@
+//! Pass 2: determinism dataflow.
+//!
+//! The PD² tie-break chain and the trace/metrics probes must be
+//! bit-reproducible across runs: the paper's accuracy comparisons
+//! (drift under Efficient vs. Accurate reweighting) are only
+//! meaningful when two runs of the same task system produce identical
+//! schedules. This pass flags the nondeterminism *sources* Rust makes
+//! easy to reach for — the dataflow property "no such value reaches a
+//! scheduling decision or probe output" is enforced by containment:
+//! scoped paths (the scheduling crates) may not contain the sources at
+//! all, which over-approximates the flow-sensitive property without a
+//! points-to analysis.
+//!
+//! Sources:
+//! - `HashMap`/`HashSet` (iteration order is randomized per-process),
+//!   whether imported, named in a type position, or constructed;
+//! - wall-clock reads: `Instant::now`, `SystemTime::now`;
+//! - thread identity: `thread::current`, `ThreadId`;
+//! - pointer-to-integer casts (`p.as_ptr() as usize` — address-space
+//!   layout leaks into values).
+//!
+//! `BTreeMap`/`BTreeSet`/`Vec` and logical clocks are the sanctioned
+//! replacements; justified residues carry
+//! `// audit: allow(nondeterminism, <reason>)`.
+
+use crate::ast::*;
+use crate::config::Config;
+use crate::lints::NONDETERMINISM;
+use crate::passes::Workspace;
+use crate::Finding;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
+/// Runs the pass over every file the `nondeterminism` lint scopes.
+pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !cfg.lint_applies(NONDETERMINISM, &file.path) {
+            continue;
+        }
+        let mut sink = |line: u32, message: String| {
+            out.push(Finding {
+                path: file.path.clone(),
+                line,
+                lint: NONDETERMINISM.to_string(),
+                message,
+            });
+        };
+        for item in &file.ast.items {
+            scan_item(item, false, &mut sink);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn scan_item(item: &Item, in_test: bool, sink: &mut impl FnMut(u32, String)) {
+    let in_test = in_test || item.in_test;
+    if in_test {
+        return; // test code may hash and clock freely
+    }
+    match &item.kind {
+        ItemKind::Use { paths } => {
+            for path in paths {
+                if let Some(seg) = path.iter().find(|s| HASH_TYPES.contains(&s.as_str())) {
+                    sink(
+                        item.line,
+                        format!(
+                            "`{seg}` imported in scheduling code: iteration order is \
+                             per-process random; use BTreeMap/BTreeSet"
+                        ),
+                    );
+                }
+            }
+        }
+        ItemKind::Struct { fields, .. } => {
+            for (name, ty) in fields {
+                scan_type(ty, item.line, &format!("field `{name}`"), sink);
+            }
+        }
+        ItemKind::Fn(f) => {
+            for p in &f.params {
+                let what = match &p.name {
+                    Some(n) => format!("parameter `{n}`"),
+                    None => "parameter".to_string(),
+                };
+                scan_type(&p.ty, item.line, &what, sink);
+            }
+            if let Some(ret) = &f.ret {
+                scan_type(ret, item.line, "return type", sink);
+            }
+            if let Some(body) = &f.body {
+                walk_block(body, &mut |e| scan_expr(e, sink));
+            }
+        }
+        ItemKind::Const { ty, value, .. } => {
+            scan_type(ty, item.line, "const", sink);
+            if let Some(e) = value {
+                walk_expr(e, &mut |e| scan_expr(e, sink));
+            }
+        }
+        ItemKind::TypeAlias { ty, .. } => scan_type(ty, item.line, "type alias", sink),
+        ItemKind::Impl { items, .. } | ItemKind::Trait { items, .. } => {
+            for it in items {
+                scan_item(it, in_test, sink);
+            }
+        }
+        ItemKind::Mod {
+            items: Some(items), ..
+        } => {
+            for it in items {
+                scan_item(it, in_test, sink);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn scan_type(ty: &TypeRef, line: u32, what: &str, sink: &mut impl FnMut(u32, String)) {
+    if HASH_TYPES.contains(&ty.head.as_str()) {
+        sink(
+            line,
+            format!(
+                "{what} is `{}`: iteration order is per-process random; \
+                 use BTreeMap/BTreeSet",
+                ty.head
+            ),
+        );
+    }
+    if ty.head == "ThreadId" {
+        sink(
+            line,
+            format!("{what} is `ThreadId`: thread identity is nondeterministic"),
+        );
+    }
+    for arg in &ty.args {
+        scan_type(arg, line, what, sink);
+    }
+}
+
+fn scan_expr(e: &Expr, sink: &mut impl FnMut(u32, String)) {
+    match &e.kind {
+        ExprKind::Path(segs) => {
+            let last = segs.last().map_or("", String::as_str);
+            let prev = segs.len().checked_sub(2).map_or("", |i| segs[i].as_str());
+            if last == "now" && (prev == "Instant" || prev == "SystemTime") {
+                sink(
+                    e.line,
+                    format!(
+                        "`{prev}::now()` in scheduling code: wall-clock reads are \
+                         nondeterministic; drive time from the slot counter"
+                    ),
+                );
+            }
+            if last == "current" && prev == "thread" {
+                sink(
+                    e.line,
+                    "`thread::current()` in scheduling code: thread identity is \
+                     nondeterministic"
+                        .to_string(),
+                );
+            }
+            if HASH_TYPES.contains(&prev) {
+                sink(
+                    e.line,
+                    format!(
+                        "`{prev}::{last}` constructs a hash collection: iteration \
+                         order is per-process random; use BTreeMap/BTreeSet"
+                    ),
+                );
+            }
+        }
+        ExprKind::Cast { expr, ty } if ty.is_int() && casts_pointer(expr) => {
+            sink(
+                e.line,
+                format!(
+                    "pointer-to-`{}` cast: addresses vary per run and must not \
+                     flow into scheduling state",
+                    ty.head
+                ),
+            );
+        }
+        _ => {}
+    }
+}
+
+/// True when the cast source is pointer-derived: `.as_ptr()` /
+/// `.as_mut_ptr()`, a raw-pointer-typed cast, or a reference being
+/// reinterpreted through a chain of casts.
+fn casts_pointer(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::MethodCall { name, .. } => name == "as_ptr" || name == "as_mut_ptr",
+        ExprKind::Cast { expr, ty } => ty.raw_ptr || casts_pointer(expr),
+        ExprKind::Unary {
+            op: UnOp::Ref | UnOp::Deref,
+            expr,
+        } => casts_pointer(expr),
+        ExprKind::Tuple(items) if items.len() == 1 => casts_pointer(&items[0]),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::analyze_source;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            files: vec![analyze_source("crates/s/src/lib.rs", src)],
+        };
+        let mut cfg = Config::default();
+        cfg.lints.entry(NONDETERMINISM.to_string()).or_default();
+        run(&ws, &cfg)
+    }
+
+    #[test]
+    fn hash_collections_are_flagged_everywhere() {
+        let src = "
+use std::collections::HashMap;
+pub struct S { m: HashMap<u32, u32> }
+pub fn f() { let m = HashMap::new(); }
+";
+        let got = findings(src);
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert!(got.iter().all(|f| f.message.contains("BTreeMap")));
+    }
+
+    #[test]
+    fn clocks_threads_and_pointer_casts_are_flagged() {
+        let src = "
+pub fn f(v: &[u8]) -> usize {
+    let t = Instant::now();
+    let id = std::thread::current();
+    v.as_ptr() as usize
+}
+";
+        let got = findings(src);
+        let msgs: Vec<&str> = got.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("Instant::now")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("thread::current")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("pointer-to-`usize`")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn btree_and_test_code_are_clean() {
+        let src = "
+use std::collections::BTreeMap;
+pub struct S { m: BTreeMap<u32, u32> }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn t() { let m = HashMap::new(); }
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn int_casts_of_values_are_not_pointer_casts() {
+        let src = "pub fn f(x: u32) -> usize { x as usize }";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -4,27 +4,13 @@
 use std::path::Path;
 
 use pfair_audit::audit_root;
-use pfair_audit::config::Config;
-use pfair_audit::lints::{BAD_ANNOTATION, CATALOG, NO_FLOAT, NO_LOSSY_CASTS, NO_PANIC, RAW_ARITH};
+use pfair_audit::lints::{
+    BAD_ANNOTATION, FLOAT_TAINT, NONDETERMINISM, NO_FLOAT, NO_LOSSY_CASTS, NO_PANIC,
+    OVERFLOW_INTERVAL, PANIC_REACH, RAW_ARITH,
+};
 
-/// A config mirroring the real audit.toml's shape, scoped to the
-/// fixture tree: `sched/` plays the scheduling crates, `allowed/` the
-/// float-exempt report code.
-fn fixture_config() -> Config {
-    let mut cfg = Config::default();
-    for (lint, _) in CATALOG {
-        cfg.lints.entry((*lint).to_string()).or_default();
-    }
-    cfg.lints
-        .get_mut(NO_FLOAT)
-        .unwrap()
-        .allow_paths
-        .push("allowed".into());
-    for lint in [NO_LOSSY_CASTS, NO_PANIC, RAW_ARITH] {
-        cfg.lints.get_mut(lint).unwrap().paths.push("sched".into());
-    }
-    cfg
-}
+mod common;
+use common::fixture_config;
 
 #[test]
 fn corpus_produces_exactly_the_expected_diagnostics() {
@@ -37,6 +23,18 @@ fn corpus_produces_exactly_the_expected_diagnostics() {
         .collect();
 
     let expected: Vec<(String, u32, String)> = [
+        ("passes/float_taint.rs", 10, FLOAT_TAINT),
+        ("passes/float_taint.rs", 10, FLOAT_TAINT),
+        ("passes/nondeterminism.rs", 4, NONDETERMINISM),
+        ("passes/nondeterminism.rs", 6, NONDETERMINISM),
+        ("passes/nondeterminism.rs", 12, NONDETERMINISM),
+        ("passes/nondeterminism.rs", 17, NONDETERMINISM),
+        ("passes/nondeterminism.rs", 19, NONDETERMINISM),
+        ("passes/overflow_interval.rs", 6, OVERFLOW_INTERVAL),
+        ("passes/overflow_interval.rs", 11, OVERFLOW_INTERVAL),
+        ("passes/overflow_interval.rs", 11, OVERFLOW_INTERVAL),
+        ("passes/panic_reach.rs", 14, PANIC_REACH),
+        ("passes/panic_reach.rs", 18, PANIC_REACH),
         ("sched/bad_annotation.rs", 4, BAD_ANNOTATION),
         ("sched/float_in_kernel.rs", 5, NO_FLOAT),
         ("sched/float_in_kernel.rs", 6, NO_FLOAT),
@@ -113,6 +111,53 @@ fn sanctioned_packed_priority_is_clean() {
             .any(|f| f.path == "sched/packed_priority_ok.rs"),
         "clamped bias and try_from width changes should audit clean"
     );
+}
+
+/// Each pass pair's `_ok` twin — checked lookups plus a typed allow
+/// (panic-reach), ordered collections and logical clocks
+/// (nondeterminism), `assume`-bounded arithmetic (overflow-interval),
+/// and float-free accounting (float-taint) — must audit clean.
+#[test]
+fn sanctioned_pass_fixtures_are_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    for ok in [
+        "passes/panic_reach_ok.rs",
+        "passes/nondeterminism_ok.rs",
+        "passes/overflow_interval_ok.rs",
+        "passes/float_taint_ok.rs",
+    ] {
+        assert!(
+            !findings.iter().any(|f| f.path == ok),
+            "{ok} should audit clean; findings:\n{}",
+            findings
+                .iter()
+                .filter(|f| f.path == ok)
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Both fixture entry points resolve, and only the sanctioned one is
+/// panic-free: the pass's verdict, not just its findings, must track
+/// the fixture pair.
+#[test]
+fn fixture_entry_points_split_on_panic_freedom() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let report = pfair_audit::audit_report(&root, &fixture_config()).expect("fixture tree");
+    let by_spec = |spec: &str| {
+        report
+            .entry_points
+            .iter()
+            .find(|e| e.spec == spec)
+            .unwrap_or_else(|| panic!("entry `{spec}` missing from the report"))
+    };
+    let bad = by_spec("Sched::run");
+    assert!(bad.resolved && !bad.panic_free, "{bad:?}");
+    let ok = by_spec("SafeSched::run");
+    assert!(ok.resolved && ok.panic_free, "{ok:?}");
 }
 
 #[test]

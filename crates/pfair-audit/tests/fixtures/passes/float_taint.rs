@@ -1,0 +1,11 @@
+//! Known-bad: a float-derived value laundered through an integer cast
+//! into an exact `Rational` sink.
+
+pub fn measured_share(ticks: u64, total: u64) -> f64 {
+    ticks as f64 / total as f64
+}
+
+pub fn laundered_weight(ticks: u64, total: u64) -> Rational {
+    let scaled = (measured_share(ticks, total) * 1000.0) as i64;
+    Rational::new(scaled, 1000)
+}

@@ -1,0 +1,6 @@
+//! Sanctioned: exact integer accounting end to end — no float ever
+//! exists, so nothing can launder into the `Rational`.
+
+pub fn exact_weight(ticks: u32, total: u32) -> Rational {
+    Rational::new(i64::from(ticks), i64::from(total))
+}

@@ -1,0 +1,20 @@
+//! Known-bad: nondeterminism sources in scheduling code — hash-order
+//! collections, wall-clock reads, and pointer-derived values.
+
+use std::collections::HashMap;
+
+pub struct SlotIndex {
+    pub by_task: HashMap<u32, u64>,
+}
+
+pub fn fresh_index() -> SlotIndex {
+    SlotIndex {
+        by_task: HashMap::new(),
+    }
+}
+
+pub fn entropy(v: &[u8]) -> usize {
+    let started = std::time::Instant::now();
+    let _ = started;
+    v.as_ptr() as usize
+}

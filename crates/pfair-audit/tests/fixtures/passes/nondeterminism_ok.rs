@@ -1,0 +1,18 @@
+//! Sanctioned: deterministic replacements — ordered collections and a
+//! logical clock driven by the slot counter.
+
+use std::collections::BTreeMap;
+
+pub struct StableIndex {
+    pub by_task: BTreeMap<u32, u64>,
+}
+
+pub fn fresh_stable() -> StableIndex {
+    StableIndex {
+        by_task: BTreeMap::new(),
+    }
+}
+
+pub fn logical_stamp(slot: u64) -> u64 {
+    slot
+}

@@ -1,0 +1,12 @@
+//! Known-bad: `prove(overflow-bounds)` functions whose arithmetic the
+//! interval domain cannot bound inside the declared types.
+
+// audit: prove(overflow-bounds)
+pub fn scaled_bias(x: i64) -> i64 {
+    x * 8
+}
+
+// audit: prove(overflow-bounds)
+pub fn bucket(slot: i64, buckets: i64) -> i64 {
+    slot % buckets
+}

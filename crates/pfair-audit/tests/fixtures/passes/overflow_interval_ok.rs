@@ -1,0 +1,14 @@
+//! Sanctioned: the same arithmetic, bounded by `assume` contracts the
+//! interval domain can discharge.
+
+// audit: prove(overflow-bounds)
+// audit: assume(x in -1000..=1000)
+pub fn clamped_bias(x: i64) -> i64 {
+    x * 8
+}
+
+// audit: prove(overflow-bounds)
+// audit: assume(buckets in 1..=512)
+pub fn checked_bucket(slot: i64, buckets: i64) -> i64 {
+    slot.rem_euclid(buckets)
+}

@@ -1,0 +1,20 @@
+//! Known-bad: panic sources transitively reachable from the
+//! configured entry point `Sched::run`.
+
+pub struct Sched {
+    slots: Vec<u64>,
+}
+
+impl Sched {
+    pub fn run(&self, idx: usize) -> u64 {
+        self.fetch_slot(idx).saturating_add(self.head_slot())
+    }
+
+    fn fetch_slot(&self, idx: usize) -> u64 {
+        self.slots[idx]
+    }
+
+    fn head_slot(&self) -> u64 {
+        *self.slots.first().unwrap()
+    }
+}

@@ -1,0 +1,39 @@
+//! Golden snapshot of `pfair-audit --report json` over the fixture
+//! corpus: the machine-readable report is a CI interface, so its
+//! exact shape — key order, entry-point verdicts, per-lint tallies,
+//! discharged-allow rendering — is pinned byte for byte.
+//!
+//! To regenerate after an intentional format or fixture change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p pfair-audit --test report_snapshot
+//! ```
+
+use std::path::Path;
+
+use pfair_audit::{audit_report, report::render_json};
+
+mod common;
+use common::fixture_config;
+
+#[test]
+fn json_report_matches_the_golden_snapshot() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let report = audit_report(&root, &fixture_config()).expect("fixture tree readable");
+    let got = render_json(&report);
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/report.golden.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect(
+        "tests/report.golden.json missing; regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p pfair-audit --test report_snapshot",
+    );
+    assert!(
+        got == want,
+        "JSON report drifted from the golden snapshot; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1.\n--- got ---\n{got}\n--- want ---\n{want}"
+    );
+}

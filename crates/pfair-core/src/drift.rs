@@ -104,6 +104,7 @@ impl DriftTrack {
     /// Panics if samples are recorded out of time order.
     pub fn record(&mut self, u: Slot, ps_total: Rational, icsw_total: Rational) {
         if let Some(last) = self.samples.last() {
+            // audit: allow(panic-reach, monotone-time invariant of the drift track, a violation is an engine bug)
             assert!(last.at <= u, "drift samples must be recorded in time order");
         }
         self.samples.push(DriftSample {

@@ -77,7 +77,7 @@ impl PsTracker {
     /// Accrues slot `t`'s allocation (`wt(T, t) · 1`, or zero while
     /// suspended).
     pub fn advance(&mut self, t: Slot) -> Rational {
-        assert_eq!(t, self.now, "slots must be advanced in order");
+        assert_eq!(t, self.now, "slots must be advanced in order"); // audit: allow(panic-reach, fluid trackers advance monotonically by construction, a violation is a tracker bug)
         self.now = t + 1;
         if self
             .suspensions
@@ -108,7 +108,7 @@ impl PsTracker {
     /// # Panics
     /// Panics if `t` is behind the tracker's current slot.
     pub fn advance_to(&mut self, t: Slot) -> Rational {
-        assert!(t >= self.now, "cannot advance a tracker backwards");
+        assert!(t >= self.now, "cannot advance a tracker backwards"); // audit: allow(panic-reach, fluid trackers advance monotonically by construction, a violation is a tracker bug)
         if t == self.now {
             return Rational::ZERO;
         }

@@ -71,10 +71,11 @@ impl pfair_json::FromJson for Rational {
 ///
 /// Operates on `u128` so that `i128::MIN.unsigned_abs()` (= 2^127) is a
 /// valid operand — taking magnitudes in the signed domain would wrap.
+// audit: prove(overflow-bounds)
 #[inline]
 fn gcd(mut a: u128, mut b: u128) -> u128 {
     while b != 0 {
-        let r = a % b;
+        let r = a % b; // audit: allow(panic-reach, loop guard keeps b nonzero); allow(overflow-interval, the while guard keeps b nonzero, branch refinement is outside the interval domain)
         a = b;
         b = r;
     }
@@ -93,13 +94,13 @@ impl Rational {
     /// Panics if `den == 0`.
     #[inline]
     pub fn new(num: i128, den: i128) -> Rational {
-        assert!(den != 0, "Rational with zero denominator");
+        assert!(den != 0, "Rational with zero denominator"); // audit: allow(panic-reach, documented contract: zero denominators and non-positive divisors panic)
         let (num, den) = if den < 0 {
             (
-                num.checked_neg()
+                num.checked_neg() // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
                     // audit: allow(panic, documented overflow contract: ±i128::MIN inputs)
                     .expect("Rational::new overflow: numerator is i128::MIN"),
-                den.checked_neg()
+                den.checked_neg() // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
                     // audit: allow(panic, documented overflow contract: ±i128::MIN inputs)
                     .expect("Rational::new overflow: denominator is i128::MIN"),
             )
@@ -108,14 +109,14 @@ impl Rational {
         };
         // g divides the (positive) denominator, so it always fits in i128.
         let g = gcd(num.unsigned_abs(), den.unsigned_abs());
-        // audit: allow(panic, unreachable: gcd divides the positive denominator)
+        // audit: allow(panic, unreachable: gcd divides the positive denominator); allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
         let g = i128::try_from(g).expect("Rational::new: gcd exceeds i128");
         if g <= 1 {
             Rational { num, den }
         } else {
             Rational {
-                num: num / g,
-                den: den / g,
+                num: num / g, // audit: allow(panic-reach, divisor is a gcd or a normalized denominator, both nonzero by construction)
+                den: den / g, // audit: allow(panic-reach, divisor is a gcd or a normalized denominator, both nonzero by construction)
             }
         }
     }
@@ -168,7 +169,7 @@ impl Rational {
     /// Panics if the numerator is `i128::MIN`.
     #[inline]
     pub fn abs(self) -> Rational {
-        let num = self
+        let num = self // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             .num
             .checked_abs()
             // audit: allow(panic, documented overflow contract: numerator i128::MIN)
@@ -189,6 +190,7 @@ impl Rational {
         // would overflow for i128::MIN. `q + 1` cannot overflow: den ≥ 2
         // whenever the remainder is nonzero, so q < i128::MAX.
         let q = self.num.div_euclid(self.den);
+        // audit: allow(panic-reach, den is nonzero by the Rational::new contract)
         if self.num % self.den == 0 {
             q
         } else {
@@ -202,7 +204,7 @@ impl Rational {
     /// Panics if the value is zero.
     #[inline]
     pub fn recip(self) -> Rational {
-        assert!(self.num != 0, "reciprocal of zero");
+        assert!(self.num != 0, "reciprocal of zero"); // audit: allow(panic-reach, documented contract: zero denominators and non-positive divisors panic)
         Rational::new(self.den, self.num)
     }
 
@@ -219,19 +221,19 @@ impl Rational {
     #[inline]
     pub fn mul_int(self, n: i64) -> Rational {
         let n = i128::from(n);
-        let g = i128::try_from(gcd(n.unsigned_abs(), self.den.unsigned_abs()))
+        let g = i128::try_from(gcd(n.unsigned_abs(), self.den.unsigned_abs())) // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             // audit: allow(panic, unreachable: gcd divides the positive denominator)
             .expect("Rational mul_int: gcd exceeds i128");
-        let num = self
+        let num = self // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             .num
-            .checked_mul(n / g)
+            .checked_mul(n / g) // audit: allow(panic-reach, divisor is a gcd or a normalized denominator, both nonzero by construction)
             // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational mul_int overflow");
         // gcd(num·(n/g), den/g) = 1: num ⟂ den by canonical form and
         // (n/g) ⟂ (den/g) by construction, so no reduction is needed.
         Rational {
             num,
-            den: self.den / g,
+            den: self.den / g, // audit: allow(panic-reach, divisor is a gcd or a normalized denominator, both nonzero by construction)
         }
     }
 
@@ -245,7 +247,7 @@ impl Rational {
             // (g = d collapses both scale factors to 1), so the result
             // and the overflow point are identical — only the reduction
             // inside `new` remains.
-            let num = self
+            let num = self // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
                 .num
                 .checked_add(rhs.num)
                 // audit: allow(panic, documented overflow contract of Rational arithmetic)
@@ -254,17 +256,17 @@ impl Rational {
         }
         // a/b + c/d = (a*d + c*b) / (b*d); reduce via g = gcd(b, d) first to
         // keep intermediates small (the classic Knuth trick).
-        let g = i128::try_from(gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs()))
+        let g = i128::try_from(gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs())) // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             // audit: allow(panic, unreachable: gcd divides the positive denominator)
             .expect("Rational add: gcd exceeds i128");
-        let (b, d) = (self.den / g, rhs.den / g);
-        let num = self
+        let (b, d) = (self.den / g, rhs.den / g); // audit: allow(panic-reach, divisor is a gcd or a normalized denominator, both nonzero by construction)
+        let num = self // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             .num
             .checked_mul(d)
             .and_then(|x| rhs.num.checked_mul(b).and_then(|y| x.checked_add(y)))
             // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational add overflow");
-        // audit: allow(panic, documented overflow contract of Rational arithmetic)
+        // audit: allow(panic, documented overflow contract of Rational arithmetic); allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
         let den = self.den.checked_mul(d).expect("Rational add overflow");
         Rational::new(num, den)
     }
@@ -274,18 +276,18 @@ impl Rational {
     fn checked_mul(self, rhs: Rational) -> Rational {
         // Cross-reduce before multiplying to keep intermediates small.
         // Each gcd divides a positive denominator, so both fit in i128.
-        let g1 = i128::try_from(gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs()))
+        let g1 = i128::try_from(gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs())) // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             // audit: allow(panic, unreachable: gcd divides the positive denominator)
             .expect("Rational mul: gcd exceeds i128");
-        let g2 = i128::try_from(gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs()))
+        let g2 = i128::try_from(gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs())) // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             // audit: allow(panic, unreachable: gcd divides the positive denominator)
             .expect("Rational mul: gcd exceeds i128");
-        let num = (self.num / g1)
-            .checked_mul(rhs.num / g2)
+        let num = (self.num / g1) // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
+            .checked_mul(rhs.num / g2) // audit: allow(panic-reach, divisor is a gcd or a normalized denominator, both nonzero by construction)
             // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational mul overflow");
-        let den = (self.den / g2)
-            .checked_mul(rhs.den / g1)
+        let den = (self.den / g2) // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
+            .checked_mul(rhs.den / g1) // audit: allow(panic-reach, divisor is a gcd or a normalized denominator, both nonzero by construction)
             // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational mul overflow");
         Rational::new(num, den)
@@ -329,9 +331,9 @@ impl Rational {
     /// Panics if `self` is not strictly positive.
     #[inline]
     pub fn div_floor_int(self, n: i128) -> i128 {
-        assert!(self.is_positive(), "div_floor_int by non-positive rational");
-        // n / (num/den) = n*den / num
-        // audit: allow(panic, documented overflow contract of Rational arithmetic)
+        assert!(self.is_positive(), "div_floor_int by non-positive rational"); // audit: allow(panic-reach, documented contract: zero denominators and non-positive divisors panic)
+                                                                               // n / (num/den) = n*den / num
+                                                                               // audit: allow(panic, documented overflow contract of Rational arithmetic); allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
         let prod = n.checked_mul(self.den).expect("div_floor_int overflow");
         prod.div_euclid(self.num)
     }
@@ -346,14 +348,15 @@ impl Rational {
     /// Panics if `rhs` is not strictly positive.
     #[inline]
     pub fn div_ceil(self, rhs: Rational) -> i128 {
-        assert!(rhs.is_positive(), "div_ceil by non-positive rational");
-        // (a/b) / (c/d) = a·d / (b·c), with b, d > 0 canonical.
-        // audit: allow(panic, documented overflow contract of Rational arithmetic)
+        assert!(rhs.is_positive(), "div_ceil by non-positive rational"); // audit: allow(panic-reach, documented contract: zero denominators and non-positive divisors panic)
+                                                                         // (a/b) / (c/d) = a·d / (b·c), with b, d > 0 canonical.
+                                                                         // audit: allow(panic, documented overflow contract of Rational arithmetic); allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
         let num = self.num.checked_mul(rhs.den).expect("div_ceil overflow");
-        // audit: allow(panic, documented overflow contract of Rational arithmetic)
+        // audit: allow(panic, documented overflow contract of Rational arithmetic); allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
         let den = rhs.num.checked_mul(self.den).expect("div_ceil overflow");
         // Same negation-free ceiling as `Rational::ceil`.
         let q = num.div_euclid(den);
+        // audit: allow(panic-reach, den is a product of nonzero i128s, checked against overflow)
         if num % den == 0 {
             q
         } else {
@@ -369,11 +372,12 @@ impl Rational {
     /// Panics if `self` is not strictly positive.
     #[inline]
     pub fn div_ceil_int(self, n: i128) -> i128 {
-        assert!(self.is_positive(), "div_ceil_int by non-positive rational");
-        // audit: allow(panic, documented overflow contract of Rational arithmetic)
+        assert!(self.is_positive(), "div_ceil_int by non-positive rational"); // audit: allow(panic-reach, documented contract: zero denominators and non-positive divisors panic)
+                                                                              // audit: allow(panic, documented overflow contract of Rational arithmetic); allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
         let prod = n.checked_mul(self.den).expect("div_ceil_int overflow");
         // Same negation-free ceiling as `Rational::ceil`.
         let q = prod.div_euclid(self.num);
+        // audit: allow(panic-reach, num is positive by the assert above)
         if prod % self.num == 0 {
             q
         } else {
@@ -415,7 +419,7 @@ impl Accumulator {
     #[inline]
     pub fn push(&mut self, r: Rational) {
         if r.den == self.den {
-            self.num = self
+            self.num = self // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
                 .num
                 .checked_add(r.num)
                 // audit: allow(panic, documented overflow contract of Rational arithmetic)
@@ -423,17 +427,17 @@ impl Accumulator {
             return;
         }
         // Rescale both sides to the lcm of the denominators.
-        let g = i128::try_from(gcd(self.den.unsigned_abs(), r.den.unsigned_abs()))
+        let g = i128::try_from(gcd(self.den.unsigned_abs(), r.den.unsigned_abs())) // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             // audit: allow(panic, unreachable: gcd divides the positive denominator)
             .expect("Accumulator: gcd exceeds i128");
-        let (scale_self, scale_r) = (r.den / g, self.den / g);
-        self.num = self
+        let (scale_self, scale_r) = (r.den / g, self.den / g); // audit: allow(panic-reach, divisor is a gcd or a normalized denominator, both nonzero by construction)
+        self.num = self // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             .num
             .checked_mul(scale_self)
             .and_then(|x| r.num.checked_mul(scale_r).and_then(|y| x.checked_add(y)))
             // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Accumulator overflow");
-        self.den = self
+        self.den = self // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             .den
             .checked_mul(scale_self)
             // audit: allow(panic, documented overflow contract of Rational arithmetic)
@@ -513,7 +517,7 @@ impl Neg for Rational {
     /// Panics if the numerator is `i128::MIN`.
     #[inline]
     fn neg(self) -> Rational {
-        let num = self
+        let num = self // audit: allow(panic-reach, documented contract: Rational panics on i128 overflow instead of wrapping)
             .num
             .checked_neg()
             // audit: allow(panic, documented overflow contract: numerator i128::MIN)

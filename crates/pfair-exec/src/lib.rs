@@ -336,7 +336,7 @@ impl<P: Probe> Executor<P> {
         }
         let virtual_time = self.quantum.is_zero();
         for _ in 0..quanta {
-            let slot_start = Instant::now();
+            let slot_start = Instant::now(); // audit: allow(nondeterminism, the executor paces real quanta by wall clock, pacing never feeds back into the simulated schedule)
             let t = self.engine.now();
 
             // Drain control requests; they fire in this slot.

@@ -252,6 +252,7 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        // audit: allow(panic-reach, pos <= bytes.len() is the scanner invariant, slices cannot overrun)
         if self.bytes[self.pos..].starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
@@ -366,7 +367,7 @@ impl Parser<'_> {
                     while self.peek().is_some_and(|nb| nb & 0xc0 == 0x80) {
                         self.pos += 1;
                     }
-                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos]) // audit: allow(panic-reach, pos <= bytes.len() is the scanner invariant, slices cannot overrun)
                         .map_err(|_| self.err("invalid UTF-8"))?;
                     out.push_str(chunk);
                 }
@@ -403,7 +404,7 @@ impl Parser<'_> {
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
             return Err(self.err("non-integer number: this codec is exact-integer by design"));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]) // audit: allow(panic-reach, pos <= bytes.len() is the scanner invariant, slices cannot overrun)
             .map_err(|_| self.err("invalid number"))?;
         text.parse::<i128>()
             .map(Json::Int)

@@ -76,7 +76,7 @@ impl AdmissionController {
     /// [`AdmissionController::note_enacted`] performs the deferred
     /// reduction.
     pub fn request(&mut self, task: TaskId, want: Weight) -> Option<Weight> {
-        let cur = self.committed[task.idx()];
+        let cur = self.committed[task.idx()]; // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
         let want_v: Rational = want.value();
         let granted = match self.policy {
             AdmissionPolicy::Trusting => want_v,
@@ -94,7 +94,7 @@ impl AdmissionController {
             }
         };
         // Commitments only rise at request time; they fall at enactment.
-        self.committed[task.idx()] = cur.max(granted);
+        self.committed[task.idx()] = cur.max(granted); // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
         Weight::try_new(granted).ok()
     }
 
@@ -102,14 +102,14 @@ impl AdmissionController {
     /// capacity only truly frees at the leave time; callers invoke this
     /// at that point.
     pub fn release(&mut self, task: TaskId) {
-        self.committed[task.idx()] = Rational::ZERO;
+        self.committed[task.idx()] = Rational::ZERO; // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
     }
 
     /// Records an enacted weight change: the task's scheduling weight is
     /// now exactly `enacted`, so the commitment settles there — in
     /// particular, this is where a decrease's capacity finally frees.
     pub fn note_enacted(&mut self, task: TaskId, enacted: Weight) {
-        self.committed[task.idx()] = enacted.value();
+        self.committed[task.idx()] = enacted.value(); // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
     }
 }
 

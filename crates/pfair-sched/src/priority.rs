@@ -144,6 +144,7 @@ const GROUP_DEADLINE_SHIFT: u32 = 32;
 /// Biases a slot into its unsigned 47-bit field. Out-of-band slots
 /// saturate to the nearest representable value, which preserves their
 /// order relative to every in-band slot.
+// audit: prove(overflow-bounds)
 fn biased(slot: Slot) -> u128 {
     let clamped = slot.clamp(-SLOT_BOUND, SLOT_BOUND - 1);
     // In range by construction: clamped + 2^46 ∈ [0, 2^47).
@@ -151,6 +152,7 @@ fn biased(slot: Slot) -> u128 {
 }
 
 /// Recovers a slot from its biased 47-bit field.
+// audit: prove(overflow-bounds)
 fn unbiased(field: u128) -> Slot {
     i64::try_from(field & FIELD_MASK).unwrap_or(0) - SLOT_BOUND
 }

@@ -34,6 +34,8 @@ pub const COMPACT_SLACK: usize = 64;
 /// at least `(COMPACT_GROWTH_FACTOR − 1)·live_bound + COMPACT_SLACK`
 /// pushes, which pays for the `O(len)` sweep — amortized constant work
 /// per push, while the heap stays `O(tasks)` at slot boundaries.
+// audit: prove(overflow-bounds)
+// audit: assume(live_bound in 0..=4294967296)
 pub fn compaction_threshold(live_bound: usize) -> usize {
     COMPACT_GROWTH_FACTOR * live_bound + COMPACT_SLACK
 }

@@ -113,7 +113,7 @@ impl RuleSelector {
             Scheme::Oi => RuleChoice::FineGrained,
             Scheme::LeaveJoin => RuleChoice::LeaveJoin,
             Scheme::Hybrid(policy) => {
-                let st = &mut self.state[task.idx()];
+                let st = &mut self.state[task.idx()]; // audit: allow(panic-reach, state table is sized to the task-set, idx is validated at admission)
                 match policy {
                     HybridPolicy::MagnitudeThreshold(thr) => {
                         // |new − old| ≥ thr · old  (old > 0 for a reweight).
@@ -125,7 +125,7 @@ impl RuleSelector {
                     }
                     HybridPolicy::OiBudget { budget, window } => {
                         if at - st.window_start >= *window {
-                            st.window_start = at - (at - st.window_start) % *window;
+                            st.window_start = at - (at - st.window_start) % *window; // audit: allow(panic-reach, OiBudget windows are constructed positive)
                             st.oi_events_in_window = 0;
                         }
                         if st.oi_events_in_window < *budget {

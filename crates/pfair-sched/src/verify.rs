@@ -26,7 +26,7 @@ use crate::trace::{SimResult, SubtaskRecord, TaskHistory};
 use pfair_core::rational::{rat, Rational};
 use pfair_core::task::TaskId;
 use pfair_core::time::Slot;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One invariant violation found by the verifier.
@@ -216,7 +216,7 @@ fn check_era_chain(era: &[&SubtaskRecord]) -> Result<(), String> {
 /// Per-task schedule sanity.
 fn verify_schedule_sanity(id: TaskId, hist: &TaskHistory, out: &mut Vec<Violation>) {
     let mut last_sched: Option<(u64, Slot)> = None;
-    let mut seen_slots: HashMap<Slot, u64> = HashMap::new();
+    let mut seen_slots: BTreeMap<Slot, u64> = BTreeMap::new();
     for sub in &hist.subtasks {
         if let Some(s) = sub.scheduled_at {
             if let Some(h) = sub.halted_at {
@@ -278,7 +278,7 @@ fn verify_schedule_sanity(id: TaskId, hist: &TaskHistory, out: &mut Vec<Violatio
 
 /// At most `M` quanta per slot across all tasks.
 fn verify_capacity(result: &SimResult, out: &mut Vec<Violation>) {
-    let mut per_slot: HashMap<Slot, u32> = HashMap::new();
+    let mut per_slot: BTreeMap<Slot, u32> = BTreeMap::new();
     for task in &result.tasks {
         for s in &task
             .history
