@@ -1,0 +1,106 @@
+//! Persistence cost: snapshot capture, restore, and journal replay.
+//!
+//! Checkpointing is only viable if its cost is a small, flat tax on
+//! the run it protects. Each pair scales one persistence operation
+//! across two sizes so the trajectory exposes super-linear growth:
+//!
+//! * `snapshot_{1k,10k}`: capture engine state mid-run (horizon 1k /
+//!   10k slots) and serialize it to canonical text — the write half of
+//!   a checkpoint.
+//! * `restore_{1k,10k}`: parse the same text, re-validate every
+//!   invariant, and rebuild a runnable engine — the recovery half.
+//! * `journal_replay_{1k,10k}`: load and verify a 1k- / 10k-entry
+//!   event journal (per-line checksums) and inject it into a restored
+//!   engine — the crash-recovery tail.
+//!
+//! Entries land in the repo-root trajectory as
+//! `persist/{snapshot,restore,journal_replay}_{1k,10k}`; CI greps for
+//! the pair names.
+
+use criterion::{criterion_group, Criterion};
+use pfair_core::task::TaskId;
+use pfair_obs::NoopProbe;
+use pfair_persist::{read_journal, replay, snapshot_from_str, snapshot_to_string, Journal};
+use pfair_sched::engine::{Engine, SimConfig};
+use pfair_sched::event::{Event, EventKind, Workload};
+use std::hint::black_box;
+
+/// Eight tasks with staggered reweights and a long delay, so snapshots
+/// carry pending commitments, ring overflow, and tracker state — not
+/// just a quiescent queue.
+fn persisted_workload(horizon: i64) -> Workload {
+    let mut w = Workload::new();
+    for i in 0..8u32 {
+        w.join(i, i64::from(i), 1, 9 + i128::from(i));
+    }
+    for i in 0..4u32 {
+        w.reweight(i, horizon / 3 + i64::from(i) * 7, 1, 5 + i128::from(i));
+    }
+    w.delay(5, horizon / 2, 600);
+    w
+}
+
+/// An engine advanced to mid-run, where state is richest.
+fn engine_at_mid(horizon: i64) -> Engine<NoopProbe> {
+    let w = persisted_workload(horizon);
+    let mut engine = Engine::new(SimConfig::oi(4, horizon), &w);
+    engine.snapshot_at(horizon / 2).expect("mid-run checkpoint");
+    engine
+}
+
+fn bench_persist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist");
+    for &(label, horizon) in &[("1k", 1_000i64), ("10k", 10_000)] {
+        let engine = engine_at_mid(horizon);
+        group.bench_function(format!("snapshot_{label}"), |b| {
+            b.iter(|| {
+                let snap = engine.snapshot().expect("snapshot");
+                black_box(snapshot_to_string(&snap))
+            });
+        });
+
+        let text = snapshot_to_string(&engine.snapshot().expect("snapshot"));
+        group.bench_function(format!("restore_{label}"), |b| {
+            b.iter(|| {
+                let snap = snapshot_from_str(black_box(&text)).expect("parse");
+                black_box(Engine::restore(snap, NoopProbe).expect("restore"))
+            });
+        });
+
+        // A journal with `horizon` entries: one injected delay per slot.
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "pfair-bench-journal-{}-{label}.jsonl",
+            std::process::id()
+        ));
+        let mut journal = Journal::create(&path).expect("journal");
+        for slot in 0..horizon {
+            journal
+                .append(&Event {
+                    at: slot,
+                    task: TaskId(u32::try_from(slot % 8).unwrap_or(0)),
+                    kind: EventKind::Delay(1),
+                })
+                .expect("append");
+        }
+        drop(journal);
+        group.bench_function(format!("journal_replay_{label}"), |b| {
+            b.iter(|| {
+                let events = read_journal(black_box(&path)).expect("read journal");
+                let snap = snapshot_from_str(&text).expect("parse");
+                let mut fresh = Engine::restore(snap, NoopProbe).expect("restore");
+                replay(&mut fresh, &events);
+                black_box(fresh)
+            });
+        });
+        std::fs::remove_file(&path).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_persist);
+fn main() {
+    benches();
+    // Fold this target's numbers into the repo-root trajectory file.
+    bench::emit_summary();
+}

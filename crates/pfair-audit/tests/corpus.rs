@@ -46,6 +46,12 @@ fn corpus_produces_exactly_the_expected_diagnostics() {
         ("sched/interval_advance.rs", 10, RAW_ARITH),
         ("sched/interval_advance.rs", 11, NO_LOSSY_CASTS),
         ("sched/interval_advance.rs", 16, NO_PANIC),
+        ("sched/journal_replay.rs", 10, NO_LOSSY_CASTS),
+        ("sched/journal_replay.rs", 16, NO_PANIC),
+        ("sched/journal_replay.rs", 17, NO_PANIC),
+        ("sched/journal_replay.rs", 23, NO_FLOAT),
+        ("sched/journal_replay.rs", 25, NO_FLOAT),
+        ("sched/journal_replay.rs", 27, NO_LOSSY_CASTS),
         ("sched/lossy_casts.rs", 5, NO_LOSSY_CASTS),
         ("sched/lossy_casts.rs", 12, BAD_ANNOTATION),
         ("sched/lossy_casts.rs", 12, NO_LOSSY_CASTS),
@@ -98,6 +104,19 @@ fn sanctioned_interval_advancement_is_clean() {
             .iter()
             .any(|f| f.path == "sched/interval_advance_ok.rs"),
         "checked closed-form advancement should audit clean"
+    );
+}
+
+#[test]
+fn sanctioned_journal_replay_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.path == "sched/journal_replay_ok.rs"),
+        "try_from widths, value-surfaced decode errors, and an \
+         integer-domain checksum should audit clean"
     );
 }
 

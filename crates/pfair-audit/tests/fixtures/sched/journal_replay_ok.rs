@@ -1,0 +1,25 @@
+// Fixture: the same journal replay written in the sanctioned form —
+// `try_from` width changes, decode errors surfaced as values, and the
+// line checksum kept in the exact integer domain end to end.
+// Expected: no findings.
+pub fn entry_count(len: usize) -> Option<u32> {
+    u32::try_from(len).ok()
+}
+
+/// Decode a `seq,at` journal line, surfacing malformed input as `None`.
+pub fn decode_entry(line: &str) -> Option<(u64, i64)> {
+    let mut it = line.split(',');
+    let seq = it.next()?.parse().ok()?;
+    let at = it.next()?.parse().ok()?;
+    Some((seq, at))
+}
+
+/// Accumulate the line checksum with exact wrapping integer arithmetic
+/// (FNV-1a), never leaving the integer domain.
+pub fn line_checksum(bytes: &[u8]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        acc = (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    acc
+}

@@ -6,6 +6,7 @@
 //! [`run_file`].
 
 pub mod parser;
+pub mod persistcmd;
 pub mod report;
 pub mod tracecmd;
 

@@ -3,6 +3,9 @@
 //! ```text
 //! pfair run <workload-file> [--render] [--verify]
 //! pfair trace [--whisper SEED] [--scheme oi|lj] [--horizon N] [--top K] [--out FILE]
+//! pfair snapshot <workload-file> [--at K] --out FILE [--metrics-out FILE]
+//! pfair resume <snapshot-file> [--until K --snapshot-out FILE]
+//!              [--metrics-in FILE] [--metrics-out FILE] [--json OUT]
 //! pfair example                 # print a documented sample file
 //! ```
 
@@ -99,6 +102,102 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("writing {out_path}: {e}")));
             println!("wrote {out_path} (load in Perfetto or chrome://tracing)");
         }
+        Some("snapshot") => {
+            let Some(path) = args.get(1) else {
+                die("snapshot needs a workload file");
+            };
+            let mut opts = pfair_cli::persistcmd::SnapshotOptions::default();
+            let mut it = args.iter().skip(2);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--at" => {
+                        opts.at = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| die("--at needs a slot number")),
+                        );
+                    }
+                    "--out" => {
+                        opts.out = it
+                            .next()
+                            .cloned()
+                            .unwrap_or_else(|| die("--out needs a file path"));
+                    }
+                    "--metrics-out" => {
+                        opts.metrics_out = Some(
+                            it.next()
+                                .cloned()
+                                .unwrap_or_else(|| die("--metrics-out needs a file path")),
+                        );
+                    }
+                    other => die(&format!("unknown snapshot option {other}")),
+                }
+            }
+            if opts.out.is_empty() {
+                die("snapshot needs --out FILE");
+            }
+            match pfair_cli::persistcmd::snapshot_file(path, &opts) {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("resume") => {
+            let Some(path) = args.get(1) else {
+                die("resume needs a snapshot file");
+            };
+            let mut opts = pfair_cli::persistcmd::ResumeOptions::default();
+            let mut it = args.iter().skip(2);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--until" => {
+                        opts.until = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| die("--until needs a slot number")),
+                        );
+                    }
+                    "--snapshot-out" => {
+                        opts.snapshot_out = Some(
+                            it.next()
+                                .cloned()
+                                .unwrap_or_else(|| die("--snapshot-out needs a file path")),
+                        );
+                    }
+                    "--metrics-in" => {
+                        opts.metrics_in = Some(
+                            it.next()
+                                .cloned()
+                                .unwrap_or_else(|| die("--metrics-in needs a file path")),
+                        );
+                    }
+                    "--metrics-out" => {
+                        opts.metrics_out = Some(
+                            it.next()
+                                .cloned()
+                                .unwrap_or_else(|| die("--metrics-out needs a file path")),
+                        );
+                    }
+                    "--json" => {
+                        opts.json_out = Some(
+                            it.next()
+                                .cloned()
+                                .unwrap_or_else(|| die("--json needs a file path")),
+                        );
+                    }
+                    other => die(&format!("unknown resume option {other}")),
+                }
+            }
+            match pfair_cli::persistcmd::resume_file(path, &opts) {
+                Ok((report, _)) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         Some("example") => print!("{}", parser::EXAMPLE),
         Some("--help") | Some("-h") | None => usage(),
         Some(other) => {
@@ -114,6 +213,9 @@ fn usage() {
     println!(
         "       pfair trace [--whisper SEED] [--scheme oi|lj] [--horizon N] [--top K] [--out FILE]"
     );
+    println!("       pfair snapshot <workload-file> [--at K] --out FILE [--metrics-out FILE]");
+    println!("       pfair resume <snapshot-file> [--until K --snapshot-out FILE]");
+    println!("                    [--metrics-in FILE] [--metrics-out FILE] [--json OUT]");
     println!("       pfair example");
 }
 

@@ -103,6 +103,102 @@ impl IswSub {
     }
 }
 
+impl pfair_json::ToJson for IswSub {
+    fn to_json(&self) -> pfair_json::Json {
+        // `ReleaseRule` flattens to an optional predecessor index: absent
+        // means `Full`, present means `SharedWithPred`.
+        let pred = match self.rule {
+            ReleaseRule::Full => None,
+            ReleaseRule::SharedWithPred(p) => Some(p),
+        };
+        pfair_json::obj([
+            ("index", self.index.to_json()),
+            ("release", self.release.to_json()),
+            ("pred", pred.to_json()),
+            ("cum", self.cum.to_json()),
+            ("complete_at", self.complete_at.to_json()),
+            ("final_slot_alloc", self.final_slot_alloc.to_json()),
+            ("halted_at", self.halted_at.to_json()),
+            ("slot_allocs", self.slot_allocs.to_json()),
+        ])
+    }
+}
+
+impl pfair_json::FromJson for IswSub {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let index: u64 = value.field("index")?;
+        let pred: Option<u64> = value.field("pred")?;
+        let rule = match pred {
+            None => ReleaseRule::Full,
+            Some(p) if p < index => ReleaseRule::SharedWithPred(p),
+            Some(_) => {
+                return Err(pfair_json::JsonError::new(
+                    "I_SW predecessor index must precede the subtask",
+                ))
+            }
+        };
+        let cum: Rational = value.field("cum")?;
+        if cum.is_negative() || cum > Rational::ONE {
+            return Err(pfair_json::JsonError::new(
+                "I_SW cumulative allocation outside [0, 1]",
+            ));
+        }
+        let complete_at: Option<Slot> = value.field("complete_at")?;
+        if complete_at.is_some() && cum != Rational::ONE {
+            return Err(pfair_json::JsonError::new(
+                "completed I_SW subtask must hold exactly one quantum",
+            ));
+        }
+        Ok(IswSub {
+            index,
+            release: value.field("release")?,
+            rule,
+            cum,
+            complete_at,
+            final_slot_alloc: value.field("final_slot_alloc")?,
+            halted_at: value.field("halted_at")?,
+            slot_allocs: value.field("slot_allocs")?,
+        })
+    }
+}
+
+impl pfair_json::ToJson for IswTracker {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([
+            ("swt", self.swt.to_json()),
+            ("subs", self.subs.to_json()),
+            ("total", self.total.to_json()),
+            ("halted_loss", self.halted_loss.to_json()),
+            ("now", self.now.to_json()),
+            ("keep_retired", self.keep_retired.to_json()),
+            ("record_slot_allocs", self.record_slot_allocs.to_json()),
+        ])
+    }
+}
+
+impl pfair_json::FromJson for IswTracker {
+    /// Re-validates the tracker invariants the methods rely on: subtasks
+    /// strictly index-sorted, cumulative allocations inside `[0, 1]`
+    /// (checked per subtask), completion implying a full quantum.
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let subs: Vec<IswSub> = value.field("subs")?;
+        if subs.windows(2).any(|w| w[0].index >= w[1].index) {
+            return Err(pfair_json::JsonError::new(
+                "I_SW subtasks out of index order",
+            ));
+        }
+        Ok(IswTracker {
+            swt: value.field("swt")?,
+            subs,
+            total: value.field("total")?,
+            halted_loss: value.field("halted_loss")?,
+            now: value.field("now")?,
+            keep_retired: value.field("keep_retired")?,
+            record_slot_allocs: value.field("record_slot_allocs")?,
+        })
+    }
+}
+
 /// Incremental `I_SW` schedule of a single task.
 ///
 /// Usage protocol (driven by the scheduler engine):

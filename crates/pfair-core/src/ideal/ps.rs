@@ -27,6 +27,34 @@ pub struct PsTracker {
     suspensions: Vec<(Slot, Slot)>,
 }
 
+impl pfair_json::ToJson for PsTracker {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([
+            ("wt", self.wt.to_json()),
+            ("total", self.total.to_json()),
+            ("now", self.now.to_json()),
+            ("suspensions", self.suspensions.to_json()),
+        ])
+    }
+}
+
+impl pfair_json::FromJson for PsTracker {
+    /// Re-validates the interval invariant `suspend_between` enforces:
+    /// every suspension is non-empty (`from < until`).
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let suspensions: Vec<(Slot, Slot)> = value.field("suspensions")?;
+        if suspensions.iter().any(|(from, until)| from >= until) {
+            return Err(pfair_json::JsonError::new("empty I_PS suspension interval"));
+        }
+        Ok(PsTracker {
+            wt: value.field("wt")?,
+            total: value.field("total")?,
+            now: value.field("now")?,
+            suspensions,
+        })
+    }
+}
+
 impl PsTracker {
     /// A task of initial weight `wt` joining at `join_at`.
     pub fn new(wt: Rational, join_at: Slot) -> PsTracker {

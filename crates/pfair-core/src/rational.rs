@@ -561,11 +561,13 @@ impl Ord for Rational {
     #[inline]
     fn cmp(&self, other: &Rational) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0). Overflow-checked.
+        // audit: allow(panic-reach, documented overflow contract of Rational arithmetic)
         let lhs = self
             .num
             .checked_mul(other.den)
             // audit: allow(panic, documented overflow contract of Rational arithmetic)
             .expect("Rational cmp overflow");
+        // audit: allow(panic-reach, documented overflow contract of Rational arithmetic)
         let rhs = other
             .num
             .checked_mul(self.den)

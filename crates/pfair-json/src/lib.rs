@@ -142,12 +142,12 @@ impl Json {
             Json::Str(s) => write_string(out, s),
             Json::Array(items) => {
                 write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
-                    items[i].write(out, indent, depth + 1);
+                    items[i].write(out, indent, depth + 1); // audit: allow(panic-reach, write_seq calls back with i < items.len() by construction)
                 });
             }
             Json::Object(fields) => {
                 write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
-                    let (k, v) = &fields[i];
+                    let (k, v) = &fields[i]; // audit: allow(panic-reach, write_seq calls back with i < fields.len() by construction)
                     write_string(out, k);
                     out.push(':');
                     if indent.is_some() {

@@ -332,6 +332,14 @@ impl MetricsProbe {
     pub fn into_registry(self) -> Registry {
         self.reg
     }
+
+    /// A probe resuming from a previously collected registry (snapshot
+    /// restore): counters continue from the persisted totals, so a
+    /// resumed run's final registry is identical to an uninterrupted
+    /// one's.
+    pub fn from_registry(reg: Registry) -> MetricsProbe {
+        MetricsProbe { reg }
+    }
 }
 
 impl Probe for MetricsProbe {

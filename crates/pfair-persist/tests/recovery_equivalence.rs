@@ -1,0 +1,293 @@
+//! Recovery ≡ uninterrupted execution, bit for bit.
+//!
+//! The persistence invariant (see `pfair-persist` docs): snapshot a
+//! run at slot `k`, serialize the snapshot (and the observer's metrics
+//! registry) to text, drop the engine, parse everything back, restore,
+//! and run to the horizon — the rendered `SimResult`, every overhead
+//! counter, every drift sample, and the final metrics registry are
+//! **bit-identical** to the run that was never interrupted. Randomized
+//! AIS scripts across OI, LJ, and hybrid schemes exercise reweights
+//! (rules O/I/L/J), IS delays past the calendar-ring window, rule-L
+//! leaves, and admission rejections; every case is checked under both
+//! the tickless driver and the per-slot oracle. A separate suite of
+//! deterministic tests covers segmented execution and journal replay
+//! after a mid-run crash.
+
+use pfair_core::rational::rat;
+use pfair_core::task::TaskId;
+use pfair_core::weight::Weight;
+use pfair_json::{FromJson, Json, ToJson};
+use pfair_obs::{MetricsProbe, NoopProbe, Registry};
+use pfair_persist::{
+    read_journal, replay, run_segments, snapshot_from_str, snapshot_to_string, Journal,
+};
+use pfair_sched::engine::{simulate, simulate_with, Engine, SimConfig};
+use pfair_sched::event::{Event, EventKind, Workload};
+use pfair_sched::reweight::{HybridPolicy, Scheme};
+use proptest::prelude::*;
+
+const HORIZON: i64 = 160;
+
+/// Light weights with small denominators keep windows short; large
+/// denominators open long windows where the tickless driver batches
+/// hard. Mix both, as in the tickless equivalence suite.
+fn arb_weight() -> impl Strategy<Value = (i128, i128)> {
+    (2i128..=60).prop_flat_map(|den| (1i128..=(den / 2).max(1), Just(den)))
+}
+
+#[derive(Debug, Clone)]
+struct TaskPlan {
+    join_weight: (i128, i128),
+    join_at: i64,
+    reweights: Vec<(i64, (i128, i128))>,
+    delay: Option<(i64, u32)>,
+    leave_at: Option<i64>,
+}
+
+#[derive(Debug, Clone)]
+struct Plan {
+    processors: u32,
+    tasks: Vec<TaskPlan>,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    // Delays up to 600 slots push releases past the 512-slot calendar
+    // window, so snapshots must carry ring overflow lists too.
+    let delay = (0u32..=2, 1i64..HORIZON - 20, 1u32..600)
+        .prop_map(|(on, at, by)| (on == 0).then_some((at, by)));
+    let leave = (0u32..=2, 40i64..HORIZON - 5).prop_map(|(on, at)| (on == 0).then_some(at));
+    let task = (
+        arb_weight(),
+        0i64..=30,
+        prop::collection::vec(((1i64..HORIZON - 10), arb_weight()), 0..=3),
+        delay,
+        leave,
+    )
+        .prop_map(
+            |(join_weight, join_at, reweights, delay, leave_at)| TaskPlan {
+                join_weight,
+                join_at,
+                reweights,
+                delay,
+                leave_at,
+            },
+        );
+    (1u32..=4, prop::collection::vec(task, 1..=8))
+        .prop_map(|(processors, tasks)| Plan { processors, tasks })
+}
+
+fn workload_of(plan: &Plan) -> Workload {
+    let mut w = Workload::new();
+    for (i, t) in plan.tasks.iter().enumerate() {
+        let id = u32::try_from(i).unwrap_or(0);
+        w.join(id, t.join_at, t.join_weight.0, t.join_weight.1);
+        for (at, wt) in &t.reweights {
+            if *at > t.join_at {
+                w.reweight(id, *at, wt.0, wt.1);
+            }
+        }
+        if let Some((at, by)) = t.delay {
+            if at > t.join_at {
+                w.delay(id, at, by);
+            }
+        }
+        if let Some(at) = t.leave_at {
+            if at > t.join_at {
+                w.leave(id, at);
+            }
+        }
+    }
+    w
+}
+
+/// One interruption experiment under one configuration: straight run
+/// vs snapshot-at-`k` → serialize → drop → parse → restore → run.
+fn assert_recovery_matches(w: &Workload, cfg: SimConfig, snap_at: i64) {
+    let (reference, ref_metrics) = simulate_with(cfg.clone(), w, MetricsProbe::new());
+
+    // The interrupted run, observed by the same probe kind.
+    let mut engine = Engine::with_probe(cfg, w, MetricsProbe::new());
+    let snapshot = engine.snapshot_at(snap_at).expect("snapshot");
+    let snapshot_text = snapshot_to_string(&snapshot);
+    let registry_text = engine.probe_mut().registry().to_json().to_string_pretty();
+    drop(engine); // process death: only the two texts survive
+
+    let recovered = snapshot_from_str(&snapshot_text).expect("snapshot recovers");
+    let registry = Registry::from_json(&Json::parse(&registry_text).expect("registry parses"))
+        .expect("registry recovers");
+    let mut resumed =
+        Engine::restore(recovered, MetricsProbe::from_registry(registry)).expect("restore");
+    resumed.run();
+    let (result, metrics) = resumed.finish_with_probe();
+
+    // One canonical rendering covers every field SimResult reports.
+    assert_eq!(
+        reference.to_json().to_string_pretty(),
+        result.to_json().to_string_pretty(),
+        "rendered SimResult diverged after recovery at slot {snap_at}"
+    );
+    // Field-level spot checks keep failures readable.
+    assert_eq!(&reference.counters, &result.counters);
+    assert_eq!(&reference.misses, &result.misses);
+    for (o, f) in reference.tasks.iter().zip(result.tasks.iter()) {
+        assert_eq!(
+            o.drift.samples(),
+            f.drift.samples(),
+            "drift samples of task {}",
+            o.id
+        );
+    }
+    // The resumed probe continued from the persisted registry: final
+    // registries must be byte-identical snapshots.
+    assert_eq!(
+        ref_metrics.registry().snapshot_text(),
+        metrics.registry().snapshot_text(),
+        "metrics snapshots diverged after recovery at slot {snap_at}"
+    );
+}
+
+/// Both drivers: the tickless default and the per-slot oracle.
+fn assert_recovery_both_drivers(plan: &Plan, cfg: SimConfig, snap_at: i64) {
+    let w = workload_of(plan);
+    assert_recovery_matches(&w, cfg.clone(), snap_at);
+    assert_recovery_matches(&w, cfg.per_slot(), snap_at);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// PD²-OI: snapshots land amid parked rule-O/I enactments on the
+    /// calendar ring; restoring must preserve each pending wait.
+    #[test]
+    fn oi_recovery_matches_uninterrupted(plan in arb_plan(), snap_at in 1i64..HORIZON) {
+        assert_recovery_both_drivers(&plan, SimConfig::oi(plan.processors, HORIZON), snap_at);
+    }
+
+    /// PD²-LJ: snapshots capture withdrawn (stale) queue entries and
+    /// scheduled rule-L departures; both must survive the round trip.
+    #[test]
+    fn lj_recovery_matches_uninterrupted(plan in arb_plan(), snap_at in 1i64..HORIZON) {
+        assert_recovery_both_drivers(
+            &plan,
+            SimConfig::leave_join(plan.processors, HORIZON),
+            snap_at,
+        );
+    }
+
+    /// Hybrids: the per-task selector state (OI-budget windows, event
+    /// counters) is part of the snapshot; a restored run must make the
+    /// same O-I-vs-LJ choices the uninterrupted one does.
+    #[test]
+    fn hybrid_recovery_matches_uninterrupted(plan in arb_plan(), snap_at in 1i64..HORIZON, nth in 1u32..4) {
+        let cfg = SimConfig::oi(plan.processors, HORIZON)
+            .with_scheme(Scheme::Hybrid(HybridPolicy::EveryNth(nth)));
+        assert_recovery_both_drivers(&plan, cfg, snap_at);
+    }
+
+    /// Segmented execution is exactly one-shot execution, for any chunk
+    /// count — every boundary passes through serialize → parse →
+    /// restore.
+    #[test]
+    fn segmented_run_matches_one_shot(plan in arb_plan(), segments in 1u32..6) {
+        let w = workload_of(&plan);
+        let cfg = SimConfig::oi(plan.processors, HORIZON);
+        let reference = simulate(cfg.clone(), &w);
+        let segmented = run_segments(cfg, &w, segments).expect("segmented run");
+        prop_assert_eq!(
+            reference.to_json().to_string_pretty(),
+            segmented.to_json().to_string_pretty()
+        );
+    }
+}
+
+/// A deterministic long-horizon sparse run interrupted mid-flight: the
+/// calendar rings rotate many times, the snapshot lands between
+/// far-apart events, and recovery still reproduces the run bit for
+/// bit under both drivers.
+#[test]
+fn long_sparse_recovery_is_bit_identical() {
+    let mut w = Workload::new();
+    for i in 0..6u32 {
+        w.join(i, i64::from(i) * 3, 1, 100 + i128::from(i) * 7);
+    }
+    w.reweight(0, 400, 1, 80);
+    w.reweight(1, 1_000, 1, 150);
+    w.delay(2, 500, 700); // past the ring window: overflow + rotation
+    w.leave(3, 2_000);
+    w.reweight(4, 3_000, 1, 90);
+    let cfg = SimConfig::oi(4, 5_000);
+    for snap_at in [499, 512, 1_024, 2_600, 4_999] {
+        assert_recovery_matches(&w, cfg.clone(), snap_at);
+    }
+    assert_recovery_matches(&w, cfg.per_slot(), 2_600);
+}
+
+/// Crash/recover with an event journal: events admitted *after* the
+/// checkpoint are journaled; recovery restores the snapshot, replays
+/// the journal through the online-injection path, and finishes
+/// identically to the run that never crashed.
+#[test]
+fn journal_replay_recovers_post_snapshot_events() {
+    let mut w = Workload::new();
+    for t in 0..4 {
+        w.join(t, 0, 1, 6);
+    }
+    w.reweight(0, 40, 1, 3);
+    let cfg = SimConfig::oi(2, 200);
+
+    let late_events = [
+        Event {
+            at: 120,
+            task: TaskId(1),
+            kind: EventKind::Reweight(Weight::new(rat(1, 4))),
+        },
+        Event {
+            at: 140,
+            task: TaskId(2),
+            kind: EventKind::Delay(9),
+        },
+        Event {
+            at: 150,
+            task: TaskId(3),
+            kind: EventKind::Leave,
+        },
+    ];
+
+    // Reference: the same online events arrive and the process lives.
+    let mut reference_engine = Engine::new(cfg.clone(), &w);
+    for e in &late_events {
+        reference_engine.inject(*e);
+    }
+    reference_engine.run();
+    let reference = reference_engine.finish();
+
+    // Interrupted: checkpoint at slot 100, then the late events arrive
+    // and are journaled; the process dies before simulating them.
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "pfair-recovery-journal-{}.jsonl",
+        std::process::id()
+    ));
+    let mut engine = Engine::new(cfg, &w);
+    let snapshot_text = snapshot_to_string(&engine.snapshot_at(100).expect("snapshot"));
+    let mut journal = Journal::create(&path).expect("journal");
+    for e in &late_events {
+        engine.inject(*e); // the doomed process also saw them
+        journal.append(e).expect("append");
+    }
+    drop(engine);
+    drop(journal);
+
+    // Recovery: snapshot + journal are all that survived.
+    let recovered = snapshot_from_str(&snapshot_text).expect("snapshot recovers");
+    let mut resumed = Engine::restore(recovered, NoopProbe).expect("restore");
+    let replayed = read_journal(&path).expect("journal loads");
+    assert_eq!(replayed.as_slice(), late_events.as_slice());
+    replay(&mut resumed, &replayed);
+    resumed.run();
+    assert_eq!(
+        reference.to_json().to_string_pretty(),
+        resumed.finish().to_json().to_string_pretty()
+    );
+    std::fs::remove_file(&path).ok();
+}

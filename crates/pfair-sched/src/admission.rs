@@ -31,6 +31,28 @@ pub enum AdmissionPolicy {
     Police,
 }
 
+impl pfair_json::ToJson for AdmissionPolicy {
+    fn to_json(&self) -> pfair_json::Json {
+        match self {
+            AdmissionPolicy::Trusting => "trusting".to_string().to_json(),
+            AdmissionPolicy::Police => "police".to_string().to_json(),
+        }
+    }
+}
+
+impl pfair_json::FromJson for AdmissionPolicy {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let kind = String::from_json(value)?;
+        match kind.as_str() {
+            "trusting" => Ok(AdmissionPolicy::Trusting),
+            "police" => Ok(AdmissionPolicy::Police),
+            other => Err(pfair_json::JsonError::new(format!(
+                "unknown admission policy `{other}`"
+            ))),
+        }
+    }
+}
+
 /// Tracks per-task weight commitments and enforces (W).
 #[derive(Clone, Debug)]
 pub struct AdmissionController {
@@ -110,6 +132,26 @@ impl AdmissionController {
     /// particular, this is where a decrease's capacity finally frees.
     pub fn note_enacted(&mut self, task: TaskId, enacted: Weight) {
         self.committed[task.idx()] = enacted.value(); // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
+    }
+
+    /// The per-task commitment table, for persistence. Policy and
+    /// capacity are derived from the simulation config at restore time;
+    /// the commitments are the only mutable state.
+    pub fn committed_parts(&self) -> &[Rational] {
+        &self.committed
+    }
+
+    /// Rebuilds a controller from a persisted commitment table.
+    pub fn from_parts(
+        policy: AdmissionPolicy,
+        processors: u32,
+        committed: Vec<Rational>,
+    ) -> AdmissionController {
+        AdmissionController {
+            policy,
+            capacity: Rational::from_int(i128::from(processors)),
+            committed,
+        }
     }
 }
 

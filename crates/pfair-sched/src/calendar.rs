@@ -45,6 +45,12 @@ const WINDOW: usize = 512;
 /// Occupancy bitmap words (64 buckets per word).
 const WORDS: usize = WINDOW / 64;
 
+/// Occupied in-window buckets, projected as `(absolute slot, entries)`
+/// pairs — the slot-recoverable half of a persisted ring.
+pub type RingBuckets = Vec<(Slot, Vec<TaskId>)>;
+/// Far-future entries beyond the window, as `(due slot, task)` pairs.
+pub type RingOverflow = Vec<(Slot, TaskId)>;
+
 /// A slot-indexed multimap over a moving window of time.
 #[derive(Clone, Debug)]
 pub struct CalendarRing {
@@ -168,6 +174,68 @@ impl CalendarRing {
     /// `true` iff the ring holds no entries at all.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Canonical persist projection of the ring: the window base, the
+    /// bucketed entries grouped by absolute slot in ascending slot
+    /// order (insertion order preserved within a slot), and the
+    /// overflow list verbatim. Each occupied bucket `b` corresponds to
+    /// the unique slot `s ∈ [base, base + WINDOW)` with
+    /// `s ≡ b (mod WINDOW)`, so the absolute slots are recoverable
+    /// without storing the rotation offset separately —
+    /// [`CalendarRing::from_parts`] rebuilds the bitmap, live count,
+    /// and overflow minimum from this projection alone.
+    pub fn persist_parts(&self) -> (Slot, RingBuckets, RingOverflow) {
+        let mut bucketed = Vec::new();
+        if self.in_window > 0 {
+            let end = self.base.saturating_add(WINDOW_SLOTS);
+            let mut s = self.base;
+            while s < end {
+                let b = Self::bucket_of(s);
+                // audit: allow(panic-reach, bucket index is reduced mod RING_BUCKETS and /64 fits the occupancy words)
+                if self.occupied[b / 64] & (1u64 << (b % 64)) != 0 {
+                    // audit: allow(panic-reach, bucket index is reduced mod RING_BUCKETS and /64 fits the occupancy words)
+                    bucketed.push((s, self.buckets[b].clone()));
+                }
+                s += 1;
+            }
+        }
+        (self.base, bucketed, self.overflow.clone())
+    }
+
+    /// Rebuilds a ring from a [`CalendarRing::persist_parts`]
+    /// projection, re-validating the window invariants: bucketed slots
+    /// inside `[base, base + WINDOW)` with non-empty entry lists, and
+    /// overflow entries strictly beyond the window.
+    pub fn from_parts(
+        base: Slot,
+        bucketed: RingBuckets,
+        overflow: RingOverflow,
+    ) -> Result<CalendarRing, String> {
+        let mut ring = CalendarRing::new(base);
+        let end = base.saturating_add(WINDOW_SLOTS);
+        for (slot, ids) in bucketed {
+            if slot < base || slot >= end {
+                return Err(format!(
+                    "bucketed slot {slot} outside window [{base}, {end})"
+                ));
+            }
+            if ids.is_empty() {
+                return Err(format!("empty bucket recorded at slot {slot}"));
+            }
+            for id in ids {
+                ring.insert(slot, id);
+            }
+        }
+        for (at, id) in overflow {
+            if at < end {
+                return Err(format!(
+                    "overflow entry at {at} inside window [{base}, {end})"
+                ));
+            }
+            ring.insert(at, id);
+        }
+        Ok(ring)
     }
 
     /// Rebases the window at `t` and pulls newly-in-range overflow

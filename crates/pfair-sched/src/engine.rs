@@ -49,6 +49,9 @@ use pfair_core::window::{SubtaskWindow, WindowCache};
 use pfair_obs::{NoopProbe, Probe, ReweightCost, Rule};
 use std::collections::VecDeque;
 
+mod persist;
+pub use persist::EngineSnapshot;
+
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {

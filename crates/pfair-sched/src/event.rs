@@ -38,6 +38,61 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+impl pfair_json::ToJson for EventKind {
+    fn to_json(&self) -> pfair_json::Json {
+        match self {
+            EventKind::Join(w) => pfair_json::obj([
+                ("kind", "join".to_string().to_json()),
+                ("weight", w.to_json()),
+            ]),
+            EventKind::Leave => pfair_json::obj([("kind", "leave".to_string().to_json())]),
+            EventKind::Reweight(w) => pfair_json::obj([
+                ("kind", "reweight".to_string().to_json()),
+                ("weight", w.to_json()),
+            ]),
+            EventKind::Delay(by) => pfair_json::obj([
+                ("kind", "delay".to_string().to_json()),
+                ("by", by.to_json()),
+            ]),
+        }
+    }
+}
+
+impl pfair_json::FromJson for EventKind {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let kind: String = value.field("kind")?;
+        match kind.as_str() {
+            "join" => Ok(EventKind::Join(value.field("weight")?)),
+            "leave" => Ok(EventKind::Leave),
+            "reweight" => Ok(EventKind::Reweight(value.field("weight")?)),
+            "delay" => Ok(EventKind::Delay(value.field("by")?)),
+            other => Err(pfair_json::JsonError::new(format!(
+                "unknown event kind `{other}`"
+            ))),
+        }
+    }
+}
+
+impl pfair_json::ToJson for Event {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([
+            ("at", self.at.to_json()),
+            ("task", self.task.to_json()),
+            ("event", self.kind.to_json()),
+        ])
+    }
+}
+
+impl pfair_json::FromJson for Event {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        Ok(Event {
+            at: value.field("at")?,
+            task: value.field("task")?,
+            kind: value.field("event")?,
+        })
+    }
+}
+
 /// A complete workload: a set of tasks identified by dense ids `0..n`,
 /// plus the events that drive them.
 #[derive(Clone, Debug, Default)]

@@ -82,6 +82,35 @@ impl TieBreak {
     }
 }
 
+impl pfair_json::ToJson for TieBreak {
+    fn to_json(&self) -> pfair_json::Json {
+        match self {
+            TieBreak::TaskIdAsc => pfair_json::obj([("kind", "task_id_asc".to_string().to_json())]),
+            TieBreak::TaskIdDesc => {
+                pfair_json::obj([("kind", "task_id_desc".to_string().to_json())])
+            }
+            TieBreak::Ranked(table) => pfair_json::obj([
+                ("kind", "ranked".to_string().to_json()),
+                ("table", table.to_json()),
+            ]),
+        }
+    }
+}
+
+impl pfair_json::FromJson for TieBreak {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let kind: String = value.field("kind")?;
+        match kind.as_str() {
+            "task_id_asc" => Ok(TieBreak::TaskIdAsc),
+            "task_id_desc" => Ok(TieBreak::TaskIdDesc),
+            "ranked" => Ok(TieBreak::Ranked(value.field("table")?)),
+            other => Err(pfair_json::JsonError::new(format!(
+                "unknown tie-break kind `{other}`"
+            ))),
+        }
+    }
+}
+
 /// Dense per-task tie ranks, built **once per engine** from a
 /// [`TieBreak`] policy.
 ///
@@ -108,7 +137,7 @@ impl TieTable {
         let mut ranks = vec![0u32; ids.len()];
         for (pos, &id) in ids.iter().enumerate() {
             let idx = TaskId(id).idx();
-            ranks[idx] = u32::try_from(pos).unwrap_or(u32::MAX);
+            ranks[idx] = u32::try_from(pos).unwrap_or(u32::MAX); // audit: allow(panic-reach, idx enumerates 0..tasks and ranks is sized to tasks)
         }
         TieTable { ranks }
     }

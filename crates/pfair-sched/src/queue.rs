@@ -158,6 +158,28 @@ impl ReadyQueue {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Canonical persist projection: every entry (stale ones included —
+    /// they carry observable cost via stale-pop counters) in ascending
+    /// priority order. `QueueEntry`'s `Ord` is total over all fields,
+    /// so compare-equal entries are bit-identical and the sorted vector
+    /// is a canonical encoding of the heap's observable pop sequence
+    /// regardless of its internal array layout.
+    pub fn entries_sorted(&self) -> Vec<QueueEntry> {
+        let mut entries: Vec<QueueEntry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Rebuilds a queue from a [`ReadyQueue::entries_sorted`]
+    /// projection without routing through [`ReadyQueue::push`] — the
+    /// restored engine's `heap_pushes` counter is carried over verbatim
+    /// by the snapshot, so re-counting these entries would double them.
+    pub fn from_entries(entries: Vec<QueueEntry>) -> ReadyQueue {
+        ReadyQueue {
+            heap: entries.into_iter().map(Reverse).collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -69,12 +69,129 @@ pub enum Scheme {
     Hybrid(HybridPolicy),
 }
 
+impl pfair_json::ToJson for HybridPolicy {
+    fn to_json(&self) -> pfair_json::Json {
+        match self {
+            HybridPolicy::MagnitudeThreshold(thr) => pfair_json::obj([
+                ("kind", "magnitude_threshold".to_string().to_json()),
+                ("threshold", thr.to_json()),
+            ]),
+            HybridPolicy::OiBudget { budget, window } => pfair_json::obj([
+                ("kind", "oi_budget".to_string().to_json()),
+                ("budget", budget.to_json()),
+                ("window", window.to_json()),
+            ]),
+            HybridPolicy::EveryNth(n) => pfair_json::obj([
+                ("kind", "every_nth".to_string().to_json()),
+                ("n", n.to_json()),
+            ]),
+            HybridPolicy::DriftFeedback(thr) => pfair_json::obj([
+                ("kind", "drift_feedback".to_string().to_json()),
+                ("threshold", thr.to_json()),
+            ]),
+        }
+    }
+}
+
+impl pfair_json::FromJson for HybridPolicy {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let kind: String = value.field("kind")?;
+        match kind.as_str() {
+            "magnitude_threshold" => {
+                Ok(HybridPolicy::MagnitudeThreshold(value.field("threshold")?))
+            }
+            "oi_budget" => {
+                let window: Slot = value.field("window")?;
+                if window < 1 {
+                    return Err(pfair_json::JsonError::new(
+                        "OI-budget window must be positive",
+                    ));
+                }
+                Ok(HybridPolicy::OiBudget {
+                    budget: value.field("budget")?,
+                    window,
+                })
+            }
+            "every_nth" => Ok(HybridPolicy::EveryNth(value.field("n")?)),
+            "drift_feedback" => Ok(HybridPolicy::DriftFeedback(value.field("threshold")?)),
+            other => Err(pfair_json::JsonError::new(format!(
+                "unknown hybrid policy kind `{other}`"
+            ))),
+        }
+    }
+}
+
+impl pfair_json::ToJson for Scheme {
+    fn to_json(&self) -> pfair_json::Json {
+        match self {
+            Scheme::Oi => pfair_json::obj([("kind", "oi".to_string().to_json())]),
+            Scheme::LeaveJoin => pfair_json::obj([("kind", "leave_join".to_string().to_json())]),
+            Scheme::Hybrid(policy) => pfair_json::obj([
+                ("kind", "hybrid".to_string().to_json()),
+                ("policy", policy.to_json()),
+            ]),
+        }
+    }
+}
+
+impl pfair_json::FromJson for Scheme {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        let kind: String = value.field("kind")?;
+        match kind.as_str() {
+            "oi" => Ok(Scheme::Oi),
+            "leave_join" => Ok(Scheme::LeaveJoin),
+            "hybrid" => Ok(Scheme::Hybrid(value.field("policy")?)),
+            other => Err(pfair_json::JsonError::new(format!(
+                "unknown scheme kind `{other}`"
+            ))),
+        }
+    }
+}
+
 /// Per-task state a [`HybridPolicy`] needs across events.
 #[derive(Clone, Debug, Default)]
 struct HybridTaskState {
     oi_events_in_window: u32,
     window_start: Slot,
     event_counter: u32,
+}
+
+impl pfair_json::ToJson for HybridTaskState {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([
+            ("oi_events_in_window", self.oi_events_in_window.to_json()),
+            ("window_start", self.window_start.to_json()),
+            ("event_counter", self.event_counter.to_json()),
+        ])
+    }
+}
+
+impl pfair_json::FromJson for HybridTaskState {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        Ok(HybridTaskState {
+            oi_events_in_window: value.field("oi_events_in_window")?,
+            window_start: value.field("window_start")?,
+            event_counter: value.field("event_counter")?,
+        })
+    }
+}
+
+impl pfair_json::ToJson for RuleSelector {
+    fn to_json(&self) -> pfair_json::Json {
+        pfair_json::obj([
+            ("scheme", self.scheme.to_json()),
+            ("state", self.state.to_json()),
+        ])
+    }
+}
+
+impl pfair_json::FromJson for RuleSelector {
+    fn from_json(value: &pfair_json::Json) -> Result<Self, pfair_json::JsonError> {
+        Ok(RuleSelector {
+            scheme: value.field("scheme")?,
+            state: value.field("state")?,
+        })
+    }
 }
 
 /// Evaluates hybrid policies statefully per task.
@@ -97,6 +214,12 @@ impl RuleSelector {
     /// The scheme this selector implements.
     pub fn scheme(&self) -> &Scheme {
         &self.scheme
+    }
+
+    /// Number of per-task state slots (restore-time validation: must
+    /// match the engine's task-table size).
+    pub fn task_slots(&self) -> usize {
+        self.state.len()
     }
 
     /// Chooses how to handle the event `task: old → new` at time `at`,
