@@ -1,22 +1,25 @@
 //! Tickless batching vs per-slot stepping, end to end.
 //!
 //! The tickless driver (PR 5) advances quiet spans in closed form and
-//! routes release-only slots through a reduced pipeline, so whole-run
-//! cost should scale with the number of *eventful* slots rather than
-//! the horizon. Each pair below runs the same workload to the same
-//! horizon twice — `per_slot_*` with `SimConfig::per_slot()` (the
-//! oracle), `tickless_*` with the default config — over two regimes:
+//! routes release-only slots through a reduced pipeline; busy-span
+//! batching (PR 8) extends the same idea to *saturated* spans by
+//! verifying one period against the per-slot oracle and enacting the
+//! remaining whole periods arithmetically. Each triple below runs the
+//! same workload to the same horizon three times — `per_slot_*` with
+//! `SimConfig::per_slot()` (the oracle), `tickless_*` with quiet-span
+//! batching only (`without_busy_span`, the PR 5 baseline), and
+//! `busy_span_*` with the default full config — over two regimes:
 //!
 //! * `underloaded`: eight weight-≈1/100 tasks on four processors.
-//!   Windows are ~100 slots wide, so almost every slot is quiet and
-//!   batching should win by well over an order of magnitude at long
-//!   horizons (the ISSUE target is ≥5×).
+//!   Windows are ~100 slots wide, so almost every slot is quiet; the
+//!   quiet-span path dominates and `busy_span_*` must not regress it.
 //! * `saturated`: eight half-weight tasks on four processors. Every
-//!   slot schedules work, batching never engages, and the pair guards
-//!   against the tickless dispatch regressing the busy path.
+//!   slot schedules work, quiet-span batching never engages, and
+//!   busy-span batching should carry the whole tail in closed form
+//!   (the ISSUE target is ≥5× over the tickless baseline at 100k).
 //!
 //! Entries land in the repo-root trajectory as
-//! `engine/{per_slot,tickless}_{1k,10k,100k}/{underloaded,saturated}`;
+//! `engine/{per_slot,tickless,busy_span}_{1k,10k,100k}/{underloaded,saturated}`;
 //! CI greps for the pair names.
 
 use bench::uniform_workload;
@@ -55,6 +58,18 @@ fn bench_engine_tickless(c: &mut Criterion) {
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("tickless_{label}"), scenario),
+                &horizon,
+                |b, &horizon| {
+                    b.iter(|| {
+                        black_box(simulate(
+                            SimConfig::oi(processors, horizon).without_busy_span(),
+                            w,
+                        ))
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("busy_span_{label}"), scenario),
                 &horizon,
                 |b, &horizon| b.iter(|| black_box(simulate(SimConfig::oi(processors, horizon), w))),
             );

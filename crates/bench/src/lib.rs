@@ -31,7 +31,7 @@ pub fn reweight_burst(n: u32, m: u32, at: i64) -> Workload {
 }
 
 /// File the benchmark trajectory is written to, at the repo root.
-pub const TRAJECTORY_FILE: &str = "BENCH_pr7.json";
+pub const TRAJECTORY_FILE: &str = "BENCH_pr8.json";
 
 /// Serializes one drained benchmark result as a trajectory entry.
 fn result_entry(r: &criterion::BenchResult) -> pfair_json::Json {
@@ -144,5 +144,19 @@ mod tests {
         assert!(probe.get("median_ns").and_then(pfair_json::Json::as_int) > Some(0));
         assert!(probe.get("throughput_per_sec").is_some());
         let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[cfg(test)]
+mod jump_probe {
+    use super::*;
+    use pfair_sched::engine::Engine;
+
+    #[test]
+    fn saturated_bench_workload_engages_busy_span() {
+        let w = uniform_workload(8, 4);
+        let mut e = Engine::new(SimConfig::oi(4, 100_000), &w);
+        e.run();
+        assert!(e.busy_span_jumps() > 0, "jumps = {}", e.busy_span_jumps());
     }
 }

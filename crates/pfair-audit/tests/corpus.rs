@@ -36,6 +36,12 @@ fn corpus_produces_exactly_the_expected_diagnostics() {
         ("passes/panic_reach.rs", 14, PANIC_REACH),
         ("passes/panic_reach.rs", 18, PANIC_REACH),
         ("sched/bad_annotation.rs", 4, BAD_ANNOTATION),
+        ("sched/busy_span.rs", 11, NO_FLOAT),
+        ("sched/busy_span.rs", 11, NO_LOSSY_CASTS),
+        ("sched/busy_span.rs", 12, NO_LOSSY_CASTS),
+        ("sched/busy_span.rs", 17, NO_LOSSY_CASTS),
+        ("sched/busy_span.rs", 17, RAW_ARITH),
+        ("sched/busy_span.rs", 22, NO_PANIC),
         ("sched/float_in_kernel.rs", 5, NO_FLOAT),
         ("sched/float_in_kernel.rs", 6, NO_FLOAT),
         ("sched/float_in_kernel.rs", 9, NO_FLOAT),
@@ -104,6 +110,17 @@ fn sanctioned_interval_advancement_is_clean() {
             .iter()
             .any(|f| f.path == "sched/interval_advance_ok.rs"),
         "checked closed-form advancement should audit clean"
+    );
+}
+
+#[test]
+fn sanctioned_busy_span_jump_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    assert!(
+        !findings.iter().any(|f| f.path == "sched/busy_span_ok.rs"),
+        "checked period counting, checked delta scaling, and a \
+         value-surfaced probe mismatch should audit clean"
     );
 }
 

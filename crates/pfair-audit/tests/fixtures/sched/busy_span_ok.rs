@@ -1,0 +1,19 @@
+// Fixture: the same busy-span batch jump written in the sanctioned
+// form — checked integer division for the period count, checked
+// multiplication for the batched delta, and the probe mismatch
+// surfaced as a value instead of a panic.
+// Expected: no findings.
+pub fn whole_periods(horizon: i64, t0: i64, period: i64) -> Option<i64> {
+    let span = horizon.checked_sub(t0)?;
+    span.checked_div(period)
+}
+
+/// Apply the verified per-period lag delta `k` more times.
+pub fn jump_lag(lag_per_period: i128, k: i64) -> Option<i128> {
+    lag_per_period.checked_mul(i128::from(k))
+}
+
+/// Fetch the verified per-period delta, surfacing a bad index as None.
+pub fn period_delta(deltas: &[i64], k: usize) -> Option<i64> {
+    deltas.get(k).copied()
+}

@@ -238,6 +238,7 @@ pub fn parse(input: &str) -> Result<Spec, ParseError> {
         admission,
         record_history: true,
         tickless: true,
+        busy_span: true,
     };
     Ok(Spec { config, workload })
 }

@@ -51,15 +51,42 @@ pub fn spare_capacity(weights: &[Weight], processors: u32) -> Rational {
 
 /// Least common multiple of two positive integers.
 fn lcm(a: i128, b: i128) -> i128 {
-    fn gcd(mut a: i128, mut b: i128) -> i128 {
-        while b != 0 {
-            let r = a % b;
-            a = b;
-            b = r;
-        }
-        a
-    }
     a / gcd(a, b) * b
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let r = a % b; // audit: allow(panic-reach, the loop guard proves b nonzero)
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Overflow-checked least common multiple of two positive integers:
+/// `None` when `lcm(a, b)` does not fit in `i128` (or an argument is
+/// non-positive, for which no lcm is defined here).
+///
+/// The engine's busy-span batcher folds this over task periods to find
+/// the steady-state repeat length; near-coprime denominators can push
+/// the product past any fixed width, so the overflow must surface as a
+/// value (the span is simply not batched), never as wraparound.
+pub fn checked_lcm(a: i128, b: i128) -> Option<i128> {
+    if a <= 0 || b <= 0 {
+        return None;
+    }
+    (a / gcd(a, b)).checked_mul(b) // audit: allow(panic-reach, gcd of two positive integers is positive)
+}
+
+/// Overflow-checked [`hyperperiod`]: `None` on an empty set or when the
+/// least common multiple of the periods exceeds `i128`.
+pub fn checked_hyperperiod(weights: &[Weight]) -> Option<i128> {
+    if weights.is_empty() {
+        return None;
+    }
+    weights
+        .iter()
+        .try_fold(1i128, |acc, w| checked_lcm(acc, w.value().denom()))
 }
 
 /// The hyperperiod of a task set: the least common multiple of the
@@ -157,5 +184,74 @@ mod tests {
     #[should_panic(expected = "empty task set")]
     fn empty_hyperperiod_panics() {
         let _ = hyperperiod(&[]);
+    }
+
+    #[test]
+    fn checked_lcm_agrees_with_unchecked_in_range() {
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(7, 7), Some(7));
+        assert_eq!(checked_lcm(1, 1), Some(1));
+        assert_eq!(checked_lcm(0, 3), None);
+        assert_eq!(checked_lcm(-2, 3), None);
+    }
+
+    #[test]
+    fn checked_lcm_surfaces_overflow() {
+        // Two large coprime values whose product exceeds i128.
+        let a = (1i128 << 80) + 1; // odd
+        let b = 1i128 << 79; // power of two, coprime with a
+        assert_eq!(checked_lcm(a, b), None);
+        // i128::MAX is its own lcm with 1 and with itself.
+        assert_eq!(checked_lcm(i128::MAX, 1), Some(i128::MAX));
+        assert_eq!(checked_lcm(i128::MAX, i128::MAX), Some(i128::MAX));
+    }
+
+    #[test]
+    fn checked_hyperperiod_matches_hyperperiod() {
+        let set = [w(5, 16), w(2, 5), w(3, 20)];
+        assert_eq!(checked_hyperperiod(&set), Some(hyperperiod(&set)));
+        assert_eq!(checked_hyperperiod(&[]), None);
+    }
+
+    mod prop {
+        use super::super::{checked_lcm, gcd, lcm};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Near `i128::MAX` the checked lcm either returns the exact
+            /// lcm (verified divisible by both arguments) or `None` —
+            /// never a wrapped value.
+            #[test]
+            fn checked_lcm_near_i128_max(
+                a in (i128::MAX - 1_000_000)..i128::MAX,
+                b in (0i128..2_000_000).prop_map(|x| {
+                    // Half the domain small, half hugging i128::MAX.
+                    if x < 1_000_000 { x + 1 } else { i128::MAX - (x - 1_000_000) }
+                }),
+            ) {
+                match checked_lcm(a, b) {
+                    Some(l) => {
+                        prop_assert!(l > 0);
+                        prop_assert_eq!(l % a, 0);
+                        prop_assert_eq!(l % b, 0);
+                        // Minimality against the closed form.
+                        prop_assert_eq!(l, a / gcd(a, b) * b);
+                    }
+                    None => {
+                        // Overflow is genuine: the exact product of the
+                        // reduced pair does not fit.
+                        let red = a / gcd(a, b);
+                        prop_assert!(red.checked_mul(b).is_none());
+                    }
+                }
+            }
+
+            /// In the small domain the checked and unchecked versions
+            /// agree exactly.
+            #[test]
+            fn checked_lcm_agrees_small(a in 1i128..10_000, b in 1i128..10_000) {
+                prop_assert_eq!(checked_lcm(a, b), Some(lcm(a, b)));
+            }
+        }
     }
 }

@@ -50,7 +50,7 @@ pub struct DriftSample {
 }
 
 /// Piecewise-constant drift history of a single task.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DriftTrack {
     samples: Vec<DriftSample>,
 }

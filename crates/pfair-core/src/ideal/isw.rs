@@ -81,7 +81,7 @@ enum ReleaseRule {
     SharedWithPred(u64),
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct IswSub {
     index: u64,
     release: Slot,
@@ -207,7 +207,7 @@ impl pfair_json::FromJson for IswTracker {
 /// 3. [`IswTracker::halt`] when a reweighting rule halts the
 ///    last-released subtask;
 /// 4. [`IswTracker::advance`] once per slot, in slot order.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IswTracker {
     swt: Rational,
     subs: Vec<IswSub>,
@@ -614,6 +614,64 @@ impl IswTracker {
         // so the completion boundary is now+k.
         let k = crate::time::slot_from_i128((remaining / self.swt).ceil()); // audit: allow(panic-reach, swt is a positive weight by the Weight::try_new contract)
         Some(self.now + k)
+    }
+
+    /// The tracker translated forward by `ds` slots, `di` subtask
+    /// indices, and `dt` total allocation — the image of this state
+    /// under one steady busy-span period. Every slot-valued field
+    /// shifts by `ds` (`NEVER` sentinels stay put), every subtask index
+    /// (including `SharedWithPred` back-references) by `di`, and the
+    /// running totals by `dt`; `swt` and the per-subtask cumulative
+    /// fractions are period-invariant so they are copied unchanged.
+    /// `None` when any shifted field would overflow — the caller then
+    /// simply declines to batch the span.
+    #[must_use]
+    pub fn translated(&self, ds: Slot, di: u64, dt: Rational) -> Option<IswTracker> {
+        let subs = self
+            .subs
+            .iter()
+            .map(|s| {
+                let rule = match s.rule {
+                    ReleaseRule::Full => ReleaseRule::Full,
+                    ReleaseRule::SharedWithPred(p) => {
+                        ReleaseRule::SharedWithPred(p.checked_add(di)?)
+                    }
+                };
+                let complete_at = match s.complete_at {
+                    None => None,
+                    Some(d) => Some(d.checked_add(ds)?),
+                };
+                let halted_at = if s.halted_at == NEVER {
+                    NEVER
+                } else {
+                    s.halted_at.checked_add(ds)?
+                };
+                let slot_allocs = s
+                    .slot_allocs
+                    .iter()
+                    .map(|&(t, a)| Some((t.checked_add(ds)?, a)))
+                    .collect::<Option<Vec<_>>>()?;
+                Some(IswSub {
+                    index: s.index.checked_add(di)?,
+                    release: s.release.checked_add(ds)?,
+                    rule,
+                    cum: s.cum,
+                    complete_at,
+                    final_slot_alloc: s.final_slot_alloc,
+                    halted_at,
+                    slot_allocs,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(IswTracker {
+            swt: self.swt,
+            subs,
+            total: self.total + dt,
+            halted_loss: self.halted_loss,
+            now: self.now.checked_add(ds)?,
+            keep_retired: self.keep_retired,
+            record_slot_allocs: self.record_slot_allocs,
+        })
     }
 
     /// Number of per-slot breakdown entries currently retained across all

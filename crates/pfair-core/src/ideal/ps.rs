@@ -16,7 +16,7 @@ use crate::rational::Rational;
 use crate::time::Slot;
 
 /// Incremental `I_PS` allocation of a single task.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PsTracker {
     wt: Rational,
     total: Rational,
@@ -119,6 +119,27 @@ impl PsTracker {
         self.suspensions.retain(|(_, until)| *until > t);
         self.total += self.wt;
         self.wt
+    }
+
+    /// The tracker translated forward by `ds` slots and `dt` total
+    /// allocation — the image of this state under one steady busy-span
+    /// period. `wt` is period-invariant; `now` and every suspension
+    /// interval shift by `ds`; the running total grows by `dt`. `None`
+    /// when a shifted slot would overflow, in which case the caller
+    /// declines to batch the span.
+    #[must_use]
+    pub fn translated(&self, ds: Slot, dt: Rational) -> Option<PsTracker> {
+        let suspensions = self
+            .suspensions
+            .iter()
+            .map(|&(a, b)| Some((a.checked_add(ds)?, b.checked_add(ds)?)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(PsTracker {
+            wt: self.wt,
+            total: self.total + dt,
+            now: self.now.checked_add(ds)?,
+            suspensions,
+        })
     }
 
     /// Accrues all slots up to (but excluding) boundary `t` in one step:

@@ -89,6 +89,14 @@ pub struct ReweightCost {
 /// an empty default body, so an implementation overrides only what it
 /// observes and the rest compiles away.
 pub trait Probe {
+    /// `true` only for probes that are statically known to observe
+    /// nothing (the [`NoopProbe`]). The engine's busy-span batcher
+    /// consults this: a closed-form jump emits no per-slot hook calls,
+    /// so it is only byte-equivalent to per-slot stepping when the
+    /// probe could not have observed those slots anyway. Any probe
+    /// that records events must leave this `false` (the default).
+    const IS_NOOP: bool = false;
+
     /// Slot `t` is about to be simulated.
     fn on_slot_start(&mut self, t: Slot) {
         let _ = t;
@@ -181,7 +189,9 @@ pub trait Probe {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NoopProbe;
 
-impl Probe for NoopProbe {}
+impl Probe for NoopProbe {
+    const IS_NOOP: bool = true;
+}
 
 /// Fans every hook out to two probes (e.g. a [`TraceRecorder`] and a
 /// [`MetricsProbe`] on the same run). Compose freely:

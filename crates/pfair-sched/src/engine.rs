@@ -49,6 +49,7 @@ use pfair_core::window::{SubtaskWindow, WindowCache};
 use pfair_obs::{NoopProbe, Probe, ReweightCost, Rule};
 use std::collections::VecDeque;
 
+mod busy_span;
 mod persist;
 pub use persist::EngineSnapshot;
 
@@ -75,6 +76,17 @@ pub struct SimConfig {
     /// run the oracle. History runs always use the per-slot path (the
     /// per-slot ideal series must be materialized anyway).
     pub tickless: bool,
+    /// Steady busy-span batching on top of the tickless driver: when
+    /// the engine detects that the whole system is repeating with a
+    /// common period (no event due, every queued task's windows
+    /// recurring), it verifies one full period against the per-slot
+    /// oracle and then enacts the remaining whole periods up to the
+    /// next event boundary in closed form. Only engaged under the
+    /// no-op probe (a probed run must emit every per-slot hook);
+    /// output is bit-identical either way. Disable via
+    /// [`SimConfig::without_busy_span`] to benchmark the plain
+    /// tickless driver.
+    pub busy_span: bool,
 }
 
 impl SimConfig {
@@ -88,6 +100,7 @@ impl SimConfig {
             admission: AdmissionPolicy::Police,
             record_history: false,
             tickless: true,
+            busy_span: true,
         }
     }
 
@@ -129,6 +142,14 @@ impl SimConfig {
         self.tickless = false;
         self
     }
+
+    /// Builder-style: keep the tickless driver but disable busy-span
+    /// batching (the bench suite's `tickless` series measures this
+    /// against the default to isolate the busy-span multiplier).
+    pub fn without_busy_span(mut self) -> SimConfig {
+        self.busy_span = false;
+        self
+    }
 }
 
 /// What firing the pending change does.
@@ -147,7 +168,7 @@ enum PendKind {
 /// scheduling weight is era-constant until this very pending fires, and
 /// any superseding initiation replaces the pending (stale `enact_at`
 /// entries are validated away when their slot arrives).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Pending {
     target: Rational,
     /// Fires in step 2 of this slot.
@@ -159,7 +180,7 @@ struct Pending {
 }
 
 /// A released subtask the engine still tracks.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct SubRec {
     index: u64,
     window: SubtaskWindow,
@@ -367,6 +388,15 @@ pub struct Engine<P: Probe = NoopProbe> {
     /// Slot-indexed rule-L departures; validated against
     /// `TaskState::leaving` on firing.
     leave_at: CalendarRing,
+    /// Busy-span batching state machine (armed snapshot, mismatch
+    /// backoff). Not persisted: a restored engine re-arms from scratch,
+    /// which cannot change its trajectory (jumps are verified no-ops
+    /// over per-slot stepping).
+    busy: busy_span::BusySpanState,
+    /// Number of verified busy-span jumps enacted (diagnostic; not a
+    /// `Counters` field — the per-slot oracle never increments it, and
+    /// counters must stay bit-identical across drivers).
+    busy_span_jumps: u64,
 }
 
 impl Engine {
@@ -398,6 +428,8 @@ impl<P: Probe> Engine<P> {
             release_at: CalendarRing::new(0),
             enact_at: CalendarRing::new(0),
             leave_at: CalendarRing::new(0),
+            busy: busy_span::BusySpanState::default(),
+            busy_span_jumps: 0,
             config,
         }
     }
@@ -471,6 +503,7 @@ impl<P: Probe> Engine<P> {
         let horizon = self.config.horizon;
         while self.now < horizon {
             let mut prev = self.step();
+            self.busy_span_tick(&mut prev);
             while self.now < horizon && self.queue.is_empty() && self.injected.is_empty() {
                 let t = self.now;
                 let boundary = self.next_boundary(t).min(horizon);
@@ -480,14 +513,22 @@ impl<P: Probe> Engine<P> {
                 let next_release = self.release_at.next_occupied(t).unwrap_or(NEVER);
                 if next_release >= boundary {
                     self.skip_quiet_span(t, boundary, &mut prev);
+                    self.busy_span_tick(&mut prev);
                     break;
                 }
                 if next_release > t {
                     self.skip_quiet_span(t, next_release, &mut prev);
+                    // The busy-span verifier needs to observe every
+                    // boundary the driver reaches (a probe's verify slot
+                    // may land right here); restart the scan in case it
+                    // armed or jumped.
+                    self.busy_span_tick(&mut prev);
+                    continue;
                 }
                 if !self.quick_release_slot(next_release, &mut prev) {
                     break; // crowded or stale slot: the full pipeline takes it
                 }
+                self.busy_span_tick(&mut prev);
             }
         }
     }
@@ -1606,6 +1647,67 @@ mod tests {
         }
     }
 
+    /// The busy-span batcher actually fires on a fully saturated system
+    /// (total weight = M, no quiet slot anywhere) and the run is
+    /// bit-identical to both the plain tickless driver and the per-slot
+    /// oracle.
+    #[test]
+    fn busy_span_jumps_and_matches_oracle_when_saturated() {
+        let mut w = Workload::new();
+        for t in 0..8 {
+            w.join(t, 0, 1, 2); // 8 × 1/2 on 4 CPUs: zero spare capacity
+        }
+        let cfg = SimConfig::oi(4, 2_000);
+        let mut engine = Engine::new(cfg.clone(), &w);
+        engine.run();
+        assert!(
+            engine.busy_span_jumps() > 0,
+            "a saturated steady run must batch at least one busy span"
+        );
+        let fast = engine.finish();
+        let tickless = simulate(cfg.clone().without_busy_span(), &w);
+        let oracle = simulate(cfg.per_slot(), &w);
+        for r in [&tickless, &oracle] {
+            assert_eq!(r.counters, fast.counters);
+            assert_eq!(r.misses, fast.misses);
+            for (a, b) in r.tasks.iter().zip(fast.tasks.iter()) {
+                assert_eq!(a.scheduled_count, b.scheduled_count);
+                assert_eq!(a.ps_total, b.ps_total);
+                assert_eq!(a.isw_total, b.isw_total);
+                assert_eq!(a.icsw_total, b.icsw_total);
+                assert_eq!(a.drift.samples(), b.drift.samples());
+            }
+        }
+    }
+
+    /// Busy-span batching composes with quiet-span skipping: a
+    /// half-loaded uniform system leaves the queue non-empty only on
+    /// some slots, and events mid-run force re-verification.
+    #[test]
+    fn busy_span_survives_mid_run_events() {
+        let mut w = Workload::new();
+        for t in 0..8 {
+            w.join(t, 0, 1, 4); // 8 × 1/4 on 4 CPUs: releases crowd M
+        }
+        w.reweight(0, 903, 1, 3);
+        w.leave(5, 1_207);
+        let cfg = SimConfig::oi(4, 2_400);
+        let mut engine = Engine::new(cfg.clone(), &w);
+        engine.run();
+        assert!(engine.busy_span_jumps() > 0);
+        let fast = engine.finish();
+        let oracle = simulate(cfg.per_slot(), &w);
+        assert_eq!(oracle.counters, fast.counters);
+        assert_eq!(oracle.misses, fast.misses);
+        for (a, b) in oracle.tasks.iter().zip(fast.tasks.iter()) {
+            assert_eq!(a.scheduled_count, b.scheduled_count);
+            assert_eq!(a.ps_total, b.ps_total);
+            assert_eq!(a.isw_total, b.isw_total);
+            assert_eq!(a.icsw_total, b.icsw_total);
+            assert_eq!(a.drift.samples(), b.drift.samples());
+        }
+    }
+
     /// Holes are counted: an under-utilized system idles processors.
     #[test]
     fn hole_accounting() {
@@ -1818,5 +1920,78 @@ mod tests {
         w.join(0, 0, 1, 4);
         w.join(0, 1, 1, 4);
         let _ = simulate(SimConfig::oi(1, 10), &w);
+    }
+}
+
+/// Regression tests for busy-span batching against sticky-processor
+/// rotation: saturated plans whose steady schedule is base-periodic in
+/// every scheduling-visible field while the processor assignment
+/// vector cycles with a longer period (q = 6 base periods in the first
+/// case). The batcher must discover the cycle by extending its armed
+/// probe — a restart-per-candidate ladder runs out of horizon — and
+/// the jumps must stay bit-identical to the per-slot oracle.
+#[cfg(test)]
+mod busy_span_rotation {
+    use super::*;
+    use crate::event::Workload;
+    use pfair_json::ToJson;
+
+    fn assert_jumps_and_oracle_match(w: &Workload, cfg: SimConfig) {
+        let mut e = Engine::new(cfg.clone(), w);
+        e.run();
+        assert!(
+            e.busy_span_jumps() > 0,
+            "busy-span batching never engaged despite the saturated periodic tail"
+        );
+        let batched = e.finish();
+        let oracle = simulate(cfg.per_slot(), w);
+        assert_eq!(
+            batched.to_json().to_string_pretty(),
+            oracle.to_json().to_string_pretty(),
+            "busy-span run diverged from the per-slot oracle"
+        );
+    }
+
+    /// Ten tasks on four processors; the assignment orbit settles into
+    /// a six-period cycle, so only a 72-slot multiple of the 12-slot
+    /// base period verifies.
+    #[test]
+    fn rotation_cycle_six_periods() {
+        let mut w = Workload::new();
+        w.join(0, 12, 6, 12);
+        w.join(1, 2, 2, 12);
+        w.reweight(1, 41, 4, 12);
+        w.join(2, 4, 4, 12);
+        w.reweight(2, 113, 6, 12);
+        w.join(3, 13, 2, 12);
+        w.reweight(3, 72, 4, 12);
+        w.join(4, 0, 1, 12);
+        w.reweight(4, 86, 6, 12);
+        w.delay(4, 18, 11);
+        w.join(5, 13, 6, 12);
+        w.join(6, 0, 1, 2);
+        w.join(7, 0, 1, 2);
+        w.join(8, 0, 1, 4);
+        w.join(9, 0, 1, 12);
+        assert_jumps_and_oracle_match(&w, SimConfig::oi(4, 400));
+    }
+
+    /// Eight tasks on three processors with late down/up reweights:
+    /// batching must re-engage on the tail after each enactment
+    /// boundary despite the rotated placements it inherits.
+    #[test]
+    fn rotation_after_reweight_boundaries() {
+        let mut w = Workload::new();
+        w.join(0, 5, 3, 12);
+        w.reweight(0, 61, 3, 12);
+        w.join(1, 16, 5, 12);
+        w.reweight(1, 61, 1, 12);
+        w.reweight(1, 104, 2, 6);
+        for t in 2..6 {
+            w.join(t, 0, 1, 2);
+        }
+        w.join(6, 0, 1, 4);
+        w.join(7, 0, 1, 12);
+        assert_jumps_and_oracle_match(&w, SimConfig::oi(3, 400));
     }
 }

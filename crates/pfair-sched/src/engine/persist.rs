@@ -168,6 +168,7 @@ impl ToJson for SimConfig {
             ("admission", self.admission.to_json()),
             ("record_history", self.record_history.to_json()),
             ("tickless", self.tickless.to_json()),
+            ("busy_span", self.busy_span.to_json()),
         ])
     }
 }
@@ -186,6 +187,7 @@ impl FromJson for SimConfig {
             admission: value.field("admission")?,
             record_history: value.field("record_history")?,
             tickless: value.field("tickless")?,
+            busy_span: value.field("busy_span")?,
         })
     }
 }
@@ -548,6 +550,12 @@ impl<P: Probe> Engine<P> {
             release_at,
             enact_at,
             leave_at,
+            // Busy-span batching re-arms from scratch: an armed probe is
+            // a pure optimization hint and deliberately not part of the
+            // interchange format (jumps are verified no-ops, so a cold
+            // restart cannot change the trajectory).
+            busy: super::busy_span::BusySpanState::default(),
+            busy_span_jumps: 0,
             config: snapshot.config,
         })
     }

@@ -1,15 +1,45 @@
-//! The PD² ready queue: a binary heap of released subtasks with lazy
+//! The PD² ready queue: deadline-bucketed radix structure with lazy
 //! invalidation.
 //!
 //! Because a released subtask's priority is immutable, the queue never
 //! needs decrease-key; reweighting events that *halt* a subtask simply
 //! leave a stale entry behind, which is skipped (and counted) when
-//! popped. Each push/pop is `O(log N)`, matching the paper's stated
-//! reweighting cost of `O(log N)` per task.
+//! popped.
+//!
+//! ## Radix layout
+//!
+//! PD² priorities order first on the deadline; the packed key's lower
+//! fields (b-bit, group deadline, tie rank) only break ties *within*
+//! one deadline. [`ReadyQueue`] therefore buckets entries by the
+//! deadline field of the packed key over a moving 512-slot window —
+//! the same window/occupancy-bitmap idiom as
+//! [`CalendarRing`](crate::calendar::CalendarRing) — with a word-scanned
+//! bitmap locating the minimum bucket. Within the window each bucket
+//! holds exactly one deadline, so a small per-bucket min-heap on the
+//! full entry order pops the true minimum:
+//!
+//! * `push` is O(1) amortized: one per-bucket heap sift (over the
+//!   handful of equal-deadline entries) plus a bitmap bit, with the
+//!   rare below-window push paying an O(len) rebase.
+//! * `pop` is near-O(1) amortized: a masked word scan that resumes at
+//!   the last popped deadline (pops between pushes are non-decreasing)
+//!   plus one per-bucket heap pop.
+//!
+//! Deadlines more than 512 slots out ride an overflow min-heap (they
+//! exceed every in-window deadline, so the minimum always lives in the
+//! window while it is non-empty). When the window drains, pops come
+//! straight off the overflow root and the window re-anchors just below
+//! the remaining overflow minimum — entries never migrate between the
+//! two structures on the pop path.
+//!
+//! The pop sequence is bit-identical to the previous binary-heap
+//! implementation, which is retained as [`HeapQueue`] — the reference
+//! for differential tests and the `queue/{heap,radix}` benchmark pair.
 
 use crate::overhead::Counters;
 use crate::priority::Priority;
 use pfair_core::task::TaskId;
+use pfair_core::time::Slot;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -33,7 +63,7 @@ pub const COMPACT_SLACK: usize = 64;
 /// Rationale: refilling from `live_bound` back past the threshold takes
 /// at least `(COMPACT_GROWTH_FACTOR − 1)·live_bound + COMPACT_SLACK`
 /// pushes, which pays for the `O(len)` sweep — amortized constant work
-/// per push, while the heap stays `O(tasks)` at slot boundaries.
+/// per push, while the queue stays `O(tasks)` at slot boundaries.
 // audit: prove(overflow-bounds)
 // audit: assume(live_bound in 0..=4294967296)
 pub fn compaction_threshold(live_bound: usize) -> usize {
@@ -43,7 +73,7 @@ pub fn compaction_threshold(live_bound: usize) -> usize {
 /// An entry in the ready queue: one released, schedulable subtask.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct QueueEntry {
-    /// PD² priority (orders the heap).
+    /// PD² priority (orders the queue).
     pub priority: Priority,
     /// Owning task.
     pub task: TaskId,
@@ -51,34 +81,229 @@ pub struct QueueEntry {
     pub index: u64,
 }
 
-/// Min-priority ready queue with lazy invalidation.
-#[derive(Clone, Debug, Default)]
+/// Bucketed deadline span in slots. Must be a power of two (the bucket
+/// map is `deadline mod DEADLINE_SLOTS`). 512 covers every deadline
+/// spread a feasible ready set produces (a window length is at most
+/// the weight's period); farther deadlines ride the overflow list.
+const DEADLINE_SLOTS: Slot = 512;
+/// The same span as a bucket count.
+const DEADLINE_BUCKETS: usize = 512;
+/// Occupancy bitmap words (64 buckets per word).
+const WORDS: usize = DEADLINE_BUCKETS / 64;
+
+/// Min-priority ready queue with lazy invalidation: deadline-bucketed
+/// radix structure (module docs). Drop-in replacement for the binary
+/// heap it superseded — identical pop sequence, counter semantics, and
+/// canonical [`ReadyQueue::entries_sorted`] projection.
+#[derive(Clone, Debug)]
 pub struct ReadyQueue {
-    heap: BinaryHeap<Reverse<QueueEntry>>,
+    /// First deadline the bucket window covers.
+    base: Slot,
+    /// One bucket per window slot, indexed `deadline mod DEADLINE_SLOTS`.
+    /// Within the window a bucket holds exactly one deadline, so a
+    /// per-bucket min-heap on the full entry order pops the true
+    /// minimum without the memmove a sorted `Vec` insert would pay.
+    buckets: Vec<BinaryHeap<Reverse<QueueEntry>>>,
+    /// Bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Entries with deadlines at or beyond `base + DEADLINE_SLOTS`,
+    /// kept as a min-heap (the packed key orders deadline-first, so
+    /// the heap minimum is the earliest overflow deadline); popped
+    /// directly when the window drains.
+    overflow: BinaryHeap<Reverse<QueueEntry>>,
+    /// Live entry count across the buckets.
+    in_window: usize,
+    /// Lower bound on the minimum in-window deadline (`Slot::MAX` when
+    /// the window is empty): the min scan starts here instead of at
+    /// `base`, and popping at `d` raises it to `d` (the pop sequence
+    /// is non-decreasing between pushes), so scan work is amortized
+    /// O(1) per pop instead of O(window words).
+    scan_min: Slot,
+}
+
+impl Default for ReadyQueue {
+    fn default() -> ReadyQueue {
+        ReadyQueue::new()
+    }
 }
 
 impl ReadyQueue {
     /// An empty queue.
     pub fn new() -> ReadyQueue {
         ReadyQueue {
-            heap: BinaryHeap::new(),
+            base: 0,
+            buckets: vec![BinaryHeap::new(); DEADLINE_BUCKETS],
+            occupied: [0; WORDS],
+            overflow: BinaryHeap::new(),
+            in_window: 0,
+            scan_min: Slot::MAX,
         }
+    }
+
+    /// The earliest overflow deadline (`Slot::MAX` when empty).
+    fn overflow_min(&self) -> Slot {
+        self.overflow
+            .peek()
+            .map_or(Slot::MAX, |Reverse(e)| e.priority.deadline())
     }
 
     /// Number of entries, including stale ones.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.in_window + self.overflow.len()
     }
 
     /// `true` iff no entries remain (stale or live).
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    // audit: prove(overflow-bounds)
+    fn bucket_of(deadline: Slot) -> usize {
+        usize::try_from(deadline.rem_euclid(DEADLINE_SLOTS)).unwrap_or(0)
     }
 
     /// Pushes a subtask that has just become its task's schedulable head.
     pub fn push(&mut self, entry: QueueEntry, counters: &mut Counters) {
         counters.heap_pushes += 1;
-        self.heap.push(Reverse(entry));
+        let d = entry.priority.deadline();
+        if self.is_empty() {
+            self.base = d;
+        } else if d < self.base {
+            self.lower_base(d);
+        }
+        self.place(entry);
+    }
+
+    /// Lowers the window anchor to `new_base`, evicting into the
+    /// overflow heap the entries the shifted coverage no longer
+    /// reaches (deadlines at or beyond `new_base + DEADLINE_SLOTS`).
+    /// Those occupy bucket indices congruent to `[new_base,
+    /// old_base)`, so the walk scans only that range's occupancy words
+    /// — a below-window push costs O(evicted + words), not O(len).
+    fn lower_base(&mut self, new_base: Slot) {
+        let old_base = self.base;
+        self.base = new_base;
+        let end = old_base.min(new_base.saturating_add(DEADLINE_SLOTS));
+        let mut s = new_base;
+        while s < end {
+            let b = Self::bucket_of(s);
+            let bit = s.rem_euclid(64);
+            let word = self.occupied[b / 64]; // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+            let masked = word & (u64::MAX << usize::try_from(bit).unwrap_or(0));
+            if masked == 0 {
+                s = s + 64 - bit;
+                continue;
+            }
+            let hit = s + i64::from(masked.trailing_zeros()) - bit;
+            if hit >= end {
+                // The set bit belongs to the next word-aligned stretch;
+                // everything in range is clear.
+                s = s + 64 - bit;
+                continue;
+            }
+            let bi = Self::bucket_of(hit);
+            self.in_window -= self.buckets[bi].len(); // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+            self.overflow.extend(self.buckets[bi].drain()); // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+            self.occupied[bi / 64] &= !(1u64 << (bi % 64)); // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+            s = hit + 1;
+        }
+    }
+
+    /// Drops `entry` into its bucket (or the overflow list) without
+    /// touching `base`. Callers guarantee `deadline ≥ base`.
+    fn place(&mut self, entry: QueueEntry) {
+        let d = entry.priority.deadline();
+        if d >= self.base.saturating_add(DEADLINE_SLOTS) {
+            self.overflow.push(Reverse(entry));
+            return;
+        }
+        let b = Self::bucket_of(d);
+        // Equal-deadline groups are small (one live head per task), so
+        // the per-bucket heap sift is effectively constant work.
+        self.buckets[b].push(Reverse(entry)); // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+        self.occupied[b / 64] |= 1u64 << (b % 64); // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+        self.in_window += 1;
+        self.scan_min = self.scan_min.min(d);
+    }
+
+    /// Drains every window bucket and the overflow list into one
+    /// vector, leaving the queue structurally empty. Walks the
+    /// occupancy bitmap rather than all [`DEADLINE_BUCKETS`] buckets,
+    /// so the cost is O(len + occupied words) — the engine drains the
+    /// window every few slots in a saturated run, and an O(bucket
+    /// count) sweep here measurably regresses whole-run time.
+    fn drain_all(&mut self) -> Vec<QueueEntry> {
+        let mut all: Vec<QueueEntry> = Vec::with_capacity(self.len());
+        for (w, word) in self.occupied.iter_mut().enumerate() {
+            while *word != 0 {
+                let bit = usize::try_from(word.trailing_zeros()).unwrap_or(0);
+                *word &= *word - 1;
+                // audit: allow(panic-reach, w indexes the 8 occupancy words and bit is below 64, so the bucket index is below DEADLINE_BUCKETS)
+                all.extend(self.buckets[w * 64 + bit].drain().map(|Reverse(e)| e));
+            }
+        }
+        all.extend(self.overflow.drain().map(|Reverse(e)| e));
+        self.in_window = 0;
+        self.scan_min = Slot::MAX;
+        all
+    }
+
+    /// The earliest occupied bucket's deadline, scanning masked bitmap
+    /// words from the window base (the
+    /// [`CalendarRing`](crate::calendar::CalendarRing) idiom: `WINDOW`
+    /// is a multiple of 64, so slots sharing `s div 64` share a word).
+    fn min_deadline(&self) -> Option<Slot> {
+        if self.in_window == 0 {
+            return None;
+        }
+        let end = self.base.saturating_add(DEADLINE_SLOTS);
+        let mut s = self.scan_min.max(self.base).min(end);
+        while s < end {
+            let b = Self::bucket_of(s);
+            let bit = s.rem_euclid(64);
+            let word = self.occupied[b / 64]; // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+            let masked = word & (u64::MAX << usize::try_from(bit).unwrap_or(0));
+            if masked != 0 {
+                let hit = s + i64::from(masked.trailing_zeros()) - bit;
+                if hit < end {
+                    return Some(hit);
+                }
+                break;
+            }
+            s = s + 64 - bit;
+        }
+        None
+    }
+
+    /// Removes and returns the minimum entry (stale or live), serving
+    /// straight from the overflow heap once the window has drained.
+    fn pop_min(&mut self) -> Option<QueueEntry> {
+        if self.in_window == 0 {
+            // The window is empty, so the global minimum is the
+            // overflow heap's root (the packed key orders
+            // deadline-first): pop it directly — no migration — and
+            // re-anchor the empty window just below the remaining
+            // overflow. Future pushes then land in buckets while the
+            // window-below-overflow invariant holds by construction.
+            let Reverse(entry) = self.overflow.pop()?;
+            self.base = self.overflow_min().saturating_sub(DEADLINE_SLOTS);
+            return Some(entry);
+        }
+        let d = self.min_deadline()?;
+        self.scan_min = d;
+        let b = Self::bucket_of(d);
+        let bucket = &mut self.buckets[b]; // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+        let Reverse(entry) = bucket.pop()?;
+        if bucket.is_empty() {
+            self.occupied[b / 64] &= !(1u64 << (b % 64)); // audit: allow(panic-reach, bucket index is reduced mod DEADLINE_BUCKETS and /64 fits the occupancy words)
+        }
+        self.in_window -= 1;
+        // `base` deliberately stays put while the window is non-empty:
+        // advancing it would widen the window over deadlines that were
+        // routed to the overflow list under the old base, breaking the
+        // window-below-overflow invariant the min scan relies on. The
+        // scan is bounded by the 8 bitmap words regardless.
+        Some(entry)
     }
 
     /// Pops the highest-priority entry for which `is_live` holds,
@@ -102,7 +327,7 @@ impl ReadyQueue {
         mut is_live: impl FnMut(&QueueEntry) -> bool,
         mut on_stale: impl FnMut(&QueueEntry),
     ) -> Option<QueueEntry> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
+        while let Some(entry) = self.pop_min() {
             counters.heap_pops += 1;
             if is_live(&entry) {
                 return Some(entry);
@@ -113,19 +338,19 @@ impl ReadyQueue {
         None
     }
 
-    /// Drops every stale entry in one pass, rebuilding the heap from
+    /// Drops every stale entry in one pass, rebuilding the buckets from
     /// the surviving live entries.
     ///
-    /// Lazy invalidation leaves halted/withdrawn subtasks in the heap
-    /// until they bubble to the top; under sustained reweighting (every
+    /// Lazy invalidation leaves halted/withdrawn subtasks in the queue
+    /// until they reach the minimum; under sustained reweighting (every
     /// PD²-LJ event withdraws a subtask) low-priority stale entries can
-    /// outnumber live ones and keep sift costs inflated for the rest of
-    /// the run. Compaction is `O(len)` plus one `O(live)` heapify, so
-    /// callers should trigger it only when stale entries dominate (the
-    /// engine compacts when `len` exceeds a multiple of the live-task
-    /// bound, keeping the amortized per-slot cost constant). Removals
-    /// are tallied in [`Counters::compacted_stale`], not `stale_pops` —
-    /// they never reach a pop.
+    /// outnumber live ones and keep bucket scans inflated for the rest
+    /// of the run. Compaction is `O(len)`, so callers should trigger it
+    /// only when stale entries dominate (the engine compacts when `len`
+    /// exceeds a multiple of the live-task bound, keeping the amortized
+    /// per-slot cost constant). Removals are tallied in
+    /// [`Counters::compacted_stale`], not `stale_pops` — they never
+    /// reach a pop.
     pub fn compact(&mut self, counters: &mut Counters, is_live: impl FnMut(&QueueEntry) -> bool) {
         self.compact_traced(counters, is_live, |_| {});
     }
@@ -140,9 +365,9 @@ impl ReadyQueue {
         mut is_live: impl FnMut(&QueueEntry) -> bool,
         mut on_drop: impl FnMut(&QueueEntry),
     ) {
-        let before = self.heap.len();
-        let mut entries = std::mem::take(&mut self.heap).into_vec();
-        entries.retain(|Reverse(e)| {
+        let before = self.len();
+        let mut entries = self.drain_all();
+        entries.retain(|e| {
             let live = is_live(e);
             if !live {
                 on_drop(e);
@@ -151,22 +376,39 @@ impl ReadyQueue {
         });
         counters.compactions += 1;
         counters.compacted_stale += (before - entries.len()) as u64; // audit: allow(lossy-cast, usize→u64 is lossless on the supported targets)
-        self.heap = BinaryHeap::from(entries);
+                                                                     // Re-place in the drained (already-reset) structure: the bucket
+                                                                     // allocations are reused rather than rebuilt.
+        if let Some(min) = entries.iter().map(|e| e.priority.deadline()).min() {
+            self.base = min;
+        }
+        for entry in entries {
+            self.place(entry);
+        }
     }
 
     /// Drops every entry (used when a scheduler is reset between runs).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        drop(self.drain_all());
     }
 
     /// Canonical persist projection: every entry (stale ones included —
     /// they carry observable cost via stale-pop counters) in ascending
     /// priority order. `QueueEntry`'s `Ord` is total over all fields,
     /// so compare-equal entries are bit-identical and the sorted vector
-    /// is a canonical encoding of the heap's observable pop sequence
-    /// regardless of its internal array layout.
+    /// is a canonical encoding of the queue's observable pop sequence
+    /// regardless of its internal bucket layout.
     pub fn entries_sorted(&self) -> Vec<QueueEntry> {
-        let mut entries: Vec<QueueEntry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        let mut entries: Vec<QueueEntry> = Vec::with_capacity(self.len());
+        for (w, word) in self.occupied.iter().enumerate() {
+            let mut word = *word;
+            while word != 0 {
+                let bit = usize::try_from(word.trailing_zeros()).unwrap_or(0);
+                word &= word - 1;
+                // audit: allow(panic-reach, w indexes the 8 occupancy words and bit is below 64, so the bucket index is below DEADLINE_BUCKETS)
+                entries.extend(self.buckets[w * 64 + bit].iter().map(|Reverse(e)| *e));
+            }
+        }
+        entries.extend(self.overflow.iter().map(|Reverse(e)| *e));
         entries.sort_unstable();
         entries
     }
@@ -176,9 +418,72 @@ impl ReadyQueue {
     /// restored engine's `heap_pushes` counter is carried over verbatim
     /// by the snapshot, so re-counting these entries would double them.
     pub fn from_entries(entries: Vec<QueueEntry>) -> ReadyQueue {
-        ReadyQueue {
-            heap: entries.into_iter().map(Reverse).collect(),
+        let mut q = ReadyQueue::new();
+        if let Some(min) = entries.iter().map(|e| e.priority.deadline()).min() {
+            q.base = min;
         }
+        for entry in entries {
+            q.place(entry);
+        }
+        q
+    }
+}
+
+/// The previous binary-heap ready queue, retained as the reference
+/// implementation: differential tests drive it in lockstep with the
+/// radix [`ReadyQueue`] (their pop sequences must be identical), and
+/// the `queue/{heap,radix}_push_pop` benchmark pair measures the
+/// replacement's win. Counter semantics match `ReadyQueue` exactly.
+#[derive(Clone, Debug, Default)]
+pub struct HeapQueue {
+    heap: BinaryHeap<Reverse<QueueEntry>>,
+}
+
+impl HeapQueue {
+    /// An empty queue.
+    pub fn new() -> HeapQueue {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of entries, including stale ones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` iff no entries remain (stale or live).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Counterpart of [`ReadyQueue::push`].
+    pub fn push(&mut self, entry: QueueEntry, counters: &mut Counters) {
+        counters.heap_pushes += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Counterpart of [`ReadyQueue::pop_live`].
+    pub fn pop_live(
+        &mut self,
+        counters: &mut Counters,
+        mut is_live: impl FnMut(&QueueEntry) -> bool,
+    ) -> Option<QueueEntry> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            counters.heap_pops += 1;
+            if is_live(&entry) {
+                return Some(entry);
+            }
+            counters.stale_pops += 1;
+        }
+        None
+    }
+
+    /// Counterpart of [`ReadyQueue::entries_sorted`].
+    pub fn entries_sorted(&self) -> Vec<QueueEntry> {
+        let mut entries: Vec<QueueEntry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        entries.sort_unstable();
+        entries
     }
 }
 
@@ -264,9 +569,9 @@ mod tests {
     }
 
     /// Compaction must not reorder survivors that share a priority key:
-    /// the heap's order among equal keys is fixed by `QueueEntry`'s full
-    /// `Ord` (priority, then task, then index), so a rebuilt heap pops
-    /// the identical sequence the unswept heap would have.
+    /// the pop order among equal keys is fixed by `QueueEntry`'s full
+    /// `Ord` (priority, then task, then index), so a rebuilt queue pops
+    /// the identical sequence the unswept queue would have.
     #[test]
     fn compaction_never_reorders_equal_key_survivors() {
         let mut swept = ReadyQueue::new();
@@ -295,6 +600,117 @@ mod tests {
                 .collect()
         };
         assert_eq!(pops(&mut swept, &mut c), pops(&mut unswept, &mut c2));
+    }
+
+    /// Deadlines farther than the bucket window ride the overflow list
+    /// and migrate in once the window drains — pop order still exact.
+    #[test]
+    fn overflow_deadlines_pop_in_order() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        q.push(entry(10, false, 0, 1), &mut c);
+        q.push(entry(10_000, false, 1, 1), &mut c); // far beyond 10 + 512
+        q.push(entry(700, true, 2, 1), &mut c); // also overflow
+        q.push(entry(11, true, 3, 1), &mut c);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_live(&mut c, |_| true))
+            .map(|e| e.task.0)
+            .collect();
+        assert_eq!(order, vec![0, 3, 2, 1]);
+        assert_eq!(c.heap_pops, 4);
+    }
+
+    /// A push below the current window base re-anchors the window
+    /// without losing or reordering anything.
+    #[test]
+    fn below_window_push_rebases() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        q.push(entry(1_000, false, 0, 1), &mut c); // base anchors at 1000
+        q.push(entry(1_600, false, 1, 1), &mut c); // overflow
+        q.push(entry(3, true, 2, 1), &mut c); // below base: rebase
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_live(&mut c, |_| true))
+            .map(|e| e.task.0)
+            .collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    /// Popping must not widen the window over deadlines already routed
+    /// to the overflow list: after popping the 100, a push of 611 has
+    /// to sort *after* the 600 parked in the overflow.
+    #[test]
+    fn window_growth_never_overtakes_overflow() {
+        let mut q = ReadyQueue::new();
+        let mut c = Counters::default();
+        q.push(entry(100, false, 0, 1), &mut c); // base anchors at 100
+        q.push(entry(700, false, 1, 1), &mut c); // overflow (≥ 100 + 512)
+        assert_eq!(q.pop_live(&mut c, |_| true).unwrap().task, TaskId(0));
+        q.push(entry(611, false, 2, 1), &mut c);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_live(&mut c, |_| true))
+            .map(|e| e.task.0)
+            .collect();
+        assert_eq!(order, vec![2, 1]);
+    }
+
+    /// Differential check: the radix queue and the reference heap pop
+    /// bit-identical sequences (liveness filter included) over an
+    /// adversarial interleaving of pushes, pops, and deadline ranges,
+    /// with identical counters.
+    #[test]
+    fn radix_matches_heap_reference() {
+        let mut radix = ReadyQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut cr = Counters::default();
+        let mut ch = Counters::default();
+        // Deterministic pseudo-random stream (xorshift).
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let is_live = |e: &QueueEntry| !e.index.is_multiple_of(3);
+        for round in 0..2_000u64 {
+            let r = rand();
+            if r % 3 < 2 {
+                // Push: deadlines cluster near the round with occasional
+                // far-future and (later) below-window values.
+                let spread = match r % 16 {
+                    0 => 4_000,  // overflow territory
+                    1 => 0,      // collide exactly
+                    _ => r % 97, // dense cluster
+                };
+                let deadline = i64::try_from(round / 4 + spread).unwrap_or(0);
+                let e = entry(
+                    deadline,
+                    r % 2 == 0,
+                    u32::try_from(r % 7).unwrap_or(0),
+                    round,
+                );
+                radix.push(e, &mut cr);
+                heap.push(e, &mut ch);
+            } else {
+                assert_eq!(
+                    radix.pop_live(&mut cr, is_live),
+                    heap.pop_live(&mut ch, is_live),
+                    "pop diverged at round {round}"
+                );
+            }
+            assert_eq!(radix.len(), heap.len());
+        }
+        // Drain both completely.
+        loop {
+            let a = radix.pop_live(&mut cr, is_live);
+            let b = heap.pop_live(&mut ch, is_live);
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(cr.heap_pushes, ch.heap_pushes);
+        assert_eq!(cr.heap_pops, ch.heap_pops);
+        assert_eq!(cr.stale_pops, ch.stale_pops);
+        assert_eq!(radix.entries_sorted(), heap.entries_sorted());
     }
 }
 

@@ -149,7 +149,7 @@ impl pfair_json::FromJson for Scheme {
 }
 
 /// Per-task state a [`HybridPolicy`] needs across events.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct HybridTaskState {
     oi_events_in_window: u32,
     window_start: Slot,
@@ -195,7 +195,7 @@ impl pfair_json::FromJson for RuleSelector {
 }
 
 /// Evaluates hybrid policies statefully per task.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RuleSelector {
     scheme: Scheme,
     state: Vec<HybridTaskState>,

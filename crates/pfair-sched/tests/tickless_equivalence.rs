@@ -14,8 +14,8 @@
 //! engages.
 
 use pfair_json::ToJson;
-use pfair_obs::MetricsProbe;
-use pfair_sched::engine::{simulate_with, SimConfig};
+use pfair_obs::{MetricsProbe, NoopProbe};
+use pfair_sched::engine::{simulate, simulate_with, Engine, SimConfig};
 use pfair_sched::event::Workload;
 use pfair_sched::reweight::{HybridPolicy, Scheme};
 use proptest::prelude::*;
@@ -100,6 +100,14 @@ fn workload_of(plan: &Plan) -> Workload {
 fn assert_tickless_matches_oracle(plan: &Plan, cfg: SimConfig) {
     let w = workload_of(plan);
     let (oracle, oracle_metrics) = simulate_with(cfg.clone().per_slot(), &w, MetricsProbe::new());
+    // Unprobed busy-span driver (probed runs disable batching): whether
+    // or not any jump lands on this script, the result must match.
+    let busy = simulate(cfg.clone(), &w);
+    assert_eq!(
+        oracle.to_json().to_string_pretty(),
+        busy.to_json().to_string_pretty(),
+        "busy-span driver diverged from the oracle"
+    );
     let (fast, fast_metrics) = simulate_with(cfg, &w, MetricsProbe::new());
 
     // One canonical rendering covers every field SimResult reports
@@ -157,6 +165,188 @@ proptest! {
         let cfg = SimConfig::oi(plan.processors, HORIZON)
             .with_scheme(Scheme::Hybrid(HybridPolicy::EveryNth(nth)));
         assert_tickless_matches_oracle(&plan, cfg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Busy-span batching: saturated runs where quiet-span skipping never
+// fires and the steady busy-span batcher must carry the horizon.
+// ---------------------------------------------------------------------
+
+/// Horizon for the saturated scripts: events stop before
+/// [`SAT_EVENT_CUTOFF`], leaving a long periodic tail where the batcher
+/// is guaranteed at least one whole verified period plus a jump even
+/// after maximum verification backoff.
+const SAT_HORIZON: i64 = 400;
+/// All workload events land strictly before this slot.
+const SAT_EVENT_CUTOFF: i64 = 120;
+
+/// One randomized saturated task: a *final* weight in twelfths
+/// (denominators {4, 6, 12} before reduction, all light, so every
+/// per-task period divides 12 and the busy-span period is at most 12),
+/// an optional lower *join* weight reached by reweighting **up** before
+/// the cutoff, and an optional short IS delay. Upward reweights under a
+/// policing admission never get rejected here — the final weights sum
+/// to exactly `M` — so the tail always lands saturated, whatever the
+/// scheme does in between (rules O/I under OI, leave+rejoin under LJ).
+fn arb_sat_task() -> impl Strategy<Value = (i128, TaskPlan)> {
+    let delay = (0u32..=2, 1i64..SAT_EVENT_CUTOFF - 50, 1u32..40)
+        .prop_map(|(on, at, by)| (on == 0).then_some((at, by)));
+    (
+        1i128..=6,               // final weight, twelfths
+        1i128..=6,               // join weight, twelfths (clamped to final below)
+        0i64..=20,               // join slot
+        21i64..SAT_EVENT_CUTOFF, // up-reweight slot
+        delay,
+    )
+        .prop_map(|(fin, join, join_at, up_at, delay)| {
+            let join = join.min(fin);
+            let reweights = if join < fin {
+                vec![(up_at, (fin, 12))]
+            } else {
+                Vec::new()
+            };
+            (
+                fin,
+                TaskPlan {
+                    join_weight: (join, 12),
+                    join_at,
+                    reweights,
+                    delay,
+                    leave_at: None,
+                },
+            )
+        })
+}
+
+/// A saturated plan: random up-reweighting tasks, then deterministic
+/// static filler tasks that close the remaining capacity exactly
+/// (every weight is a multiple of 1/12, so the spare always clears in
+/// units of {6, 3, 2, 1}/12). All events land before the cutoff and no
+/// task leaves, so from the cutoff to the horizon the system is exactly
+/// saturated and periodic — the regime the busy-span batcher exists
+/// for.
+fn arb_saturated_plan() -> impl Strategy<Value = Plan> {
+    (2u32..=4, prop::collection::vec(arb_sat_task(), 1..=6)).prop_map(|(processors, tasks)| {
+        let target = i128::from(processors) * 12;
+        let mut twelfths: i128 = 0;
+        let mut plan = Plan {
+            processors,
+            tasks: Vec::new(),
+        };
+        // Random tasks first, dropped once their final weights would
+        // overfill the system.
+        for (fin, task) in tasks {
+            if twelfths + fin <= target {
+                twelfths += fin;
+                plan.tasks.push(task);
+            }
+        }
+        for (num, den, unit) in [(1i128, 2i128, 6i128), (1, 4, 3), (1, 6, 2), (1, 12, 1)] {
+            while twelfths + unit <= target {
+                plan.tasks.push(TaskPlan {
+                    join_weight: (num, den),
+                    join_at: 0,
+                    reweights: Vec::new(),
+                    delay: None,
+                    leave_at: None,
+                });
+                twelfths += unit;
+            }
+        }
+        plan
+    })
+}
+
+/// Asserts the three drivers agree bit-for-bit on a saturated script —
+/// busy-span batching (the default), plain tickless, and the per-slot
+/// oracle — and that the batcher actually jumped (the tail is periodic
+/// with period ≤ 12, so at least one verified span must land even after
+/// maximum verification backoff).
+fn assert_busy_span_matches_oracle(plan: &Plan, cfg: SimConfig) {
+    let w = workload_of(plan);
+    let mut engine = Engine::new(cfg.clone(), &w);
+    engine.run();
+    let jumps = engine.busy_span_jumps();
+    let fast = engine.finish();
+    let tickless = simulate(cfg.clone().without_busy_span(), &w);
+    let oracle = simulate(cfg.per_slot(), &w);
+    assert!(
+        jumps > 0,
+        "busy-span batching never engaged on a saturated periodic tail"
+    );
+    let rendered = fast.to_json().to_string_pretty();
+    assert_eq!(
+        rendered,
+        tickless.to_json().to_string_pretty(),
+        "busy-span vs tickless diverged"
+    );
+    assert_eq!(
+        rendered,
+        oracle.to_json().to_string_pretty(),
+        "busy-span vs per-slot oracle diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PD²-OI, saturated: rules O and I fire inside the event window,
+    /// then the batcher owns the periodic tail.
+    #[test]
+    fn oi_busy_span_matches_oracle(plan in arb_saturated_plan()) {
+        assert_busy_span_matches_oracle(&plan, SimConfig::oi(plan.processors, SAT_HORIZON));
+    }
+
+    /// PD²-LJ, saturated: stale queue entries stranded by withdrawals
+    /// must be classified (and translated) by the span verifier.
+    #[test]
+    fn lj_busy_span_matches_oracle(plan in arb_saturated_plan()) {
+        assert_busy_span_matches_oracle(
+            &plan,
+            SimConfig::leave_join(plan.processors, SAT_HORIZON),
+        );
+    }
+
+    /// Hybrid, saturated: the selector's request counters must be part
+    /// of the verified fixed point.
+    #[test]
+    fn hybrid_busy_span_matches_oracle(plan in arb_saturated_plan(), nth in 1u32..4) {
+        let cfg = SimConfig::oi(plan.processors, SAT_HORIZON)
+            .with_scheme(Scheme::Hybrid(HybridPolicy::EveryNth(nth)));
+        assert_busy_span_matches_oracle(&plan, cfg);
+    }
+
+    /// A snapshot taken in the middle of a busy span restores to the
+    /// identical trajectory: `snapshot_at` steps the per-slot pipeline
+    /// to an arbitrary slot (usually interior to a span the batcher
+    /// would have jumped over), and the resumed run — which re-arms
+    /// batching from scratch — must render byte-identically to the
+    /// uninterrupted batched run.
+    #[test]
+    fn mid_busy_span_snapshot_restores_identically(
+        plan in arb_saturated_plan(),
+        cut in 150i64..SAT_HORIZON - 10,
+    ) {
+        let cfg = SimConfig::oi(plan.processors, SAT_HORIZON);
+        let w = workload_of(&plan);
+        let uninterrupted = {
+            let mut e = Engine::new(cfg.clone(), &w);
+            e.run();
+            prop_assert!(e.busy_span_jumps() > 0);
+            e.finish()
+        };
+        let snap = Engine::new(cfg, &w)
+            .snapshot_at(cut)
+            .expect("snapshot at a slot boundary");
+        let mut resumed = Engine::restore(snap, NoopProbe).expect("restore");
+        resumed.run();
+        let resumed = resumed.finish();
+        prop_assert_eq!(
+            uninterrupted.to_json().to_string_pretty(),
+            resumed.to_json().to_string_pretty(),
+            "snapshot/restore diverged from the uninterrupted busy-span run"
+        );
     }
 }
 
