@@ -14,11 +14,17 @@
 //! ran later. Reviewing a trajectory bump: `baseline` and `noop_probe`
 //! must stay within noise (≤ 2%) of each other; only `metrics_probe`
 //! may drift with feature work.
+//!
+//! A second family (`busy_*`) times a *saturated* workload where the
+//! busy-span batcher carries the horizon: span-aware probes must stay
+//! within a small factor of the no-op batched run (`busy_metrics` ≤ 3×
+//! `busy_noop` is the pinned acceptance bound, also asserted by
+//! `span_observability.rs`).
 
 use criterion::{criterion_group, BenchResult, Criterion};
 use pfair_sched::engine::{simulate, simulate_with, SimConfig};
-use pfair_sched::prelude::MetricsProbe;
-use pfair_sched::workloads::sawtooth;
+use pfair_sched::prelude::{MetricsProbe, TraceRecorder};
+use pfair_sched::workloads::{sawtooth, uniform};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -93,12 +99,77 @@ fn paired(horizon: i64, rounds: usize) {
     }
 }
 
+/// Saturated busy-span pairs: 12 tasks × 1/3 on 4 CPUs is exactly
+/// saturated with period 3, so once armed the batcher carries the whole
+/// horizon in closed-form jumps. Span-aware probes must ride the jumps
+/// (exact digest scaling) instead of forcing the engine per-slot: the
+/// `busy_metrics` and `busy_trace` series are the cost of observation
+/// *at batched speed*, and the acceptance bound pins `busy_metrics`
+/// within 3× of `busy_noop`.
+fn paired_busy(horizon: i64, rounds: usize) {
+    type Variant<'a> = (&'a str, Box<dyn FnMut() + 'a>, Vec<u128>);
+    let w = uniform(TASKS, 1, 3);
+    let mut variants: Vec<Variant> = vec![
+        (
+            "busy_noop",
+            Box::new(|| {
+                black_box(simulate(SimConfig::oi(CPUS, horizon), &w).counters);
+            }),
+            Vec::new(),
+        ),
+        (
+            "busy_metrics",
+            Box::new(|| {
+                let (result, probe) =
+                    simulate_with(SimConfig::oi(CPUS, horizon), &w, MetricsProbe::new());
+                black_box((result.counters, probe.registry().counter("slots")));
+            }),
+            Vec::new(),
+        ),
+        (
+            "busy_trace",
+            Box::new(|| {
+                let (result, rec) =
+                    simulate_with(SimConfig::oi(CPUS, horizon), &w, TraceRecorder::new());
+                black_box((result.counters, rec.events().len()));
+            }),
+            Vec::new(),
+        ),
+    ];
+    for (_, run, _) in &mut variants {
+        run();
+    }
+    let n = variants.len();
+    for round in 0..rounds {
+        for k in 0..n {
+            let (_, run, samples) = &mut variants[(round + k) % n];
+            let t0 = Instant::now();
+            run();
+            samples.push(t0.elapsed().as_nanos());
+        }
+    }
+    for (name, _, mut samples) in variants {
+        samples.sort_unstable();
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<u128>() / samples.len() as u128;
+        let label = format!("obs_overhead/{name}/{horizon}slots");
+        println!("bench: {label:<50} {mean_ns:>12} ns/iter (median {median_ns}, {rounds} iters)");
+        criterion::record_result(BenchResult {
+            name: label,
+            median_ns,
+            mean_ns,
+            iters: rounds as u64,
+        });
+    }
+}
+
 fn bench_obs_overhead(_c: &mut Criterion) {
     // --quick keeps CI's smoke run short; the full run takes enough
     // interleaved samples for the medians to resolve a 2% difference.
     let rounds = if criterion::quick_mode() { 3 } else { 21 };
     for &horizon in &[10_000i64, 100_000] {
         paired(horizon, rounds);
+        paired_busy(horizon, rounds);
     }
 }
 

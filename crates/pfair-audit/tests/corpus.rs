@@ -78,6 +78,11 @@ fn corpus_produces_exactly_the_expected_diagnostics() {
         ("sched/raw_arithmetic.rs", 6, RAW_ARITH),
         ("sched/raw_arithmetic.rs", 11, RAW_ARITH),
         ("sched/raw_arithmetic.rs", 18, BAD_ANNOTATION),
+        ("sched/span_digest.rs", 10, NO_FLOAT),
+        ("sched/span_digest.rs", 10, NO_LOSSY_CASTS),
+        ("sched/span_digest.rs", 15, NO_LOSSY_CASTS),
+        ("sched/span_digest.rs", 15, RAW_ARITH),
+        ("sched/span_digest.rs", 20, NO_PANIC),
     ]
     .into_iter()
     .map(|(p, l, lint)| (p.to_string(), l, lint.to_string()))
@@ -194,6 +199,16 @@ fn fixture_entry_points_split_on_panic_freedom() {
     assert!(bad.resolved && !bad.panic_free, "{bad:?}");
     let ok = by_spec("SafeSched::run");
     assert!(ok.resolved && ok.panic_free, "{ok:?}");
+}
+
+#[test]
+fn sanctioned_span_digest_scaling_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    assert!(
+        !findings.iter().any(|f| f.path == "sched/span_digest_ok.rs"),
+        "checked digest scaling and a value-surfaced task lookup should audit clean"
+    );
 }
 
 #[test]

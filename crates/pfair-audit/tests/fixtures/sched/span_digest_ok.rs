@@ -1,0 +1,18 @@
+// Fixture: the same digest scaling written in the sanctioned form —
+// checked multiplication keeps the scaled totals in the integer
+// domain, widths widen losslessly, and a task missing from the digest
+// surfaces as a value, not a panic.
+// Expected: no findings.
+pub fn scaled_schedules(per_period: u64, periods: u64) -> Option<u64> {
+    per_period.checked_mul(periods)
+}
+
+/// Releases contributed by `periods` repetitions of one task's delta.
+pub fn scaled_releases(per_period: i64, periods: u32) -> Option<i64> {
+    per_period.checked_mul(i64::from(periods))
+}
+
+/// One task's per-period delta, absent tasks surfacing as `None`.
+pub fn task_delta(per_task: &[(u32, u64)], task: u32) -> Option<u64> {
+    per_task.iter().find(|(t, _)| *t == task).map(|(_, d)| *d)
+}

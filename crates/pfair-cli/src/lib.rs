@@ -8,6 +8,7 @@
 pub mod parser;
 pub mod persistcmd;
 pub mod report;
+pub mod slocmd;
 pub mod tracecmd;
 
 use pfair_sched::engine::simulate;

@@ -3,6 +3,10 @@
 //! ```text
 //! pfair run <workload-file> [--render] [--verify]
 //! pfair trace [--whisper SEED] [--scheme oi|lj] [--horizon N] [--top K] [--out FILE]
+//!             [--flight FILE]
+//! pfair slo [--whisper SEED] [--scheme oi|lj] [--horizon N] [--window W]
+//!           [--max-misses K] [--drift-budget N[/D]] [--max-reweight-latency L]
+//!           [--out FILE]
 //! pfair snapshot <workload-file> [--at K] --out FILE [--metrics-out FILE]
 //! pfair resume <snapshot-file> [--until K --snapshot-out FILE]
 //!              [--metrics-in FILE] [--metrics-out FILE] [--json OUT]
@@ -59,6 +63,7 @@ fn main() {
         Some("trace") => {
             let mut opts = pfair_cli::tracecmd::TraceOptions::default();
             let mut out_path = String::from("trace.json");
+            let mut flight_path: Option<String> = None;
             let mut it = args.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -93,14 +98,97 @@ fn main() {
                             .cloned()
                             .unwrap_or_else(|| die("--out needs a file path"));
                     }
+                    "--flight" => {
+                        opts.flight = true;
+                        flight_path = Some(
+                            it.next()
+                                .cloned()
+                                .unwrap_or_else(|| die("--flight needs a file path")),
+                        );
+                    }
                     other => die(&format!("unknown trace option {other}")),
                 }
             }
-            let (report, chrome) = pfair_cli::tracecmd::run_trace(&opts);
+            let (report, chrome, flight) = pfair_cli::tracecmd::run_trace(&opts);
             print!("{report}");
             std::fs::write(&out_path, chrome.to_string_pretty())
                 .unwrap_or_else(|e| die(&format!("writing {out_path}: {e}")));
             println!("wrote {out_path} (load in Perfetto or chrome://tracing)");
+            if let (Some(p), Some(dump)) = (flight_path, flight) {
+                std::fs::write(&p, dump.to_string_pretty())
+                    .unwrap_or_else(|e| die(&format!("writing {p}: {e}")));
+                println!("wrote {p} (flight-recorder dump)");
+            }
+        }
+        Some("slo") => {
+            let mut opts = pfair_cli::slocmd::SloOptions::default();
+            let mut out_path: Option<String> = None;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--whisper" => {
+                        opts.seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--whisper needs a seed number"));
+                    }
+                    "--scheme" => {
+                        opts.scheme = it
+                            .next()
+                            .and_then(|v| pfair_cli::tracecmd::parse_scheme(v))
+                            .unwrap_or_else(|| die("--scheme needs 'oi' or 'lj'"));
+                    }
+                    "--horizon" => {
+                        opts.horizon = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&h| h > 0)
+                            .unwrap_or_else(|| die("--horizon needs a positive number"));
+                    }
+                    "--window" => {
+                        opts.window = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&w| w > 0)
+                            .unwrap_or_else(|| die("--window needs a positive number"));
+                    }
+                    "--max-misses" => {
+                        opts.max_misses = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--max-misses needs a number"));
+                    }
+                    "--drift-budget" => {
+                        opts.drift_budget = Some(
+                            it.next()
+                                .and_then(|v| pfair_cli::slocmd::parse_budget(v))
+                                .unwrap_or_else(|| die("--drift-budget needs N or N/D")),
+                        );
+                    }
+                    "--max-reweight-latency" => {
+                        opts.max_reweight_latency = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| die("--max-reweight-latency needs a number")),
+                        );
+                    }
+                    "--out" => {
+                        out_path = Some(
+                            it.next()
+                                .cloned()
+                                .unwrap_or_else(|| die("--out needs a file path")),
+                        );
+                    }
+                    other => die(&format!("unknown slo option {other}")),
+                }
+            }
+            let (report, json) = pfair_cli::slocmd::run_slo(&opts);
+            print!("{report}");
+            if let Some(p) = out_path {
+                std::fs::write(&p, json.to_string_pretty())
+                    .unwrap_or_else(|e| die(&format!("writing {p}: {e}")));
+                println!("wrote {p} (SLO dump)");
+            }
         }
         Some("snapshot") => {
             let Some(path) = args.get(1) else {
@@ -213,6 +301,10 @@ fn usage() {
     println!(
         "       pfair trace [--whisper SEED] [--scheme oi|lj] [--horizon N] [--top K] [--out FILE]"
     );
+    println!("                   [--flight FILE]");
+    println!("       pfair slo [--whisper SEED] [--scheme oi|lj] [--horizon N] [--window W]");
+    println!("                 [--max-misses K] [--drift-budget N[/D]] [--max-reweight-latency L]");
+    println!("                 [--out FILE]");
     println!("       pfair snapshot <workload-file> [--at K] --out FILE [--metrics-out FILE]");
     println!("       pfair resume <snapshot-file> [--until K --snapshot-out FILE]");
     println!("                    [--metrics-in FILE] [--metrics-out FILE] [--json OUT]");

@@ -2,9 +2,11 @@
 //! engine and emit a Chrome trace-event JSON file (loadable in
 //! Perfetto / `chrome://tracing`) plus a report with the canonical
 //! metrics snapshot and the top-K most expensive reweighting events.
+//! With `--flight`, the flight recorder riding the same run dumps its
+//! event ring and incidents as a second JSON document.
 
 use pfair_json::Json;
-use pfair_obs::{Fanout, MetricsProbe, TraceRecorder};
+use pfair_obs::{Fanout, FlightRecorder, MetricsProbe, TraceRecorder};
 use pfair_sched::reweight::Scheme;
 use std::fmt::Write as _;
 use whisper_sim::{run_whisper_probed, Scenario, PROCESSORS};
@@ -20,6 +22,8 @@ pub struct TraceOptions {
     pub horizon: i64,
     /// How many reweighting events the cost report lists.
     pub top: usize,
+    /// Dump the flight recorder's ring and incidents too.
+    pub flight: bool,
 }
 
 impl Default for TraceOptions {
@@ -29,17 +33,23 @@ impl Default for TraceOptions {
             scheme: Scheme::Oi,
             horizon: 1000,
             top: 10,
+            flight: false,
         }
     }
 }
 
-/// Runs the scenario and returns the human-readable report plus the
-/// Chrome trace-event JSON document.
-pub fn run_trace(opts: &TraceOptions) -> (String, Json) {
+/// Runs the scenario and returns the human-readable report, the Chrome
+/// trace-event JSON document, and — when `opts.flight` is set — the
+/// flight-recorder dump (an explicit end-of-run capture, so the dump
+/// always carries at least one incident even on a clean run).
+pub fn run_trace(opts: &TraceOptions) -> (String, Json, Option<Json>) {
     // audit: allow(no-float-in-scheduling, Whisper scenario knobs; speed/radius feed weight inputs, not schedules)
     let sc = Scenario::new(2.9, 0.25, true, opts.seed);
-    let probe = Fanout(TraceRecorder::new(), MetricsProbe::new());
-    let (metrics, Fanout(rec, mp)) =
+    let probe = Fanout(
+        TraceRecorder::new(),
+        Fanout(MetricsProbe::new(), FlightRecorder::new()),
+    );
+    let (metrics, Fanout(rec, Fanout(mp, mut flight))) =
         run_whisper_probed(&sc, opts.scheme.clone(), opts.horizon, probe);
 
     let mut out = String::new();
@@ -92,7 +102,18 @@ pub fn run_trace(opts: &TraceOptions) -> (String, Json) {
             span.total_cost()
         );
     }
-    (out, rec.chrome_trace())
+    let flight_dump = opts.flight.then(|| {
+        flight.capture_now(opts.horizon);
+        let _ = writeln!(
+            out,
+            "\nflight recorder: {} ring events ({} dropped), {} incident(s)",
+            flight.recent().count(),
+            flight.dropped(),
+            flight.incidents().len()
+        );
+        flight.dump()
+    });
+    (out, rec.chrome_trace(), flight_dump)
 }
 
 /// Parses a `--scheme` value.
@@ -115,7 +136,8 @@ mod tests {
             top: 5,
             ..TraceOptions::default()
         };
-        let (report, chrome) = run_trace(&opts);
+        let (report, chrome, flight) = run_trace(&opts);
+        assert!(flight.is_none(), "no --flight, no dump");
         assert!(report.contains("whisper seed 0"));
         assert!(report.contains("metrics snapshot:"));
         assert!(report.contains("counter reweight.initiated"));
@@ -135,6 +157,30 @@ mod tests {
                 && e.get("args").and_then(|a| a.get("total_cost")).is_some()
         });
         assert!(has_reweight_span, "reweight spans carry rule + cost");
+    }
+
+    #[test]
+    fn flight_dump_has_ring_and_incidents() {
+        let opts = TraceOptions {
+            horizon: 400,
+            flight: true,
+            ..TraceOptions::default()
+        };
+        let (report, _, flight) = run_trace(&opts);
+        assert!(report.contains("flight recorder:"));
+        let dump = flight.expect("--flight produces a dump");
+        let parsed = Json::parse(&dump.to_string_pretty()).unwrap();
+        for key in ["capacity", "dropped", "suppressed", "events", "incidents"] {
+            assert!(parsed.get(key).is_some(), "dump missing `{key}`");
+        }
+        let Some(Json::Array(incidents)) = parsed.get("incidents") else {
+            panic!("incidents must be an array");
+        };
+        // The end-of-run capture is always present.
+        assert!(!incidents.is_empty());
+        assert!(incidents
+            .iter()
+            .any(|i| matches!(i.get("trigger"), Some(Json::Str(s)) if s == "request")));
     }
 
     #[test]

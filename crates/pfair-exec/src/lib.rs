@@ -614,6 +614,42 @@ mod tests {
             report.sim.counters.scheduled_quanta
         );
     }
+
+    #[test]
+    fn flight_recorder_and_slo_monitor_ride_the_executor() {
+        // Overrun scenario again, observed by the black-box pair: the
+        // flight recorder must keep the executor-level overrun/skip
+        // instants in its ring, and the SLO monitor must stay clean (a
+        // feasible schedule has no deadline misses even when bodies
+        // overrun their quanta).
+        use pfair_obs::{Fanout, FlightRecorder, ObsEvent, SloConfig, SloMonitor};
+        let mut b = ExecutorBuilder::new(2)
+            .quantum(Duration::from_millis(1))
+            .with_probe(Fanout(
+                FlightRecorder::new(),
+                SloMonitor::new(SloConfig::default()),
+            ));
+        let h = b.task("slow", Weight::new(rat(1, 2)), |_| {
+            std::thread::sleep(Duration::from_millis(4));
+        });
+        let mut exec = b.build();
+        exec.run(20);
+        let (report, Fanout(mut flight, slo)) = exec.shutdown_with_probe();
+        assert!(report.skips(h) > 0);
+        let overruns = flight
+            .recent()
+            .filter(|e| matches!(e, ObsEvent::ExecOverrun { .. } | ObsEvent::ExecSkip { .. }))
+            .count();
+        assert!(
+            u64::try_from(overruns).unwrap_or(0) > 0,
+            "flight ring must hold the executor overrun/skip instants"
+        );
+        assert!(flight.incidents().is_empty(), "no miss, no incident");
+        flight.capture_now(20);
+        assert_eq!(flight.incidents().len(), 1, "explicit capture works");
+        assert!(slo.is_clean(), "feasible run must not breach the SLO");
+        assert_eq!(slo.misses_total(), 0);
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,8 @@
 //! are slot counts, and the export goes through `pfair-json`, whose
 //! only number type is `i128`.
 
-use crate::probe::{Probe, ReweightCost, Rule};
+use crate::probe::{Probe, ReweightCost, Rule, SpanDigest};
+use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
 use pfair_core::time::Slot;
 use pfair_json::{obj, FromJson, Json, JsonError, ToJson};
@@ -126,6 +127,55 @@ pub enum ObsEvent {
         /// Slot of the skip.
         t: Slot,
     },
+    /// A quiet span `[from, to)` skipped in closed form — one event
+    /// for the whole span instead of O(width) slot starts.
+    QuietSpan {
+        /// First skipped slot.
+        from: Slot,
+        /// One past the last skipped slot.
+        to: Slot,
+        /// Idle processor-slots over the span.
+        holes: u64,
+    },
+    /// A verified busy-span jump — one event summarizing `periods`
+    /// closed-form repetitions of the verified period, instead of
+    /// O(periods·period) per-slot events.
+    BusySpanJump {
+        /// Arm slot (verification window start).
+        t0: Slot,
+        /// First jumped slot (end of the verified period).
+        t1: Slot,
+        /// Periods jumped in closed form.
+        periods: u64,
+        /// Period length in slots.
+        period: Slot,
+        /// Subtask releases per period (from the digest).
+        releases: u64,
+        /// Scheduled quanta per period (from the digest).
+        schedules: u64,
+        /// Queue pushes + pops per period (from the digest).
+        queue_ops: u64,
+    },
+    /// A deadline miss.
+    Miss {
+        /// Task that missed.
+        task: TaskId,
+        /// Subtask index.
+        index: u64,
+        /// Slot the miss was detected at.
+        t: Slot,
+        /// The missed deadline.
+        deadline: Slot,
+    },
+    /// An Eqn (5) drift sample at an era-opening release.
+    DriftSample {
+        /// Task sampled.
+        task: TaskId,
+        /// Sample slot.
+        t: Slot,
+        /// Exact drift (`ps_total − icsw_total`).
+        drift: Rational,
+    },
 }
 
 fn slot_json(t: Slot) -> Json {
@@ -223,6 +273,48 @@ impl ToJson for ObsEvent {
                 ("task", task.to_json()),
                 ("t", slot_json(*t)),
             ]),
+            ObsEvent::QuietSpan { from, to, holes } => obj([
+                ("kind", Json::Str("quiet_span".into())),
+                ("from", slot_json(*from)),
+                ("to", slot_json(*to)),
+                ("holes", u64_json(*holes)),
+            ]),
+            ObsEvent::BusySpanJump {
+                t0,
+                t1,
+                periods,
+                period,
+                releases,
+                schedules,
+                queue_ops,
+            } => obj([
+                ("kind", Json::Str("busy_span_jump".into())),
+                ("t0", slot_json(*t0)),
+                ("t1", slot_json(*t1)),
+                ("periods", u64_json(*periods)),
+                ("period", slot_json(*period)),
+                ("releases", u64_json(*releases)),
+                ("schedules", u64_json(*schedules)),
+                ("queue_ops", u64_json(*queue_ops)),
+            ]),
+            ObsEvent::Miss {
+                task,
+                index,
+                t,
+                deadline,
+            } => obj([
+                ("kind", Json::Str("miss".into())),
+                ("task", task.to_json()),
+                ("index", u64_json(*index)),
+                ("t", slot_json(*t)),
+                ("deadline", slot_json(*deadline)),
+            ]),
+            ObsEvent::DriftSample { task, t, drift } => obj([
+                ("kind", Json::Str("drift_sample".into())),
+                ("task", task.to_json()),
+                ("t", slot_json(*t)),
+                ("drift", drift.to_json()),
+            ]),
         }
     }
 }
@@ -230,6 +322,28 @@ impl ToJson for ObsEvent {
 impl FromJson for ObsEvent {
     fn from_json(value: &Json) -> Result<ObsEvent, JsonError> {
         let kind: String = value.field("kind")?;
+        // Span-level events carry no task; everything else does.
+        match kind.as_str() {
+            "quiet_span" => {
+                return Ok(ObsEvent::QuietSpan {
+                    from: value.field("from")?,
+                    to: value.field("to")?,
+                    holes: value.field("holes")?,
+                });
+            }
+            "busy_span_jump" => {
+                return Ok(ObsEvent::BusySpanJump {
+                    t0: value.field("t0")?,
+                    t1: value.field("t1")?,
+                    periods: value.field("periods")?,
+                    period: value.field("period")?,
+                    releases: value.field("releases")?,
+                    schedules: value.field("schedules")?,
+                    queue_ops: value.field("queue_ops")?,
+                });
+            }
+            _ => {}
+        }
         let task: TaskId = value.field("task")?;
         match kind.as_str() {
             "release" => Ok(ObsEvent::Release {
@@ -295,6 +409,17 @@ impl FromJson for ObsEvent {
             "exec_skip" => Ok(ObsEvent::ExecSkip {
                 task,
                 t: value.field("t")?,
+            }),
+            "miss" => Ok(ObsEvent::Miss {
+                task,
+                index: value.field("index")?,
+                t: value.field("t")?,
+                deadline: value.field("deadline")?,
+            }),
+            "drift_sample" => Ok(ObsEvent::DriftSample {
+                task,
+                t: value.field("t")?,
+                drift: value.field("drift")?,
             }),
             other => Err(JsonError::new(format!("unknown event kind `{other}`"))),
         }
@@ -394,6 +519,7 @@ impl TraceRecorder {
     pub fn chrome_trace(&self) -> Json {
         let mut trace: Vec<Json> = Vec::new();
         let mut tids: Vec<TaskId> = Vec::new();
+        let mut has_spans = false;
         for ev in &self.events {
             let task = match ev {
                 ObsEvent::Release { task, .. }
@@ -406,10 +532,18 @@ impl TraceRecorder {
                 | ObsEvent::ReweightEnacted { task, .. }
                 | ObsEvent::TrackerAdvance { task, .. }
                 | ObsEvent::ExecOverrun { task, .. }
-                | ObsEvent::ExecSkip { task, .. } => *task,
+                | ObsEvent::ExecSkip { task, .. }
+                | ObsEvent::Miss { task, .. }
+                | ObsEvent::DriftSample { task, .. } => Some(*task),
+                ObsEvent::QuietSpan { .. } | ObsEvent::BusySpanJump { .. } => {
+                    has_spans = true;
+                    None
+                }
             };
-            if !tids.contains(&task) {
-                tids.push(task);
+            if let Some(task) = task {
+                if !tids.contains(&task) {
+                    tids.push(task);
+                }
             }
         }
         tids.sort_unstable();
@@ -431,6 +565,20 @@ impl TraceRecorder {
                     ("args", obj([("name", Json::Str(format!("T{}", task.0)))])),
                 ]));
             }
+        }
+        // Closed-form spans get their own single-lane process: one
+        // slice per quiet span / busy-span jump, whatever the width.
+        if has_spans {
+            trace.push(obj([
+                ("name", Json::Str("process_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::Int(3)),
+                ("tid", Json::Int(0)),
+                (
+                    "args",
+                    obj([("name", Json::Str("closed-form spans".into()))]),
+                ),
+            ]));
         }
         // Reweight spans: initiation → enactment, cost in args.
         for span in &self.spans {
@@ -509,6 +657,62 @@ impl TraceRecorder {
                 ObsEvent::ExecSkip { task, t } => {
                     trace.push(instant("skip", "exec", *t, *task, None));
                 }
+                ObsEvent::Miss { task, index, t, .. } => {
+                    trace.push(instant("miss", "deadline", *t, *task, Some(*index)));
+                }
+                ObsEvent::QuietSpan { from, to, holes } => {
+                    let dur = to.checked_sub(*from).unwrap_or(0).max(1);
+                    trace.push(obj([
+                        ("name", Json::Str("quiet span".into())),
+                        ("cat", Json::Str("span".into())),
+                        ("ph", Json::Str("X".into())),
+                        ("ts", slot_json(*from)),
+                        ("dur", slot_json(dur)),
+                        ("pid", Json::Int(3)),
+                        ("tid", Json::Int(0)),
+                        (
+                            "args",
+                            obj([
+                                ("width", slot_json(to.checked_sub(*from).unwrap_or(0))),
+                                ("holes", u64_json(*holes)),
+                            ]),
+                        ),
+                    ]));
+                }
+                ObsEvent::BusySpanJump {
+                    t0,
+                    t1,
+                    periods,
+                    period,
+                    releases,
+                    schedules,
+                    queue_ops,
+                } => {
+                    let width = i64::try_from(*periods)
+                        .ok()
+                        .and_then(|k| k.checked_mul(*period))
+                        .unwrap_or(0);
+                    trace.push(obj([
+                        ("name", Json::Str("busy-span jump".into())),
+                        ("cat", Json::Str("span".into())),
+                        ("ph", Json::Str("X".into())),
+                        ("ts", slot_json(*t1)),
+                        ("dur", slot_json(width.max(1))),
+                        ("pid", Json::Int(3)),
+                        ("tid", Json::Int(0)),
+                        (
+                            "args",
+                            obj([
+                                ("t0", slot_json(*t0)),
+                                ("periods", u64_json(*periods)),
+                                ("period", slot_json(*period)),
+                                ("releases_per_period", u64_json(*releases)),
+                                ("schedules_per_period", u64_json(*schedules)),
+                                ("queue_ops_per_period", u64_json(*queue_ops)),
+                            ]),
+                        ),
+                    ]));
+                }
                 _ => {}
             }
         }
@@ -538,6 +742,14 @@ fn instant(name: &str, cat: &str, t: Slot, task: TaskId, index: Option<u64>) -> 
 }
 
 impl Probe for TraceRecorder {
+    /// Span-aware: quiet spans and busy-span jumps become single
+    /// collapsed events ([`ObsEvent::QuietSpan`],
+    /// [`ObsEvent::BusySpanJump`]) instead of O(width) per-slot
+    /// entries, so recording stays O(events), not O(horizon). The one
+    /// verified period of each busy span is still recorded per-slot —
+    /// the jump event's digest args summarize the repetitions.
+    const SPAN_AWARE: bool = true;
+
     fn on_release(&mut self, task: TaskId, index: u64, t: Slot, deadline: Slot, era_first: bool) {
         self.events.push(ObsEvent::Release {
             task,
@@ -647,6 +859,35 @@ impl Probe for TraceRecorder {
             .push(ObsEvent::TrackerAdvance { task, from, to });
     }
 
+    fn on_quiet_span(&mut self, from: Slot, to: Slot, holes: u64) {
+        self.events.push(ObsEvent::QuietSpan { from, to, holes });
+    }
+
+    fn on_busy_span_jump(&mut self, t0: Slot, t1: Slot, periods: u64, digest: &SpanDigest) {
+        self.events.push(ObsEvent::BusySpanJump {
+            t0,
+            t1,
+            periods,
+            period: digest.period,
+            releases: digest.releases_total(),
+            schedules: digest.scheduled_quanta,
+            queue_ops: digest.queue_pushes.saturating_add(digest.queue_pops),
+        });
+    }
+
+    fn on_miss(&mut self, task: TaskId, index: u64, t: Slot, deadline: Slot) {
+        self.events.push(ObsEvent::Miss {
+            task,
+            index,
+            t,
+            deadline,
+        });
+    }
+
+    fn on_drift_sample(&mut self, task: TaskId, t: Slot, drift: Rational) {
+        self.events.push(ObsEvent::DriftSample { task, t, drift });
+    }
+
     fn on_exec_overrun(&mut self, task: TaskId, t: Slot) {
         self.events.push(ObsEvent::ExecOverrun { task, t });
     }
@@ -720,6 +961,31 @@ mod tests {
             ObsEvent::ExecSkip {
                 task: TaskId(2),
                 t: 6,
+            },
+            ObsEvent::QuietSpan {
+                from: 10,
+                to: 40,
+                holes: 60,
+            },
+            ObsEvent::BusySpanJump {
+                t0: 40,
+                t1: 52,
+                periods: 1000,
+                period: 12,
+                releases: 7,
+                schedules: 24,
+                queue_ops: 14,
+            },
+            ObsEvent::Miss {
+                task: TaskId(1),
+                index: 9,
+                t: 13,
+                deadline: 13,
+            },
+            ObsEvent::DriftSample {
+                task: TaskId(0),
+                t: 8,
+                drift: pfair_core::rational::rat(-1, 3),
             },
         ]
     }
@@ -875,5 +1141,60 @@ mod tests {
             .expect("tracker span present");
         assert_eq!(tracker.get("pid").and_then(Json::as_int), Some(2));
         assert_eq!(tracker.get("dur").and_then(Json::as_int), Some(5));
+    }
+
+    /// One collapsed slice per closed-form span, on the dedicated
+    /// pid-3 lane, carrying the digest args — never O(width) slices.
+    #[test]
+    fn chrome_trace_collapses_spans_to_single_slices() {
+        let mut rec = TraceRecorder::new();
+        rec.on_slot_start(0);
+        rec.on_schedule(TaskId(0), 1, 0);
+        rec.on_quiet_span(1, 5001, 10_000);
+        let digest = SpanDigest {
+            period: 12,
+            queue_pushes: 4,
+            queue_pops: 4,
+            scheduled_quanta: 24,
+            per_task: vec![crate::probe::TaskSpanDelta {
+                task: TaskId(0),
+                releases: 4,
+                schedules: 24,
+            }],
+            ..SpanDigest::default()
+        };
+        rec.on_span_armed(5001);
+        rec.on_busy_span_jump(5001, 5013, 8000, &digest);
+        rec.on_miss(TaskId(0), 7, 5013, 5013);
+
+        let json = rec.chrome_trace();
+        let Some(Json::Array(events)) = json.get("traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(as_str) == Some("span"))
+            .collect();
+        assert_eq!(spans.len(), 2, "exactly one slice per span");
+        let quiet = spans[0];
+        assert_eq!(quiet.get("pid").and_then(Json::as_int), Some(3));
+        assert_eq!(quiet.get("dur").and_then(Json::as_int), Some(5000));
+        let jump = spans[1];
+        assert_eq!(jump.get("ts").and_then(Json::as_int), Some(5013));
+        assert_eq!(jump.get("dur").and_then(Json::as_int), Some(96_000));
+        let args = jump.get("args").expect("args");
+        assert_eq!(args.get("periods").and_then(Json::as_int), Some(8000));
+        assert_eq!(
+            args.get("schedules_per_period").and_then(Json::as_int),
+            Some(24)
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(as_str) == Some("miss")),
+            "miss instant present"
+        );
+        // The recorded stream is 4 events, not 5000 + 96000.
+        assert_eq!(rec.events().len(), 4);
     }
 }

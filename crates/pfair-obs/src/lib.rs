@@ -28,9 +28,15 @@
 #![cfg_attr(not(test), warn(clippy::disallowed_types, clippy::disallowed_methods))]
 
 pub mod chrome;
+pub mod flight;
 pub mod metrics;
 pub mod probe;
+pub mod slo;
 
 pub use chrome::{ObsEvent, ReweightSpan, TraceRecorder};
+pub use flight::{FlightConfig, FlightIncident, FlightRecorder, FlightTrigger};
 pub use metrics::{Histogram, MetricsProbe, Registry};
-pub use probe::{Fanout, NoopProbe, Probe, ReweightCost, Rule};
+pub use probe::{
+    Fanout, NoopProbe, Probe, ReleaseRec, ReweightCost, Rule, SpanDigest, TaskSpanDelta,
+};
+pub use slo::{SloBreach, SloConfig, SloKind, SloMonitor};

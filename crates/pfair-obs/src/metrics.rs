@@ -11,7 +11,7 @@
 //! allocation, no data-dependent layout — snapshots of identical runs
 //! are byte-identical regardless of arrival order.
 
-use crate::probe::{Probe, ReweightCost, Rule};
+use crate::probe::{Probe, ReleaseRec, ReweightCost, Rule, SpanDigest};
 use pfair_core::task::TaskId;
 use pfair_core::time::Slot;
 use pfair_json::{FromJson, Json, JsonError, ToJson};
@@ -89,6 +89,62 @@ impl Histogram {
     /// Largest sample seen (0 when empty).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Records `n` identical samples of `value` in O(1) — the exact
+    /// bulk path behind span aggregation: `n` repeats of one sample
+    /// land in one bucket, add `n·value` to the sum, and cannot move
+    /// the max beyond `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = bucket_of(value);
+        if let Some(slot) = self.counts.get_mut(b) {
+            *slot = slot.saturating_add(n);
+        }
+        self.count = self.count.saturating_add(n);
+        self.sum = self
+            .sum
+            .saturating_add(u128::from(value).saturating_mul(u128::from(n)));
+        self.max = self.max.max(value);
+    }
+
+    /// The histogram of samples recorded since `base` (which must be
+    /// an earlier snapshot of `self`): bucket-wise, count, and sum
+    /// subtraction. The delta's `max` is inherited from `self` — a
+    /// delta is only ever scaled back *into* the histogram it came
+    /// from, where every delta sample is already ≤ `self.max`, so the
+    /// merged max stays exact.
+    pub fn delta_since(&self, base: &Histogram) -> Histogram {
+        let counts = self
+            .counts
+            .iter()
+            .zip(base.counts.iter().chain(std::iter::repeat(&0)))
+            .map(|(cur, old)| cur.saturating_sub(*old))
+            .collect();
+        Histogram {
+            counts,
+            count: self.count.saturating_sub(base.count),
+            sum: self.sum.saturating_sub(base.sum),
+            max: self.max,
+        }
+    }
+
+    /// Adds `k` copies of `delta` (a [`Histogram::delta_since`]
+    /// result) — exact integers throughout: bucket counts and the
+    /// sample count scale by `k`, the sum by `k` exactly, and the max
+    /// is the pairwise max (repeating samples introduces no new
+    /// maximum).
+    pub fn add_scaled(&mut self, delta: &Histogram, k: u64) {
+        for (slot, d) in self.counts.iter_mut().zip(delta.counts.iter()) {
+            *slot = slot.saturating_add(d.saturating_mul(k));
+        }
+        self.count = self.count.saturating_add(delta.count.saturating_mul(k));
+        self.sum = self
+            .sum
+            .saturating_add(delta.sum.saturating_mul(u128::from(k)));
+        self.max = self.max.max(delta.max);
     }
 
     /// Non-empty buckets as `(lo, hi, count)` triples, low to high.
@@ -209,6 +265,74 @@ impl Registry {
         self.histograms.push((name.to_string(), h));
     }
 
+    /// Records `n` identical samples of `value` into histogram `name`
+    /// in O(1) (see [`Histogram::record_n`]).
+    pub fn record_n(&mut self, name: &str, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n_, _)| n_ == name) {
+            h.record_n(value, n);
+            return;
+        }
+        let mut h = Histogram::new();
+        h.record_n(value, n);
+        self.histograms.push((name.to_string(), h));
+    }
+
+    /// Everything recorded since `base` (an earlier clone of `self`):
+    /// counter-wise and histogram-wise subtraction. Names present in
+    /// `base` but absent here are ignored — a registry only grows.
+    pub fn delta_since(&self, base: &Registry) -> Registry {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(base.counter(n))))
+            .collect();
+        let empty = Histogram::new();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    h.delta_since(base.histogram(n).unwrap_or(&empty)),
+                )
+            })
+            .collect();
+        Registry {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Adds `k` copies of `delta` (a [`Registry::delta_since`]
+    /// result): every counter grows by `k·delta`, every histogram by
+    /// `k` bucket-wise copies — exact integers, no sampling. This is
+    /// the busy-span bulk path: one verified period's delta times the
+    /// jump count equals, bit for bit, what per-slot replay of the
+    /// jumped span would have accumulated.
+    pub fn add_scaled(&mut self, delta: &Registry, k: u64) {
+        for (name, v) in &delta.counters {
+            let by = v.saturating_mul(k);
+            if by > 0 {
+                self.inc(name, by);
+            }
+        }
+        for (name, dh) in &delta.histograms {
+            if dh.count() == 0 {
+                continue;
+            }
+            if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+                h.add_scaled(dh, k);
+            } else {
+                let mut h = Histogram::new();
+                h.add_scaled(dh, k);
+                self.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
     /// Histogram `name`, if any sample was recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms
@@ -312,9 +436,23 @@ fn width(from: Slot, to: Slot) -> u64 {
 /// counters per event kind (reweights broken down by rule) and
 /// histograms of per-event direct cost, initiation→enactment latency,
 /// and tracker-jump interval widths.
+///
+/// Span-aware ([`Probe::SPAN_AWARE`]), and **exactly** so: when the
+/// busy-span batcher arms a verification window the probe clones its
+/// registry ([`Probe::on_span_armed`]); when the engine jumps `k`
+/// verified periods, the registry delta accumulated over the one
+/// simulated period is scaled by `k` and merged back
+/// ([`Registry::add_scaled`]). Because the verified period's hook
+/// stream is what a per-slot run would emit — shifted in time, which
+/// no counter or histogram width depends on — the final registry is
+/// bit-identical to a per-slot oracle run's.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsProbe {
     reg: Registry,
+    /// Registry snapshot taken at the last `on_span_armed`, keyed by
+    /// the arm slot so a stale snapshot (mismatch, quiet-span overrun)
+    /// can never be scaled against the wrong window.
+    armed: Option<(Slot, Registry)>,
 }
 
 impl MetricsProbe {
@@ -338,11 +476,40 @@ impl MetricsProbe {
     /// resumed run's final registry is identical to an uninterrupted
     /// one's.
     pub fn from_registry(reg: Registry) -> MetricsProbe {
-        MetricsProbe { reg }
+        MetricsProbe { reg, armed: None }
+    }
+
+    /// Digest-only fallback for a jump with no matching armed
+    /// snapshot (defensive; the engine always arms before jumping):
+    /// bulk-increments the counters the digest carries. Histograms
+    /// whose samples the digest cannot reconstruct (tracker jump
+    /// widths) are left to the snapshot path.
+    fn apply_digest(&mut self, periods: u64, digest: &SpanDigest) {
+        let slots = u64::try_from(digest.period)
+            .unwrap_or(0)
+            .saturating_mul(periods);
+        self.reg.inc("slots", slots);
+        self.reg
+            .inc("releases", digest.releases_total().saturating_mul(periods));
+        self.reg
+            .inc("schedules", digest.scheduled_quanta.saturating_mul(periods));
+        self.reg
+            .inc("preemptions", digest.preemptions.saturating_mul(periods));
+        self.reg.inc("halts", digest.halts.saturating_mul(periods));
+        self.reg.inc(
+            "queue.stale_pops",
+            digest.stale_pops.saturating_mul(periods),
+        );
+        self.reg.inc(
+            "queue.stale_drops",
+            digest.stale_drops.saturating_mul(periods),
+        );
     }
 }
 
 impl Probe for MetricsProbe {
+    const SPAN_AWARE: bool = true;
+
     fn on_slot_start(&mut self, _t: Slot) {
         self.reg.inc("slots", 1);
     }
@@ -352,6 +519,43 @@ impl Probe for MetricsProbe {
         if era {
             self.reg.inc("releases.era_first", 1);
         }
+    }
+
+    fn on_quiet_span(&mut self, from: Slot, to: Slot, _holes: u64) {
+        self.reg.inc("slots", width(from, to));
+    }
+
+    fn on_release_batch(&mut self, _t: Slot, releases: &[ReleaseRec]) {
+        self.reg.inc(
+            "releases",
+            u64::try_from(releases.len()).unwrap_or(u64::MAX),
+        );
+        let era = releases.iter().filter(|r| r.era_first).count();
+        if era > 0 {
+            self.reg
+                .inc("releases.era_first", u64::try_from(era).unwrap_or(u64::MAX));
+        }
+    }
+
+    fn on_span_armed(&mut self, t0: Slot) {
+        self.armed = Some((t0, self.reg.clone()));
+    }
+
+    fn on_busy_span_jump(&mut self, t0: Slot, _t1: Slot, periods: u64, digest: &SpanDigest) {
+        match self.armed.take() {
+            Some((at, base)) if at == t0 => {
+                // Everything recorded since arming is exactly one
+                // verified period's worth of hooks; the jump repeats
+                // that period `periods` more times.
+                let delta = self.reg.delta_since(&base);
+                self.reg.add_scaled(&delta, periods);
+            }
+            _ => self.apply_digest(periods, digest),
+        }
+    }
+
+    fn on_miss(&mut self, _task: TaskId, _index: u64, _t: Slot, _deadline: Slot) {
+        self.reg.inc("misses", 1);
     }
 
     fn on_schedule(&mut self, _task: TaskId, _index: u64, _t: Slot) {
@@ -507,5 +711,134 @@ mod tests {
         assert_eq!(reg.counter("reweight.enacted"), 1);
         assert_eq!(reg.histogram("reweight.latency").unwrap().max(), 8);
         assert_eq!(reg.histogram("tracker.jump_width").unwrap().sum(), 8);
+    }
+
+    /// `record_n` is bit-identical to `n` calls of `record`.
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        let mut slow = Histogram::new();
+        for (value, n) in [(0, 3), (7, 2), (1024, 5), (u64::MAX, 1)] {
+            bulk.record_n(value, n);
+            for _ in 0..n {
+                slow.record(value);
+            }
+        }
+        assert_eq!(bulk, slow);
+    }
+
+    /// Snapshot → delta → scale-by-k equals replaying the same samples
+    /// k more times — the exactness contract the busy-span jump path
+    /// relies on, for counters and histograms alike.
+    #[test]
+    fn delta_scaling_matches_per_slot_replay() {
+        let mut fast = Registry::new();
+        let mut slow = Registry::new();
+        // Shared prefix (the pre-span run).
+        for r in [&mut fast, &mut slow] {
+            r.inc("slots", 17);
+            r.inc("schedules", 11);
+            r.record("tracker.jump_width", 9);
+            r.record("tracker.jump_width", 200);
+        }
+        // One verified period, recorded per-slot in both.
+        let base = fast.clone();
+        let period = |r: &mut Registry| {
+            r.inc("slots", 6);
+            r.inc("schedules", 4);
+            r.inc("releases", 2);
+            r.record("tracker.jump_width", 3);
+            r.record("tracker.jump_width", 3);
+        };
+        period(&mut fast);
+        period(&mut slow);
+        // Jump k = 5 periods: fast scales its delta, slow replays.
+        let delta = fast.delta_since(&base);
+        fast.add_scaled(&delta, 5);
+        for _ in 0..5 {
+            period(&mut slow);
+        }
+        assert_eq!(fast.snapshot_text(), slow.snapshot_text());
+    }
+
+    /// The probe-level protocol: arm → per-slot period → jump produces
+    /// the same registry as a pure per-slot run of the whole span.
+    #[test]
+    fn span_jump_is_bit_identical_to_per_slot_oracle() {
+        let mut fast = MetricsProbe::new();
+        let mut oracle = MetricsProbe::new();
+        let one_period = |p: &mut MetricsProbe, t0: Slot| {
+            p.on_slot_start(t0);
+            p.on_release(TaskId(0), 3, t0, t0 + 4, false);
+            p.on_schedule(TaskId(0), 3, t0);
+            p.on_slot_start(t0 + 1);
+            p.on_preempt(TaskId(0), t0 + 1);
+            p.on_tracker_advance(TaskId(0), t0, t0 + 2);
+        };
+        for p in [&mut fast, &mut oracle] {
+            p.on_slot_start(100);
+        }
+        // Fast path: arm at 102, simulate one period, jump 7 more.
+        fast.on_span_armed(102);
+        one_period(&mut fast, 102);
+        let digest = SpanDigest {
+            period: 2,
+            ..SpanDigest::default()
+        };
+        fast.on_busy_span_jump(102, 104, 7, &digest);
+        // Oracle: all 8 periods per-slot.
+        for k in 0..8 {
+            one_period(&mut oracle, 102 + 2 * k);
+        }
+        assert_eq!(
+            fast.registry().snapshot_text(),
+            oracle.registry().snapshot_text()
+        );
+    }
+
+    /// A jump with a stale (or missing) arm snapshot falls back to the
+    /// digest's counters instead of scaling the wrong window.
+    #[test]
+    fn mismatched_arm_slot_uses_digest_fallback() {
+        let mut p = MetricsProbe::new();
+        p.on_span_armed(10);
+        p.on_slot_start(50); // drift between arm and jump
+        let digest = SpanDigest {
+            period: 4,
+            scheduled_quanta: 3,
+            ..SpanDigest::default()
+        };
+        p.on_busy_span_jump(40, 44, 2, &digest); // armed at 10 ≠ 40
+        assert_eq!(p.registry().counter("slots"), 1 + 8);
+        assert_eq!(p.registry().counter("schedules"), 6);
+    }
+
+    #[test]
+    fn quiet_span_and_release_batch_aggregate_exactly() {
+        let mut p = MetricsProbe::new();
+        p.on_quiet_span(10, 25, 30);
+        p.on_release_batch(
+            25,
+            &[
+                ReleaseRec {
+                    task: TaskId(0),
+                    index: 1,
+                    deadline: 29,
+                    era_first: true,
+                },
+                ReleaseRec {
+                    task: TaskId(1),
+                    index: 6,
+                    deadline: 27,
+                    era_first: false,
+                },
+            ],
+        );
+        p.on_miss(TaskId(1), 6, 27, 27);
+        let reg = p.registry();
+        assert_eq!(reg.counter("slots"), 15);
+        assert_eq!(reg.counter("releases"), 2);
+        assert_eq!(reg.counter("releases.era_first"), 1);
+        assert_eq!(reg.counter("misses"), 1);
     }
 }

@@ -46,7 +46,7 @@ use pfair_core::task::TaskId;
 use pfair_core::time::{slot_index, Slot, NEVER};
 use pfair_core::weight::Weight;
 use pfair_core::window::{SubtaskWindow, WindowCache};
-use pfair_obs::{NoopProbe, Probe, ReweightCost, Rule};
+use pfair_obs::{NoopProbe, Probe, ReleaseRec, ReweightCost, Rule};
 use std::collections::VecDeque;
 
 mod busy_span;
@@ -548,9 +548,11 @@ impl<P: Probe> Engine<P> {
     /// unhalted subtask — every head has a live queue entry) and no
     /// event of any kind is due in the span: each skipped slot would
     /// have scheduled nothing, preempted nothing, missed nothing, and
-    /// counted one hole. Probe hooks are replayed per skipped slot so
-    /// an observing run's stream is bit-identical; under [`NoopProbe`]
-    /// the replay loop compiles to nothing and the jump is O(1).
+    /// counted one hole. The span's remainder is reported through
+    /// [`Probe::on_quiet_span`]: span-aware probes aggregate it in
+    /// O(1), legacy probes get the default per-slot
+    /// `on_slot_start` replay and stay bit-identical, and under
+    /// [`NoopProbe`] the jump is O(1).
     fn skip_quiet_span(&mut self, start: Slot, end: Slot, prev: &mut Vec<TaskId>) {
         debug_assert!(start < end, "empty quiet span");
         debug_assert!(self.queue.is_empty(), "batching over a non-empty queue");
@@ -563,8 +565,11 @@ impl<P: Probe> Engine<P> {
         self.probe.on_slot_start(start);
         let last = std::mem::take(prev);
         self.sweep_ran_flags(start, &last, &[]);
-        for s in start + 1..end {
-            self.probe.on_slot_start(s);
+        if start + 1 < end {
+            let holes = u64::try_from(end - (start + 1))
+                .unwrap_or(0)
+                .saturating_mul(u64::from(self.config.processors));
+            self.probe.on_quiet_span(start + 1, end, holes);
         }
         self.now = end;
     }
@@ -1232,6 +1237,9 @@ impl<P: Probe> Engine<P> {
     /// window arithmetic, tracker syncs, drift samples, queue pushes,
     /// and probe emissions are one code path.
     fn release_batch(&mut self, t: Slot, due: Vec<TaskId>) {
+        // Span-aware probes get the slot's releases as one batch; legacy
+        // probes keep the per-release emission order unchanged.
+        let mut batch: Vec<ReleaseRec> = Vec::new();
         for id in Self::in_task_order(due) {
             {
                 let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
@@ -1266,7 +1274,9 @@ impl<P: Probe> Engine<P> {
             if era_first {
                 let ps_total = task.ps.total();
                 let icsw_total = task.isw.icsw_total();
+                let drift = ps_total - icsw_total;
                 task.drift.record(t, ps_total, icsw_total);
+                self.probe.on_drift_sample(id, t, drift);
             }
 
             let pred_b = if era_first {
@@ -1308,8 +1318,20 @@ impl<P: Probe> Engine<P> {
             if let Some(r) = successor {
                 self.note_release(id, r);
             }
-            self.probe
-                .on_release(id, index, t, window.deadline, era_first);
+            if P::SPAN_AWARE {
+                batch.push(ReleaseRec {
+                    task: id,
+                    index,
+                    deadline: window.deadline,
+                    era_first,
+                });
+            } else {
+                self.probe
+                    .on_release(id, index, t, window.deadline, era_first);
+            }
+        }
+        if !batch.is_empty() {
+            self.probe.on_release_batch(t, &batch);
         }
     }
 
@@ -1483,6 +1505,8 @@ impl<P: Probe> Engine<P> {
                     && sub.window.deadline == t + 1
                 {
                     sub.missed = true;
+                    self.probe
+                        .on_miss(task.id, sub.index, t, sub.window.deadline);
                     self.misses.push(Miss {
                         task: task.id,
                         index: sub.index,

@@ -32,11 +32,18 @@
 //!    trackers translate via their `translated` constructors, counters
 //!    accumulate `k` copies of the verified per-period delta.
 //!
-//! Batching only engages under the [`NoopProbe`](pfair_obs::NoopProbe)
-//! (`Probe::IS_NOOP`): an observing run must emit every per-slot hook,
-//! and a closed-form jump emits none. The equivalence proptests assert
-//! the rendered results, counters, and snapshots of batched and
-//! per-slot runs are byte-identical.
+//! Batching engages whenever the attached probe declares
+//! [`Probe::SPAN_AWARE`]: a span-aware probe reconstructs its whole
+//! observation from span-level events — [`Probe::on_span_armed`] at the
+//! snapshot slot and [`Probe::on_busy_span_jump`] carrying the verified
+//! per-period [`SpanDigest`] — exactly (the verified period's hook
+//! stream repeats `k` times shifted, so multiplying one period's
+//! deltas by `k` is exact integer arithmetic, not sampling). Legacy
+//! probes keep `SPAN_AWARE = false` and force the per-slot oracle, so
+//! their hook streams stay bit-identical by construction. The
+//! equivalence proptests assert the rendered results, counters,
+//! metrics snapshots, and engine snapshots of batched and per-slot
+//! runs are byte-identical.
 
 use super::{Engine, SubRec, TaskState};
 use crate::calendar::CalendarRing;
@@ -49,7 +56,7 @@ use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
 use pfair_core::time::Slot;
 use pfair_core::window::SubtaskWindow;
-use pfair_obs::Probe;
+use pfair_obs::{Probe, SpanDigest, TaskSpanDelta};
 
 /// Longest candidate period the batcher will verify. Spans with larger
 /// hyperperiods fall back to per-slot stepping: the verification cost
@@ -176,7 +183,7 @@ impl<P: Probe> Engine<P> {
     /// slot, or considers arming a fresh probe. O(1) when nothing is
     /// armed and arming is not due.
     pub(super) fn busy_span_tick(&mut self, prev: &mut Vec<TaskId>) {
-        if !P::IS_NOOP || !self.config.busy_span {
+        if !P::SPAN_AWARE || !self.config.busy_span {
             return;
         }
         if let Some(probe) = self.busy.probe.take() {
@@ -271,6 +278,7 @@ impl<P: Probe> Engine<P> {
             selector: self.selector.clone(),
             committed: self.admission.committed_parts().to_vec(),
         });
+        self.probe.on_span_armed(now);
     }
 
     /// Candidate period: lcm of the scheduling-weight denominators of
@@ -405,6 +413,14 @@ impl<P: Probe> Engine<P> {
             return SpanVerdict::Mismatch;
         }
         if self.apply_jump(k, period, &deltas, &delta, prev) {
+            // Tell the probe the jump happened. The digest is the exact
+            // per-period aggregate just verified bit-for-bit; skip its
+            // construction under the no-op probe (which discards it).
+            if !P::IS_NOOP {
+                let digest = span_digest(period, &probe.tasks, &deltas, &delta);
+                self.probe
+                    .on_busy_span_jump(probe.t0, t1, u64::try_from(k).unwrap_or(0), &digest);
+            }
             SpanVerdict::Jumped
         } else {
             SpanVerdict::Mismatch
@@ -762,6 +778,43 @@ fn insert_release(
         ring.insert(slot, id);
     }
     Some(())
+}
+
+/// The exact per-period aggregate handed to [`Probe::on_busy_span_jump`]:
+/// the verified counter delta plus each moving task's per-period rank
+/// (= release) and schedule gains. Everything here was checked bit-for-
+/// bit by [`Engine::verify_and_apply`] before the digest is built, so a
+/// span-aware probe may multiply any field by the jump count and stay
+/// exact.
+fn span_digest(
+    period: Slot,
+    tasks: &[TaskState],
+    deltas: &[TaskDelta],
+    delta: &Counters,
+) -> SpanDigest {
+    let per_task: Vec<TaskSpanDelta> = tasks
+        .iter()
+        .zip(deltas.iter())
+        .filter(|(_, d)| d.d_index > 0 || d.sched > 0)
+        .map(|(t, d)| TaskSpanDelta {
+            task: t.id,
+            releases: d.d_index,
+            schedules: d.sched,
+        })
+        .collect();
+    SpanDigest {
+        period,
+        queue_pushes: delta.heap_pushes,
+        queue_pops: delta.heap_pops,
+        stale_pops: delta.stale_pops,
+        stale_drops: delta.compacted_stale,
+        preemptions: delta.preemptions,
+        halts: delta.halts,
+        scheduled_quanta: delta.scheduled_quanta,
+        holes: delta.slots_with_holes,
+        migrations: delta.migrations,
+        per_task,
+    }
 }
 
 /// Per-field `b − a`; `None` if any counter went backwards (it cannot —

@@ -1,0 +1,245 @@
+//! Span-level observability at the engine boundary.
+//!
+//! Three contracts pinned here:
+//!
+//! 1. **Compat** — a legacy probe (default `SPAN_AWARE = false`) sees a
+//!    hook stream from the tickless driver that is bit-identical to the
+//!    per-slot oracle's, because every span-level event's default
+//!    implementation replays the per-slot hooks.
+//! 2. **Exactness** — a span-aware `MetricsProbe` attached to a
+//!    saturated 100k-slot busy-span run rebuilds its registry from span
+//!    digests bit-identically to the per-slot oracle, while the batcher
+//!    actually jumps.
+//! 3. **Overhead** — that same probed busy-span run stays within 3× of
+//!    the `NoopProbe` busy-span run (generous floor for noisy CI
+//!    machines; the precise pairs live in `BENCH_pr9.json`).
+
+use pfair_core::rational::rat;
+use pfair_core::task::TaskId;
+use pfair_core::time::Slot;
+use pfair_obs::{
+    Fanout, FlightRecorder, FlightTrigger, MetricsProbe, NoopProbe, Probe, ReleaseRec, SloConfig,
+    SloMonitor, SpanDigest,
+};
+use pfair_sched::admission::AdmissionPolicy;
+use pfair_sched::engine::{simulate_with, Engine, SimConfig};
+use pfair_sched::event::Workload;
+use std::time::Instant;
+
+/// A saturated uniform workload: `tasks` tasks of weight
+/// `num/den` joining at slot 0. With `tasks * num == m * den` the
+/// system is exactly saturated and periodic with period `den`.
+fn uniform(tasks: u32, num: i128, den: i128) -> Workload {
+    let mut w = Workload::new();
+    for i in 0..tasks {
+        w.join(i, 0, num, den);
+    }
+    w
+}
+
+// ---------------------------------------------------------------------
+// 1. Compat: legacy probes replay per-slot, bit-identically.
+// ---------------------------------------------------------------------
+
+/// A legacy probe: records the per-slot hooks it cares about and keeps
+/// the default `SPAN_AWARE = false`, so every span event it receives
+/// goes through the replaying default implementations.
+#[derive(Default)]
+struct LegacyLog {
+    slots: Vec<Slot>,
+    releases: Vec<(TaskId, u64, Slot)>,
+    schedules: Vec<(TaskId, u64, Slot)>,
+}
+
+impl Probe for LegacyLog {
+    fn on_slot_start(&mut self, t: Slot) {
+        self.slots.push(t);
+    }
+    fn on_release(&mut self, task: TaskId, index: u64, t: Slot, _deadline: Slot, _era: bool) {
+        self.releases.push((task, index, t));
+    }
+    fn on_schedule(&mut self, task: TaskId, index: u64, t: Slot) {
+        self.schedules.push((task, index, t));
+    }
+}
+
+/// A span-aware observer that keeps the spans it was offered, to prove
+/// the tickless driver actually used the span-level hooks.
+#[derive(Default)]
+struct SpanLog {
+    quiet_spans: Vec<(Slot, Slot)>,
+    release_batches: Vec<(Slot, usize)>,
+    jumps: Vec<(Slot, Slot, u64)>,
+    slots: Vec<Slot>,
+}
+
+impl Probe for SpanLog {
+    const SPAN_AWARE: bool = true;
+    fn on_slot_start(&mut self, t: Slot) {
+        self.slots.push(t);
+    }
+    fn on_quiet_span(&mut self, from: Slot, to: Slot, _holes: u64) {
+        self.quiet_spans.push((from, to));
+    }
+    fn on_release_batch(&mut self, t: Slot, releases: &[ReleaseRec]) {
+        self.release_batches.push((t, releases.len()));
+    }
+    fn on_busy_span_jump(&mut self, _t0: Slot, t1: Slot, periods: u64, digest: &SpanDigest) {
+        self.jumps.push((t1, digest.period, periods));
+    }
+}
+
+/// A sparse workload whose quiet spans dominate the horizon.
+fn sparse_workload() -> Workload {
+    let mut w = Workload::new();
+    for i in 0..5u32 {
+        w.join(i, i64::from(i) * 7, 1, 90 + i128::from(i) * 11);
+    }
+    w.reweight(1, 500, 1, 70);
+    w.delay(2, 600, 550);
+    w.leave(4, 1_500);
+    w
+}
+
+#[test]
+fn legacy_probe_stream_is_bit_identical_across_drivers() {
+    let w = sparse_workload();
+    let cfg = SimConfig::oi(3, 2_500);
+    let (oracle, slow) = simulate_with(cfg.clone().per_slot(), &w, LegacyLog::default());
+    let (fast_res, fast) = simulate_with(cfg, &w, LegacyLog::default());
+    assert_eq!(slow.slots, fast.slots, "slot replay diverged");
+    assert_eq!(slow.releases, fast.releases, "release stream diverged");
+    assert_eq!(slow.schedules, fast.schedules, "schedule stream diverged");
+    assert_eq!(oracle.counters, fast_res.counters);
+}
+
+#[test]
+fn span_aware_probe_receives_collapsed_spans() {
+    let w = sparse_workload();
+    let cfg = SimConfig::oi(3, 2_500);
+    let (_, spans) = simulate_with(cfg.clone(), &w, SpanLog::default());
+    assert!(
+        !spans.quiet_spans.is_empty(),
+        "a sparse tickless run must collapse at least one quiet span"
+    );
+    assert!(!spans.release_batches.is_empty());
+    // Replaying the spans per-slot reconstructs exactly the oracle's
+    // slot set: each slot is either directly started or inside a span.
+    let (_, slow) = simulate_with(cfg.per_slot(), &w, LegacyLog::default());
+    let mut rebuilt: Vec<Slot> = spans.slots.clone();
+    for &(from, to) in &spans.quiet_spans {
+        rebuilt.extend(from..to);
+    }
+    rebuilt.sort_unstable();
+    assert_eq!(
+        rebuilt, slow.slots,
+        "span arithmetic lost or invented slots"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 2 + 3. Saturated 100k: exactness and the 3× overhead pin.
+// ---------------------------------------------------------------------
+
+#[test]
+fn saturated_100k_metrics_probe_is_exact_within_overhead_budget() {
+    // 12 tasks × 1/3 on M = 4: exactly saturated, period 3. Every slot
+    // schedules 4 of 12 tasks; the busy-span batcher carries virtually
+    // the whole horizon once armed.
+    let w = uniform(12, 1, 3);
+    let cfg = SimConfig::oi(4, 100_000);
+
+    let noop_started = Instant::now();
+    let mut noop_engine = Engine::with_probe(cfg.clone(), &w, NoopProbe);
+    noop_engine.run();
+    let noop_jumps = noop_engine.busy_span_jumps();
+    let (noop_res, _) = noop_engine.finish_with_probe();
+    let noop_time = noop_started.elapsed();
+
+    let probed_started = Instant::now();
+    let mut probed_engine = Engine::with_probe(cfg.clone(), &w, MetricsProbe::new());
+    probed_engine.run();
+    let probed_jumps = probed_engine.busy_span_jumps();
+    let (probed_res, probed_metrics) = probed_engine.finish_with_probe();
+    let probed_time = probed_started.elapsed();
+
+    assert!(noop_jumps > 0, "noop run never jumped");
+    assert!(
+        probed_jumps > 0,
+        "span-aware MetricsProbe must not disable busy-span batching"
+    );
+    assert_eq!(noop_res.counters, probed_res.counters);
+
+    // Exactness: the span-digest-rebuilt registry equals the per-slot
+    // oracle's hook-by-hook registry, bit for bit.
+    let (_, oracle_metrics) = simulate_with(cfg.per_slot(), &w, MetricsProbe::new());
+    assert_eq!(
+        oracle_metrics.registry().snapshot_text(),
+        probed_metrics.registry().snapshot_text(),
+        "span-aggregated registry diverged from the per-slot oracle at 100k slots"
+    );
+    let reg = probed_metrics.registry();
+    assert_eq!(reg.counter("slots"), 100_000);
+    assert_eq!(reg.counter("schedules"), 400_000);
+
+    // Overhead pin: within 3× of the noop busy-span run, with a floor
+    // so scheduler noise on tiny absolute times cannot flake the test.
+    // (The precise interleaved measurement is the bench pair in
+    // BENCH_pr9.json; this is the regression backstop.)
+    let budget = (noop_time * 3).max(std::time::Duration::from_millis(250));
+    assert!(
+        probed_time <= budget,
+        "probed busy-span run took {probed_time:?}, budget {budget:?} (noop {noop_time:?})"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder and SLO monitor riding a real engine run.
+// ---------------------------------------------------------------------
+
+#[test]
+fn flight_and_slo_probes_capture_engine_misses() {
+    // Trusting admission grants an infeasible load (total weight 5/2 on
+    // one processor), so deadline misses are guaranteed.
+    let mut w = Workload::new();
+    for i in 0..5u32 {
+        w.join(i, 0, 1, 2);
+    }
+    let cfg = SimConfig::oi(1, 64).with_admission(AdmissionPolicy::Trusting);
+    let probe = Fanout(
+        FlightRecorder::new(),
+        SloMonitor::new(SloConfig {
+            window: 32,
+            max_misses: 0,
+            drift_budget: Some(rat(1_000, 1)),
+            max_reweight_latency: None,
+        }),
+    );
+    let (res, Fanout(flight, slo)) = simulate_with(cfg, &w, probe);
+    assert!(!res.misses.is_empty(), "overloaded run produced no misses");
+    assert!(
+        flight
+            .incidents()
+            .iter()
+            .any(|i| i.trigger == FlightTrigger::DeadlineMiss),
+        "flight recorder captured no deadline-miss incident"
+    );
+    assert!(flight.recent().count() > 0);
+    assert_eq!(slo.misses_total(), u64::try_from(res.misses.len()).unwrap());
+    assert!(!slo.is_clean(), "SLO monitor missed the miss-rate breach");
+    assert!(slo.report().contains("miss_rate"));
+}
+
+#[test]
+fn slo_monitor_stays_clean_and_samples_drift_on_feasible_runs() {
+    let w = uniform(6, 1, 3);
+    let cfg = SimConfig::oi(2, 5_000);
+    let (res, slo) = simulate_with(cfg, &w, SloMonitor::new(SloConfig::default()));
+    assert!(res.misses.is_empty());
+    assert!(slo.is_clean());
+    assert_eq!(slo.misses_total(), 0);
+    // Era-opening releases sampled drift through the probe hook.
+    let rendered = slo.to_json().to_string_pretty();
+    assert!(rendered.contains("drift"), "report must carry drift data");
+    assert!(slo.report().contains("no SLO breaches"));
+}

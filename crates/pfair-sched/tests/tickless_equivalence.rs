@@ -4,9 +4,11 @@
 //! quiet spans — empty ready queue, no event due — in closed form, and
 //! runs release-only slots through a reduced "quick" pipeline. Both
 //! shortcuts reuse the oracle's own release/selection/promotion code
-//! verbatim and replay per-slot probe hooks, so a batched run must be
-//! *bit-identical* to stepping every slot: the rendered `SimResult`,
-//! every drift sample, every overhead counter, and a `MetricsProbe`'s
+//! verbatim and report skipped spans through the span-level probe hooks
+//! (which legacy probes replay per-slot and span-aware probes aggregate
+//! exactly), so a batched run must be *bit-identical* to stepping every
+//! slot: the rendered `SimResult`, every drift sample, every overhead
+//! counter, and a `MetricsProbe`'s
 //! full registry snapshot. Randomized AIS scripts across OI, LJ, and
 //! hybrid schemes drive both paths through reweights (rules O/I/L/J),
 //! IS delays (including past the calendar-ring window), rule-L leaves,
@@ -100,14 +102,17 @@ fn workload_of(plan: &Plan) -> Workload {
 fn assert_tickless_matches_oracle(plan: &Plan, cfg: SimConfig) {
     let w = workload_of(plan);
     let (oracle, oracle_metrics) = simulate_with(cfg.clone().per_slot(), &w, MetricsProbe::new());
-    // Unprobed busy-span driver (probed runs disable batching): whether
-    // or not any jump lands on this script, the result must match.
+    // Busy-span driver under the no-op probe: whether or not any jump
+    // lands on this script, the result must match.
     let busy = simulate(cfg.clone(), &w);
     assert_eq!(
         oracle.to_json().to_string_pretty(),
         busy.to_json().to_string_pretty(),
         "busy-span driver diverged from the oracle"
     );
+    // `MetricsProbe` is span-aware, so this run may take quiet-span and
+    // busy-span shortcuts — its registry must still match the per-slot
+    // oracle's exactly.
     let (fast, fast_metrics) = simulate_with(cfg, &w, MetricsProbe::new());
 
     // One canonical rendering covers every field SimResult reports
@@ -262,15 +267,19 @@ fn arb_saturated_plan() -> impl Strategy<Value = Plan> {
 /// busy-span batching (the default), plain tickless, and the per-slot
 /// oracle — and that the batcher actually jumped (the tail is periodic
 /// with period ≤ 12, so at least one verified span must land even after
-/// maximum verification backoff).
+/// maximum verification backoff). The batched run carries a
+/// span-aware `MetricsProbe`: batching must still engage under it
+/// (`SPAN_AWARE` gating, not a no-op check), and the registry it
+/// rebuilds from span digests must be bit-identical to the one the
+/// per-slot oracle accumulates hook by hook.
 fn assert_busy_span_matches_oracle(plan: &Plan, cfg: SimConfig) {
     let w = workload_of(plan);
-    let mut engine = Engine::new(cfg.clone(), &w);
+    let mut engine = Engine::with_probe(cfg.clone(), &w, MetricsProbe::new());
     engine.run();
     let jumps = engine.busy_span_jumps();
-    let fast = engine.finish();
+    let (fast, fast_metrics) = engine.finish_with_probe();
     let tickless = simulate(cfg.clone().without_busy_span(), &w);
-    let oracle = simulate(cfg.per_slot(), &w);
+    let (oracle, oracle_metrics) = simulate_with(cfg.per_slot(), &w, MetricsProbe::new());
     assert!(
         jumps > 0,
         "busy-span batching never engaged on a saturated periodic tail"
@@ -285,6 +294,11 @@ fn assert_busy_span_matches_oracle(plan: &Plan, cfg: SimConfig) {
         rendered,
         oracle.to_json().to_string_pretty(),
         "busy-span vs per-slot oracle diverged"
+    );
+    assert_eq!(
+        oracle_metrics.registry().snapshot_text(),
+        fast_metrics.registry().snapshot_text(),
+        "span-aggregated metrics diverged from the per-slot oracle"
     );
 }
 
