@@ -31,7 +31,7 @@ pub fn reweight_burst(n: u32, m: u32, at: i64) -> Workload {
 }
 
 /// File the benchmark trajectory is written to, at the repo root.
-pub const TRAJECTORY_FILE: &str = "BENCH_pr9.json";
+pub const TRAJECTORY_FILE: &str = "BENCH_pr10.json";
 
 /// Serializes one drained benchmark result as a trajectory entry.
 fn result_entry(r: &criterion::BenchResult) -> pfair_json::Json {

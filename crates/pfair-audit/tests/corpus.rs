@@ -83,6 +83,11 @@ fn corpus_produces_exactly_the_expected_diagnostics() {
         ("sched/span_digest.rs", 15, NO_LOSSY_CASTS),
         ("sched/span_digest.rs", 15, RAW_ARITH),
         ("sched/span_digest.rs", 20, NO_PANIC),
+        ("sched/task_slab.rs", 10, NO_FLOAT),
+        ("sched/task_slab.rs", 10, NO_LOSSY_CASTS),
+        ("sched/task_slab.rs", 15, NO_LOSSY_CASTS),
+        ("sched/task_slab.rs", 15, RAW_ARITH),
+        ("sched/task_slab.rs", 20, NO_PANIC),
     ]
     .into_iter()
     .map(|(p, l, lint)| (p.to_string(), l, lint.to_string()))
@@ -208,6 +213,17 @@ fn sanctioned_span_digest_scaling_is_clean() {
     assert!(
         !findings.iter().any(|f| f.path == "sched/span_digest_ok.rs"),
         "checked digest scaling and a value-surfaced task lookup should audit clean"
+    );
+}
+
+#[test]
+fn sanctioned_task_slab_scan_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let findings = audit_root(&root, &fixture_config()).expect("fixture tree readable");
+    assert!(
+        !findings.iter().any(|f| f.path == "sched/task_slab_ok.rs"),
+        "exact column accounting, checked id narrowing, and a \
+         value-surfaced cold-row lookup should audit clean"
     );
 }
 

@@ -1,0 +1,19 @@
+// Fixture: the same hot-column scan written in the sanctioned form —
+// exact integer division for the column mean, lossless widening with a
+// checked narrowing back into the id domain, and an unadmitted id
+// surfacing as a value, not a panic.
+// Expected: no findings.
+pub fn mean_release(next_release: &[i64], present: i64) -> Option<i64> {
+    next_release.iter().sum::<i64>().checked_div(present)
+}
+
+/// Next-release column offset of set bit `bit` within word `word`.
+pub fn release_offset(word: usize, bit: u32) -> Option<i64> {
+    let base = i64::try_from(word).ok()?.checked_mul(64)?;
+    base.checked_add(i64::from(bit))
+}
+
+/// Cold row of `task`, unadmitted ids surfacing as `None`.
+pub fn cold_row(rows: &[(u32, u64)], task: u32) -> Option<u64> {
+    rows.iter().find(|(t, _)| *t == task).map(|(_, row)| *row)
+}

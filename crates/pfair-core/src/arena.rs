@@ -1,0 +1,167 @@
+//! Dense-id arena primitives: word-scanned membership bitmaps.
+//!
+//! The engine keys every per-task table by the small dense integer
+//! inside [`TaskId`](crate::task::TaskId). Hot per-slot questions —
+//! "which tasks are present?", "which tasks ran last slot?" — are
+//! one-bit-per-task facts, so they live in an [`IdBitmap`]: a `u64`
+//! word vector scanned with `trailing_zeros`, the same occupancy-map
+//! idiom the calendar ring and radix ready queue already use for slot
+//! buckets. A membership sweep over 10⁶ tasks touches ~16 KB of words
+//! instead of walking 10⁶ heterogeneous structs.
+
+/// Bits per occupancy word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-universe bitmap over dense ids `0..len`.
+///
+/// All operations are panic-free: out-of-range ids read as absent and
+/// ignore writes (the caller's id validation lives at admission, not
+/// here). Equality is structural, so two bitmaps over the same
+/// universe compare bit for bit — the busy-span verifier relies on
+/// this.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IdBitmap {
+    /// An all-clear bitmap over ids `0..len`.
+    pub fn new(len: usize) -> IdBitmap {
+        IdBitmap {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Number of ids in the universe (not the popcount).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grows the universe to `len` ids (no-op when already that big);
+    /// new ids start clear.
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            self.words.resize(len.div_ceil(WORD_BITS), 0);
+        }
+    }
+
+    /// Whether `id` is set (absent ids read `false`).
+    pub fn get(&self, id: usize) -> bool {
+        if id >= self.len {
+            return false;
+        }
+        self.words
+            .get(id / WORD_BITS)
+            .is_some_and(|w| w & (1u64 << (id % WORD_BITS)) != 0)
+    }
+
+    /// Sets or clears `id`; out-of-range ids are ignored.
+    pub fn set(&mut self, id: usize, value: bool) {
+        if id >= self.len {
+            return;
+        }
+        if let Some(w) = self.words.get_mut(id / WORD_BITS) {
+            let bit = 1u64 << (id % WORD_BITS);
+            if value {
+                *w |= bit;
+            } else {
+                *w &= !bit;
+            }
+        }
+    }
+
+    /// Number of set ids.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            // audit: allow(lossy-cast, u32 popcount→usize is lossless on the supported targets)
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+    }
+
+    /// The set ids, ascending — a word scan, not a per-id probe.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = wi * WORD_BITS;
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                // audit: allow(lossy-cast, trailing_zeros of a u64 is at most 64)
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(base + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut b = IdBitmap::new(130);
+        assert!(!b.get(0));
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn out_of_range_reads_absent_and_ignores_writes() {
+        let mut b = IdBitmap::new(10);
+        b.set(10, true);
+        b.set(1000, true);
+        assert!(!b.get(10));
+        assert!(!b.get(1000));
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_is_ascending_and_word_spanning() {
+        let mut b = IdBitmap::new(200);
+        for id in [3, 5, 63, 64, 65, 127, 128, 199] {
+            b.set(id, true);
+        }
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, vec![3, 5, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn grow_preserves_bits_and_clears_new_ids() {
+        let mut b = IdBitmap::new(4);
+        b.set(2, true);
+        b.grow(300);
+        assert_eq!(b.len(), 300);
+        assert!(b.get(2));
+        assert!(!b.get(299));
+        b.set(299, true);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![2, 299]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let mut a = IdBitmap::new(70);
+        let mut b = IdBitmap::new(70);
+        a.set(69, true);
+        assert_ne!(a, b);
+        b.set(69, true);
+        assert_eq!(a, b);
+    }
+}

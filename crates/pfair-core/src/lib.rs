@@ -24,6 +24,9 @@
 //! * [`analysis`] — feasibility tests (condition (W)), hyperperiods,
 //!   capacity arithmetic.
 //! * [`drift`] — the per-reweighting-event allocation error (Eqn (5)).
+//! * [`arena`] — dense-id occupancy bitmaps for arena/SoA task storage.
+//! * [`pool`] — the deterministic scoped-thread worker pool (input-order
+//!   results, byte-identical across pool widths).
 //!
 //! ## Model summary
 //!
@@ -42,9 +45,11 @@
 #![cfg_attr(not(test), warn(clippy::disallowed_types, clippy::disallowed_methods))]
 
 pub mod analysis;
+pub mod arena;
 pub mod drift;
 pub mod ideal;
 pub mod lag;
+pub mod pool;
 pub mod rational;
 pub mod task;
 pub mod time;
@@ -52,6 +57,7 @@ pub mod weight;
 pub mod window;
 
 pub use analysis::{classify, hyperperiod, is_feasible, total_weight, SetClass};
+pub use arena::IdBitmap;
 pub use drift::{DriftSample, DriftTrack};
 pub use ideal::{is_ideal_table, CompletionEvent, HaltRecord, IswTracker, PsTracker};
 pub use rational::{rat, Accumulator, Rational};

@@ -63,6 +63,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+// The dispatcher owns the engine on its own thread, so the executor's
+// whole stack rests on `Engine` being `Send`. Since the slab refactor
+// the engine's per-task storage is plain columns + rows (no `Rc`, no
+// interior pointers), which makes that derivable — pin it here so a
+// regression in `pfair-sched` fails this crate's build, not a user's.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Engine<NoopProbe>>();
+};
+
 /// Opaque handle to a registered task.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TaskHandle(TaskId);

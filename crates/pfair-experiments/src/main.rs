@@ -9,6 +9,7 @@
 //! pfair-experiments windows            # Figs. 1, 3/7 ideal-allocation tables
 //! pfair-experiments tradeoff           # hybrid efficiency-vs-accuracy ladder
 //! pfair-experiments baselines          # EDF / partitioned comparison
+//! pfair-experiments sharding           # ShardSet scale-out sweep
 //!
 //! options: --runs N     (default 61, the paper's replication count)
 //!          --csv DIR    (also write the Fig. 11 curves as CSV files)
@@ -23,6 +24,7 @@ mod extensions;
 mod fig11;
 mod runner;
 mod scaling;
+mod sharding;
 mod tradeoff;
 mod windows;
 
@@ -73,6 +75,7 @@ fn main() {
             baselines::run(runs);
             extensions::run(runs);
             scaling::run(runs);
+            sharding::run(runs);
         }
         "fig11-speed" | "fig11a" | "fig11b" => fig11::run_speed_insets_csv(runs, csv.as_deref()),
         "fig11-radius" | "fig11c" | "fig11d" => fig11::run_radius_insets_csv(runs, csv.as_deref()),
@@ -82,6 +85,7 @@ fn main() {
         "baselines" => baselines::run(runs),
         "extensions" => extensions::run(runs),
         "scaling" => scaling::run(runs),
+        "sharding" => sharding::run(runs),
         "room" => {
             // Fig. 10: the simulated Whisper room, written as SVG.
             let sc = whisper_sim::Scenario::new(2.9, 0.25, true, 7);
@@ -96,7 +100,7 @@ fn main() {
 
 fn print_help() {
     println!(
-        "usage: pfair-experiments [all|fig11-speed|fig11-radius|counterexamples|windows|tradeoff|baselines|extensions|scaling|room] [--runs N] [--threads N] [--csv DIR] [--timing]"
+        "usage: pfair-experiments [all|fig11-speed|fig11-radius|counterexamples|windows|tradeoff|baselines|extensions|scaling|sharding|room] [--runs N] [--threads N] [--csv DIR] [--timing]"
     );
 }
 

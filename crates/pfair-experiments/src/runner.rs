@@ -2,27 +2,19 @@
 //!
 //! Every experiment in this crate is an embarrassingly parallel sweep:
 //! a list of independent, seeded configurations, each simulated by a
-//! pure function of its inputs. [`par_map`] fans such a list across a
-//! hand-rolled worker pool built on `std::thread::scope` (the workspace
-//! is offline, so no rayon) and returns results **in input order**, so
-//! parallel output is byte-identical to a serial `map` — determinism is
-//! by construction, not by luck:
+//! pure function of its inputs. The pool itself now lives in
+//! [`pfair_core::pool`] (the shard supervisor in `pfair-sched` drives
+//! the same machinery); this module keeps the experiment-facing CLI
+//! policy — the `--threads` override and the `--timing` switch — and
+//! re-exports the pool so existing sweep code is unchanged.
 //!
-//! * work is claimed by atomic index, so scheduling order varies, but
-//!   each result is stored at its item's index;
-//! * the merged vector is sorted by index before being returned;
-//! * with one worker (or one item) the pool is bypassed entirely and
-//!   the closure runs on the calling thread, serially.
-//!
-//! The worker count comes from the `PFAIR_THREADS` environment variable
-//! (or a `--threads` CLI override), defaulting to the machine's
-//! available parallelism.
+//! The worker count comes from the `--threads` CLI override, then the
+//! `PFAIR_THREADS` environment variable, then the machine's available
+//! parallelism.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-/// Environment variable naming the worker-thread count.
-pub const THREADS_ENV: &str = "PFAIR_THREADS";
+pub use pfair_core::pool::par_map_threads;
 
 /// Process-wide override set by the `--threads` CLI flag (0 = unset).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -56,14 +48,7 @@ pub fn threads() -> usize {
     if forced >= 1 {
         return forced;
     }
-    if let Some(n) = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
-        return n;
-    }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    pfair_core::pool::default_threads()
 }
 
 /// Maps `f` over `items` on the configured worker pool, returning
@@ -78,60 +63,6 @@ where
     F: Fn(I) -> O + Sync,
 {
     par_map_threads(threads(), items, f)
-}
-
-/// [`par_map`] with an explicit worker count (exposed for the
-/// determinism tests, which compare pools of different widths).
-pub fn par_map_threads<I, O, F>(threads: usize, items: Vec<I>, f: F) -> Vec<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(I) -> O + Sync,
-{
-    let n = items.len();
-    let workers = threads.clamp(1, n.max(1));
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    // Ownership of each item moves to whichever worker claims its
-    // index; a Mutex<Option<I>> per slot transfers it without unsafe.
-    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, O)> = Vec::with_capacity(n);
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, O)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            return local;
-                        }
-                        let item = slots[i]
-                            .lock()
-                            .expect("a worker panicked while claiming an item")
-                            .take()
-                            .expect("each index is claimed exactly once");
-                        local.push((i, f(item)));
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(local) => tagged.extend(local),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-
-    // Restore input order: each result carries its item's index.
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert_eq!(tagged.len(), n);
-    tagged.into_iter().map(|(_, o)| o).collect()
 }
 
 /// [`par_map`], also measuring each job's wall time on its worker.

@@ -306,6 +306,18 @@ impl Registry {
         }
     }
 
+    /// Folds another registry into this one: every counter adds, every
+    /// histogram merges bucket-wise — exact integer arithmetic, so the
+    /// merge of N per-shard registries equals what one registry would
+    /// have recorded had it observed all N event streams. Merge order
+    /// does not affect the totals; callers that render the result
+    /// should still merge in a fixed shard order so *name insertion
+    /// order* (and with it [`Registry::snapshot_text`]) is
+    /// deterministic too.
+    pub fn merge(&mut self, other: &Registry) {
+        self.add_scaled(other, 1);
+    }
+
     /// Adds `k` copies of `delta` (a [`Registry::delta_since`]
     /// result): every counter grows by `k·delta`, every histogram by
     /// `k` bucket-wise copies — exact integers, no sampling. This is

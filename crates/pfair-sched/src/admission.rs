@@ -59,6 +59,12 @@ pub struct AdmissionController {
     policy: AdmissionPolicy,
     capacity: Rational,
     committed: Vec<Rational>, // by task id; ZERO = not in system
+    /// Running `Σ committed`, maintained at every table write so
+    /// admission decisions are O(1) instead of an O(n) fold — at 10⁵–10⁶
+    /// tasks the fold dominated every join. Exact by construction: the
+    /// sum is updated with the same exact-rational arithmetic the fold
+    /// would use.
+    total: Rational,
 }
 
 impl AdmissionController {
@@ -69,19 +75,36 @@ impl AdmissionController {
             capacity: Rational::from_int(i128::from(processors)),
             // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
             committed: vec![Rational::ZERO; tasks as usize],
+            total: Rational::ZERO,
         }
     }
 
-    /// Total committed weight.
+    /// Grows the commitment table to cover task ids `0..tasks` (no-op
+    /// when already that big). New slots carry zero commitment, so the
+    /// running total is unchanged.
+    pub fn ensure_tasks(&mut self, tasks: u32) {
+        // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+        let tasks = tasks as usize;
+        if tasks > self.committed.len() {
+            self.committed.resize(tasks, Rational::ZERO);
+        }
+    }
+
+    /// Total committed weight (the incrementally maintained `Σ`).
     pub fn total_committed(&self) -> Rational {
-        self.committed
-            .iter()
-            .fold(Rational::ZERO, |acc, c| acc + *c)
+        self.total
     }
 
     /// Capacity not yet committed.
     pub fn available(&self) -> Rational {
-        self.capacity - self.total_committed()
+        self.capacity - self.total
+    }
+
+    /// Writes one commitment slot, keeping the running total exact.
+    fn set_committed(&mut self, task: TaskId, value: Rational) {
+        let slot = &mut self.committed[task.idx()]; // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
+        self.total = self.total - *slot + value;
+        *slot = value;
     }
 
     /// Processes a request to set task `task`'s weight to `want`
@@ -116,7 +139,7 @@ impl AdmissionController {
             }
         };
         // Commitments only rise at request time; they fall at enactment.
-        self.committed[task.idx()] = cur.max(granted); // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
+        self.set_committed(task, cur.max(granted));
         Weight::try_new(granted).ok()
     }
 
@@ -124,14 +147,14 @@ impl AdmissionController {
     /// capacity only truly frees at the leave time; callers invoke this
     /// at that point.
     pub fn release(&mut self, task: TaskId) {
-        self.committed[task.idx()] = Rational::ZERO; // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
+        self.set_committed(task, Rational::ZERO);
     }
 
     /// Records an enacted weight change: the task's scheduling weight is
     /// now exactly `enacted`, so the commitment settles there — in
     /// particular, this is where a decrease's capacity finally frees.
     pub fn note_enacted(&mut self, task: TaskId, enacted: Weight) {
-        self.committed[task.idx()] = enacted.value(); // audit: allow(panic-reach, committed table is sized to the task-set, idx is validated at admission)
+        self.set_committed(task, enacted.value());
     }
 
     /// The per-task commitment table, for persistence. Policy and
@@ -147,10 +170,12 @@ impl AdmissionController {
         processors: u32,
         committed: Vec<Rational>,
     ) -> AdmissionController {
+        let total = committed.iter().fold(Rational::ZERO, |acc, c| acc + *c);
         AdmissionController {
             policy,
             capacity: Rational::from_int(i128::from(processors)),
             committed,
+            total,
         }
     }
 }

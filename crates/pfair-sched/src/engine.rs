@@ -47,11 +47,14 @@ use pfair_core::time::{slot_index, Slot, NEVER};
 use pfair_core::weight::Weight;
 use pfair_core::window::{SubtaskWindow, WindowCache};
 use pfair_obs::{NoopProbe, Probe, ReleaseRec, ReweightCost, Rule};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 mod busy_span;
 mod persist;
+mod slab;
 pub use persist::EngineSnapshot;
+use slab::TaskSlab;
 
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -193,24 +196,23 @@ struct SubRec {
     missed: bool,
 }
 
-/// Per-task runtime state.
+/// Per-task runtime state: the *cold row* of the [`TaskSlab`] arena.
+///
+/// Four per-slot-hot facts — presence (`in_system`), the ran-last-slot
+/// flag, the scheduling weight `swt(T, t)`, and the next release slot —
+/// live in the slab's dense columns instead of here, so whole-set scans
+/// never touch these rows (see `engine/slab.rs`).
 #[derive(Clone, Debug)]
 struct TaskState {
     id: TaskId,
-    in_system: bool,
     /// Actual weight `wt(T, t)` (changes at initiation).
     wt: Rational,
-    /// Scheduling weight `swt(T, t)` (changes at enactment).
-    swt: Rational,
     /// `z`: indices `> era_base` belong to the current era.
     era_base: u64,
     /// Index the next released subtask will get.
     next_index: u64,
     /// The next release opens an era (`Id(T_i) = i`).
     era_open_pending: bool,
-    /// Scheduled release time of the next subtask (`None` while a
-    /// pending change or leave suppresses releases).
-    next_release: Option<Slot>,
     /// Recent subtask records (all of them in history mode).
     subs: VecDeque<SubRec>,
     pending: Option<Pending>,
@@ -226,7 +228,6 @@ struct TaskState {
     drift: DriftTrack,
     scheduled_count: u64,
     last_cpu: Option<u32>,
-    ran_last_slot: bool,
     // History-mode accumulators.
     archived: Vec<SubtaskRecord>,
     scheduled_slots: Vec<Slot>,
@@ -238,13 +239,10 @@ impl TaskState {
     fn placeholder(id: TaskId) -> TaskState {
         TaskState {
             id,
-            in_system: false,
             wt: Rational::ZERO,
-            swt: Rational::ZERO,
             era_base: 0,
             next_index: 1,
             era_open_pending: false,
-            next_release: None,
             subs: VecDeque::new(),
             pending: None,
             leaving: None,
@@ -255,7 +253,6 @@ impl TaskState {
             drift: DriftTrack::new(),
             scheduled_count: 0,
             last_cpu: None,
-            ran_last_slot: false,
             archived: Vec::new(),
             scheduled_slots: Vec::new(),
             isw_per_slot: Vec::new(),
@@ -361,7 +358,7 @@ pub struct Engine<P: Probe = NoopProbe> {
     config: SimConfig,
     events: Vec<Event>,
     next_event: usize,
-    tasks: Vec<TaskState>,
+    tasks: TaskSlab,
     queue: ReadyQueue,
     selector: RuleSelector,
     admission: AdmissionController,
@@ -371,6 +368,27 @@ pub struct Engine<P: Probe = NoopProbe> {
     /// Events injected online (e.g., by the real-time executor), merged
     /// into the stream at each step.
     injected: Vec<Event>,
+    /// Earliest `at` among `injected` ([`NEVER`] when empty): the
+    /// per-slot injection scan only runs on slots that can fire one,
+    /// and the tickless driver treats it as an event boundary.
+    injected_min: Slot,
+    /// The previous slot's chosen set. Feeds the delta ran-flag sweep
+    /// (`sweep_ran_flags`); rebuilt from the slab's `ran` bitmap after
+    /// busy-span jumps and snapshot restores.
+    last_chosen: Vec<TaskId>,
+    /// Tasks whose records changed this slot (synced, scheduled, or
+    /// halted) — the only candidates for pruning, drained at the end of
+    /// each slot. Replaces the oracle's all-task prune sweep.
+    touched: Vec<TaskId>,
+    /// Min-heap of `(deadline, task, index)` over released, pending
+    /// subtasks: miss detection pops due entries instead of scanning
+    /// every task's records. Entries are validated against the live
+    /// record when popped (halts/schedules/leaves make them stale);
+    /// rebuilt after busy-span jumps (windows translate) and restores.
+    miss_watch: BinaryHeap<Reverse<(Slot, u32, u64)>>,
+    /// Current run boundary (`run_to`); the busy-span verifier must not
+    /// step past it. Reset to the horizon outside `run_to`.
+    run_limit: Slot,
     /// Dense per-task tie ranks, precomputed once from
     /// `config.tie_break` (a `Ranked` policy's `key` is a linear scan —
     /// too slow for the release hot path).
@@ -411,19 +429,23 @@ impl<P: Probe> Engine<P> {
     /// Builds an engine whose hooks report to `probe`.
     pub fn with_probe(config: SimConfig, workload: &Workload, probe: P) -> Engine<P> {
         let n = workload.task_count();
-        let tasks = (0..n).map(|i| TaskState::placeholder(TaskId(i))).collect();
         Engine {
             probe,
             selector: RuleSelector::new(config.scheme.clone(), n),
             admission: AdmissionController::new(config.admission, config.processors, n),
             events: workload.sorted_events(),
             next_event: 0,
-            tasks,
+            tasks: TaskSlab::new(n),
             queue: ReadyQueue::new(),
             counters: Counters::default(),
             misses: Vec::new(),
             now: 0,
             injected: Vec::new(),
+            injected_min: NEVER,
+            last_chosen: Vec::new(),
+            touched: Vec::new(),
+            miss_watch: BinaryHeap::new(),
+            run_limit: config.horizon,
             tie: TieTable::new(&config.tie_break, n),
             release_at: CalendarRing::new(0),
             enact_at: CalendarRing::new(0),
@@ -444,7 +466,9 @@ impl<P: Probe> Engine<P> {
     /// [`TaskState::sync_ideals_to`] and reports the closed-form jump
     /// (when one happened) to the probe.
     fn sync_task(&mut self, id: TaskId, t: Slot) {
-        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        // A sync can settle completions, changing prunability.
+        self.touched.push(id);
+        let task = self.tasks.task_mut(id);
         let from = task.isw.now();
         task.sync_ideals_to(t);
         if from < t {
@@ -468,7 +492,46 @@ impl<P: Probe> Engine<P> {
     /// This is how live drivers (the real-time executor) feed
     /// reweighting requests into a running engine.
     pub fn inject(&mut self, event: Event) {
+        self.injected_min = self.injected_min.min(event.at);
         self.injected.push(event);
+    }
+
+    /// Number of task slots the engine can address (ids `0..n`,
+    /// present or not).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of tasks currently in the system.
+    pub fn present_count(&self) -> usize {
+        self.tasks.present_count()
+    }
+
+    /// Total utilization currently committed by admission (the
+    /// condition-(W) left-hand side); the shard supervisor routes joins
+    /// to the least-committed shard by this figure.
+    pub fn committed_utilization(&self) -> Rational {
+        self.admission.total_committed()
+    }
+
+    /// Grows every per-task table to address ids `0..n` — the online
+    /// analogue of sizing from `workload.task_count()` at build time.
+    /// The shard supervisor uses this to admit globally-numbered tasks
+    /// (and migration rejoins under fresh ids) into a running shard.
+    ///
+    /// Growth is append-only and does not disturb existing tasks; note
+    /// that under a `Ranked`/`TaskIdDesc` tie-break appended ids take
+    /// ranks after the existing ones (see [`TieTable::ensure_tasks`]),
+    /// so suppliers that need those policies should size up front.
+    pub fn ensure_task_capacity(&mut self, n: u32) {
+        // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+        if (n as usize) <= self.tasks.len() {
+            return;
+        }
+        self.tasks.ensure(n);
+        self.selector.ensure_tasks(n);
+        self.admission.ensure_tasks(n);
+        self.tie.ensure_tasks(&self.config.tie_break, n);
     }
 
     /// Overhead counters accumulated so far.
@@ -484,13 +547,27 @@ impl<P: Probe> Engine<P> {
     /// slot (see DESIGN.md, "Tickless invariant"). History runs always
     /// take the per-slot path: they materialize per-slot ideal series.
     pub fn run(&mut self) {
+        self.run_to(self.config.horizon);
+    }
+
+    /// Runs every remaining slot up to `min(until, horizon)` — the
+    /// segmented form of [`Engine::run`]. A run split into segments is
+    /// bit-identical to one unsegmented run: every driver below is
+    /// equivalent to per-slot stepping regardless of where the
+    /// boundaries land, so the shard supervisor can interleave event
+    /// routing between segments without perturbing any shard's
+    /// trajectory.
+    pub fn run_to(&mut self, until: Slot) {
+        let until = until.min(self.config.horizon);
+        self.run_limit = until;
         if self.config.tickless && !self.config.record_history {
-            self.run_tickless();
+            self.run_tickless(until);
         } else {
-            while self.now < self.config.horizon {
+            while self.now < until {
                 self.step();
             }
         }
+        self.run_limit = self.config.horizon;
     }
 
     /// Event-horizon driver. Each iteration runs one full per-slot
@@ -499,48 +576,49 @@ impl<P: Probe> Engine<P> {
     /// quiet span ahead in one of two closed forms: a pure skip to the
     /// next event horizon, or a "quick release slot" for release-only
     /// slots whose due set fits on the `M` processors.
-    fn run_tickless(&mut self) {
-        let horizon = self.config.horizon;
-        while self.now < horizon {
-            let mut prev = self.step();
-            self.busy_span_tick(&mut prev);
-            while self.now < horizon && self.queue.is_empty() && self.injected.is_empty() {
+    fn run_tickless(&mut self, until: Slot) {
+        while self.now < until {
+            self.step();
+            self.busy_span_tick();
+            while self.now < until && self.queue.is_empty() && self.injected_min > self.now {
                 let t = self.now;
-                let boundary = self.next_boundary(t).min(horizon);
+                let boundary = self.next_boundary(t).min(until);
                 if boundary <= t {
                     break; // a non-release event needs the full pipeline now
                 }
                 let next_release = self.release_at.next_occupied(t).unwrap_or(NEVER);
                 if next_release >= boundary {
-                    self.skip_quiet_span(t, boundary, &mut prev);
-                    self.busy_span_tick(&mut prev);
+                    self.skip_quiet_span(t, boundary);
+                    self.busy_span_tick();
                     break;
                 }
                 if next_release > t {
-                    self.skip_quiet_span(t, next_release, &mut prev);
+                    self.skip_quiet_span(t, next_release);
                     // The busy-span verifier needs to observe every
                     // boundary the driver reaches (a probe's verify slot
                     // may land right here); restart the scan in case it
                     // armed or jumped.
-                    self.busy_span_tick(&mut prev);
+                    self.busy_span_tick();
                     continue;
                 }
-                if !self.quick_release_slot(next_release, &mut prev) {
+                if !self.quick_release_slot(next_release) {
                     break; // crowded or stale slot: the full pipeline takes it
                 }
-                self.busy_span_tick(&mut prev);
+                self.busy_span_tick();
             }
         }
     }
 
     /// The earliest upcoming slot at which anything other than a
     /// subtask release can change engine state: a parked enactment, a
-    /// rule-L departure, or the next workload-stream event.
+    /// rule-L departure, the next workload-stream event, or the
+    /// earliest online injection (quiet spans clamp to it; the slot it
+    /// names runs the full pipeline, which fires it).
     fn next_boundary(&self, t: Slot) -> Slot {
         let stream = self.events.get(self.next_event).map_or(NEVER, |e| e.at);
         let enact = self.enact_at.next_occupied(t).unwrap_or(NEVER);
         let leave = self.leave_at.next_occupied(t).unwrap_or(NEVER);
-        stream.min(enact).min(leave)
+        stream.min(enact).min(leave).min(self.injected_min)
     }
 
     /// Advances over `start..end` in one jump. Legal because the ready
@@ -553,7 +631,7 @@ impl<P: Probe> Engine<P> {
     /// O(1), legacy probes get the default per-slot
     /// `on_slot_start` replay and stay bit-identical, and under
     /// [`NoopProbe`] the jump is O(1).
-    fn skip_quiet_span(&mut self, start: Slot, end: Slot, prev: &mut Vec<TaskId>) {
+    fn skip_quiet_span(&mut self, start: Slot, end: Slot) {
         debug_assert!(start < end, "empty quiet span");
         debug_assert!(self.queue.is_empty(), "batching over a non-empty queue");
         if self.config.processors > 0 {
@@ -563,7 +641,7 @@ impl<P: Probe> Engine<P> {
         // the oracle's ran-flag scan would record. Later slots change no
         // flags at all (nothing runs, nothing ran).
         self.probe.on_slot_start(start);
-        let last = std::mem::take(prev);
+        let last = std::mem::take(&mut self.last_chosen);
         self.sweep_ran_flags(start, &last, &[]);
         if start + 1 < end {
             let holes = u64::try_from(end - (start + 1))
@@ -580,7 +658,7 @@ impl<P: Probe> Engine<P> {
     /// exactly the released heads. Returns `false` (leaving all state
     /// untouched) when the due set might not fit on the processors, in
     /// which case the caller falls back to a full [`Engine::step`].
-    fn quick_release_slot(&mut self, t: Slot, prev: &mut Vec<TaskId>) -> bool {
+    fn quick_release_slot(&mut self, t: Slot) -> bool {
         let m = self.config.processors as usize; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
         let due_count = self.release_at.due_count(t);
         if due_count == 0 || due_count > m {
@@ -590,39 +668,43 @@ impl<P: Probe> Engine<P> {
         let due = self.release_at.take(t);
         self.release_batch(t, due);
         let chosen = self.pop_and_schedule(t);
-        let last = std::mem::take(prev);
+        let last = std::mem::take(&mut self.last_chosen);
         self.sweep_ran_flags(t, &last, &chosen);
         self.promote_successors(&chosen);
-        // Only the released (= chosen) tasks changed state; pruning them
-        // matches the oracle's all-task prune, which no-ops elsewhere.
-        for &id in &chosen {
-            self.tasks[id.idx()].prune(false); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        // Only touched (= released, = chosen) tasks changed state;
+        // pruning them matches the oracle's all-task prune, which no-ops
+        // elsewhere.
+        let touched = std::mem::take(&mut self.touched);
+        for id in touched {
+            self.tasks.task_mut(id).prune(false);
         }
         self.now = t + 1;
-        *prev = chosen;
+        self.last_chosen = chosen;
         true
     }
 
     /// Delta form of the oracle's ran-flag/preemption scan: only tasks
-    /// in last slot's chosen set can hold `ran_last_slot`, so updating
+    /// in last slot's chosen set can hold a set `ran` bit, so updating
     /// `prev ∪ chosen` touches every flag the full scan would change.
     /// Preempted tasks are reported in ascending id order, matching the
-    /// oracle's task-order iteration.
+    /// oracle's task-order iteration. A member of `prev` whose bit is
+    /// already clear left and rejoined this slot (the join resets the
+    /// flag); the oracle would neither flip its flag nor count a
+    /// preemption, so it is skipped.
     fn sweep_ran_flags(&mut self, t: Slot, prev: &[TaskId], chosen: &[TaskId]) {
         let mut preempted: Vec<TaskId> = Vec::new();
         for &id in prev {
-            if chosen.contains(&id) {
+            if chosen.contains(&id) || !self.tasks.ran_last_slot(id) {
                 continue;
             }
-            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-            task.ran_last_slot = false;
-            if task.head_pos().is_some() {
+            self.tasks.set_ran(id, false);
+            if self.tasks.task(id).head_pos().is_some() {
                 self.counters.preemptions += 1;
                 preempted.push(id);
             }
         }
         for &id in chosen {
-            self.tasks[id.idx()].ran_last_slot = true; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            self.tasks.set_ran(id, true);
         }
         preempted.sort_unstable_by_key(|id| id.0);
         for id in preempted {
@@ -651,8 +733,14 @@ impl<P: Probe> Engine<P> {
         // Step 4: releases due at t.
         self.fire_releases(t);
 
-        // Step 5: PD² selection.
-        let chosen = self.select_and_schedule(t);
+        // Step 5: PD² selection, with the delta ran-flag/preemption
+        // sweep over `prev ∪ chosen` (see `sweep_ran_flags` for the
+        // equivalence argument against the oracle's all-task scan).
+        let chosen = self.pop_and_schedule(t);
+        let last = std::mem::take(&mut self.last_chosen);
+        self.sweep_ran_flags(t, &last, &chosen);
+        self.promote_successors(&chosen);
+        self.last_chosen.clone_from(&chosen);
 
         // Step 6: per-slot ideal-schedule advance — history mode only,
         // where the per-slot I_SW series must be materialized anyway.
@@ -670,8 +758,20 @@ impl<P: Probe> Engine<P> {
         // entries accumulate without limit over long horizons.
         self.maybe_compact(t);
 
-        for task in &mut self.tasks {
-            task.prune(self.config.record_history);
+        // Prune: a record's prunability only changes when it is synced,
+        // scheduled, or halted — all of which mark the task touched —
+        // so draining the touched list reaches every record the
+        // oracle's all-task sweep would drop. History mode keeps the
+        // all-task sweep: the archive order must match the oracle's
+        // task-by-task iteration exactly (history runs are small-n).
+        if self.config.record_history {
+            self.touched.clear();
+            self.tasks.prune_all(true);
+        } else {
+            let touched = std::mem::take(&mut self.touched);
+            for id in touched {
+                self.tasks.task_mut(id).prune(false);
+            }
         }
         self.now = t + 1;
         chosen
@@ -694,18 +794,25 @@ impl<P: Probe> Engine<P> {
         self.queue.compact_traced(
             &mut self.counters,
             |e| {
-                let task = &tasks[e.task.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-                task.in_system
-                    && task.subs.iter().any(|s| {
-                        s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
+                tasks.in_system(e.task)
+                    && tasks.get(e.task).is_some_and(|task| {
+                        task.subs.iter().any(|s| {
+                            s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
+                        })
                     })
             },
             |e| probe.on_stale_drop(e.task, e.index, t),
         );
     }
 
-    /// Applies injected events due at or before `t`.
+    /// Applies injected events due at or before `t`. The retain scan
+    /// only runs on slots that can fire something (`injected_min`
+    /// gates it), so a long-lived backlog of future-dated injections
+    /// costs nothing per slot.
     fn fire_injected(&mut self, t: Slot) {
+        if self.injected_min > t {
+            return;
+        }
         let mut due: Vec<Event> = Vec::new();
         self.injected.retain(|e| {
             if e.at <= t {
@@ -715,6 +822,7 @@ impl<P: Probe> Engine<P> {
                 true
             }
         });
+        self.injected_min = self.injected.iter().map(|e| e.at).min().unwrap_or(NEVER);
         for ev in due {
             match ev.kind {
                 EventKind::Join(w) => self.handle_join(ev.task, t, w),
@@ -737,13 +845,7 @@ impl<P: Probe> Engine<P> {
         // up to the last simulated slot (no-op in history mode; departed
         // tasks were synced when they left).
         let now = self.now;
-        let present: Vec<TaskId> = self
-            .tasks
-            .iter()
-            .filter(|ts| ts.in_system)
-            .map(|ts| ts.id)
-            .collect();
-        for id in present {
+        for id in self.tasks.present_ids() {
             self.sync_task(id, now);
         }
         let record_history = self.config.record_history;
@@ -757,6 +859,7 @@ impl<P: Probe> Engine<P> {
             ..
         } = self;
         let tasks = tasks
+            .into_cold()
             .into_iter()
             .map(|mut ts| TaskResult {
                 id: ts.id,
@@ -795,15 +898,13 @@ impl<P: Probe> Engine<P> {
             return;
         }
         for id in Self::in_task_order(due) {
-            // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-            if self.tasks[id.idx()].leaving != Some(t) {
+            if self.tasks.task(id).leaving != Some(t) {
                 continue;
             }
             // The ideals stop accruing at departure; close them out.
             self.sync_task(id, t);
-            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-            task.in_system = false;
-            task.leaving = None;
+            self.tasks.task_mut(id).leaving = None;
+            self.tasks.set_in_system(id, false);
             self.admission.release(id);
         }
     }
@@ -825,38 +926,36 @@ impl<P: Probe> Engine<P> {
             return;
         }
         for id in Self::in_task_order(due) {
-            let i = id.idx();
             let fire = matches!(
-                self.tasks[i].pending,
+                self.tasks.task(id).pending,
                 Some(Pending { at, .. }) if at == t
             );
             if !fire {
                 continue; // superseded, cancelled, or re-parked since
             }
-            // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-            let Some(pending) = self.tasks[i].pending.take() else {
+            let Some(pending) = self.tasks.task_mut(id).pending.take() else {
                 continue;
             };
             // The enactment changes the scheduling weight: advance the
             // trackers across the closing era first, under its weight.
             self.sync_task(id, t);
-            let task = &mut self.tasks[i]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
             match pending.kind {
                 PendKind::Enact => {
-                    task.swt = pending.target;
+                    self.tasks.set_swt(id, pending.target);
+                    let task = self.tasks.task_mut(id);
                     task.isw.set_swt(pending.target);
                     task.era_base = task.next_index - 1;
                     self.counters.reweight_enactments += 1;
                     if let Ok(w) = Weight::try_new(pending.target) {
-                        self.admission.note_enacted(task.id, w);
+                        self.admission.note_enacted(id, w);
                     }
                 }
                 PendKind::ReleaseOnly => {
                     // swt already switched at initiation (rule I, increase).
                 }
             }
-            task.era_open_pending = true;
-            task.next_release = Some(t);
+            self.tasks.task_mut(id).era_open_pending = true;
+            self.tasks.set_next_release(id, Some(t));
             self.note_release(id, t);
             self.probe.on_reweight_enacted(id, t, pending.initiated_at);
         }
@@ -899,20 +998,19 @@ impl<P: Probe> Engine<P> {
     /// slot 4). Ignored while a reweighting change is pending (no
     /// release is scheduled to delay) or when the task is absent.
     fn handle_delay(&mut self, id: TaskId, t: Slot, by: u32) {
-        let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-        if !task.in_system || by == 0 {
+        if !self.tasks.in_system(id) || by == 0 {
             return;
         }
-        let Some(r_old) = task.next_release else {
+        let Some(r_old) = self.tasks.next_release(id) else {
             return;
         };
         if r_old < t {
             return;
         }
         self.sync_task(id, t);
-        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
         let r_new = r_old + i64::from(by);
-        task.next_release = Some(r_new);
+        self.tasks.set_next_release(id, Some(r_new));
+        let task = self.tasks.task_mut(id);
         let inactive_from = task
             .last_released()
             .map_or(r_old, |s| s.window.deadline)
@@ -926,8 +1024,8 @@ impl<P: Probe> Engine<P> {
             return; // join rejected: no capacity at all
         };
         let record_history = self.config.record_history;
-        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-        assert!(!task.in_system, "{id} joined twice"); // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
+        // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
+        assert!(!self.tasks.in_system(id), "{id} joined twice");
         let g: Rational = granted.value();
         // History runs retain per-slot halt corrections; event-driven runs
         // keep the tracker's memory bounded instead.
@@ -936,30 +1034,31 @@ impl<P: Probe> Engine<P> {
         } else {
             IswTracker::new(g, t)
         };
+        let task = self.tasks.task_mut(id);
         *task = TaskState {
-            in_system: true,
             wt: g,
-            swt: g,
             era_base: task.next_index - 1,
             era_open_pending: true,
-            next_release: Some(t),
             isw,
             ps: PsTracker::new(g, t),
             ..std::mem::replace(task, TaskState::placeholder(id))
         };
+        self.tasks.set_in_system(id, true);
+        self.tasks.set_swt(id, g);
+        self.tasks.set_ran(id, false);
+        self.tasks.set_next_release(id, Some(t));
         self.note_release(id, t);
     }
 
     fn handle_leave(&mut self, id: TaskId, t: Slot) {
-        // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-        if !self.tasks[id.idx()].in_system {
+        if !self.tasks.in_system(id) {
             return;
         }
         // Totals must be settled through `t` before the task can depart
         // immediately (leave_at == t) or halt its unscheduled subtasks.
         self.sync_task(id, t);
         let (withdraw, leave_at) = {
-            let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let task = self.tasks.task(id);
             let withdraw: Vec<u64> = task
                 .subs
                 .iter()
@@ -976,14 +1075,13 @@ impl<P: Probe> Engine<P> {
         for index in withdraw {
             self.halt_subtask(id, index, t);
         }
-        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-        task.next_release = None;
-        task.pending = None;
+        self.tasks.set_next_release(id, None);
+        self.tasks.task_mut(id).pending = None;
         if leave_at == t {
-            task.in_system = false;
+            self.tasks.set_in_system(id, false);
             self.admission.release(id);
         } else {
-            task.leaving = Some(leave_at);
+            self.tasks.task_mut(id).leaving = Some(leave_at);
             self.leave_at.insert(leave_at, id);
         }
     }
@@ -995,7 +1093,7 @@ impl<P: Probe> Engine<P> {
         // `halt` takes back exactly the allocations accrued so far, so the
         // tracker must first be caught up to the halt boundary.
         self.sync_task(id, t);
-        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        let task = self.tasks.task_mut(id);
         let rec = task.isw.halt(index, t);
         if self.config.record_history {
             task.halted_corrections.extend(rec.slot_allocs);
@@ -1008,15 +1106,14 @@ impl<P: Probe> Engine<P> {
     }
 
     fn handle_reweight(&mut self, id: TaskId, t: Slot, want: Weight) {
-        // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-        if !self.tasks[id.idx()].in_system {
+        if !self.tasks.in_system(id) {
             return;
         }
         // The paper's reweighting rules cover *light* tasks only (§2);
         // heavy tasks schedule correctly (group-deadline tie-break) but
         // may not reweight, nor may a task reweight into the heavy
         // class. Such requests are rejected and counted.
-        let currently_heavy = self.tasks[id.idx()].swt > Rational::new(1, 2); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        let currently_heavy = self.tasks.swt(id) > Rational::new(1, 2);
         if currently_heavy || want.is_heavy() {
             self.counters.rejected_heavy_reweights += 1;
             return;
@@ -1026,7 +1123,7 @@ impl<P: Probe> Engine<P> {
         };
         self.counters.reweight_initiations += 1;
         let v: Rational = granted.value();
-        let old_swt = self.tasks[id.idx()].swt; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        let old_swt = self.tasks.swt(id);
 
         // Catch the trackers up to the initiation boundary first: `I_PS`
         // accrues the old weight up to `t` before `set_wt`, and the rules
@@ -1035,12 +1132,12 @@ impl<P: Probe> Engine<P> {
 
         // The actual weight (and I_PS) changes at initiation, always.
         {
-            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let task = self.tasks.task_mut(id);
             task.wt = v;
             task.ps.set_wt(v);
         }
 
-        let current_drift = self.tasks[id.idx()].drift.at(t); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        let current_drift = self.tasks.task(id).drift.at(t);
         let choice = self.selector.choose(id, t, old_swt, v, current_drift);
         // Direct per-event cost: queue operations and halts performed
         // while the rules run. Deferred cost (stale entries stranded by
@@ -1055,7 +1152,7 @@ impl<P: Probe> Engine<P> {
             queue_ops: self.counters.heap_ops().saturating_sub(ops_before),
             halts: self.counters.halts.saturating_sub(halts_before),
         };
-        let pending = self.tasks[id.idx()].pending; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        let pending = self.tasks.task(id).pending;
         let enact_at = pending.map_or(t, |p| p.at);
         self.probe
             .on_reweight_initiated(id, t, rule, cost, enact_at);
@@ -1072,7 +1169,7 @@ impl<P: Probe> Engine<P> {
     /// Returns the rule that resolved the initiation (probe reporting).
     fn reweight_oi(&mut self, id: TaskId, t: Slot, v: Rational) -> Rule {
         let (last, d_passed) = {
-            let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let task = self.tasks.task(id);
             let last = task.last_released().copied();
             let d_passed = last.is_some_and(|s| s.window.deadline <= t);
             (last, d_passed)
@@ -1081,8 +1178,8 @@ impl<P: Probe> Engine<P> {
         let Some(tj) = last else {
             // No subtask released yet: enact immediately; the first
             // release (already scheduled) will use the new weight.
-            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-            task.swt = v;
+            self.tasks.set_swt(id, v);
+            let task = self.tasks.task_mut(id);
             task.isw.set_swt(v);
             task.pending = None;
             self.counters.reweight_enactments += 1;
@@ -1106,12 +1203,12 @@ impl<P: Probe> Engine<P> {
             // yet be complete in I_SW, but a *superseding* initiation may
             // find its completion already known — then the wait resolves
             // to a concrete time immediately.
-            let increase = v > self.tasks[id.idx()].swt; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let increase = v > self.tasks.swt(id);
             if increase {
                 // I(i): enact immediately; era-opening release waits for
                 // D(I_SW, T_j) + b(T_j).
-                let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-                task.swt = v;
+                self.tasks.set_swt(id, v);
+                let task = self.tasks.task_mut(id);
                 task.isw.set_swt(v);
                 task.era_base = task.next_index - 1;
                 self.counters.reweight_enactments += 1;
@@ -1131,8 +1228,8 @@ impl<P: Probe> Engine<P> {
             // per-slot tracker would have discovered.
             let proj = tj
                 .isw_completion
-                .or_else(|| self.tasks[id.idx()].isw.projected_completion(tj.index)); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-                                                                                      // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
+                .or_else(|| self.tasks.task(id).isw.projected_completion(tj.index));
+            // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
             assert!(
                 proj.is_some(),
                 "scheduled incomplete subtask must project an I_SW completion"
@@ -1147,7 +1244,7 @@ impl<P: Probe> Engine<P> {
             if !already_halted {
                 self.halt_subtask(id, tj.index, t);
             }
-            let pred = self.tasks[id.idx()].pred_of(tj.index).copied(); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let pred = self.tasks.task(id).pred_of(tj.index).copied();
             match pred {
                 None => self.park_or_enact(id, t, v, t, PendKind::Enact),
                 Some(p) => {
@@ -1157,8 +1254,8 @@ impl<P: Probe> Engine<P> {
                     // consulted before the tracker.
                     let proj = p
                         .isw_completion
-                        .or_else(|| self.tasks[id.idx()].isw.projected_completion(p.index)); // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-                                                                                             // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
+                        .or_else(|| self.tasks.task(id).isw.projected_completion(p.index));
+                    // audit: allow(panic-reach, run-invariant assertion, a violation is a scheduler bug and must abort)
                     assert!(
                         proj.is_some(),
                         "predecessor of a released subtask must project an I_SW completion"
@@ -1175,7 +1272,9 @@ impl<P: Probe> Engine<P> {
     /// wait out rule L on the last-scheduled subtask, rejoin with the new
     /// weight. Returns [`Rule::Lj`] (probe reporting).
     fn reweight_lj(&mut self, id: TaskId, t: Slot, v: Rational) -> Rule {
-        let withdraw: Vec<u64> = self.tasks[id.idx()] // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        let withdraw: Vec<u64> = self
+            .tasks
+            .task(id)
             .subs
             .iter()
             .filter(|s| s.scheduled_at.is_none() && s.halted_at.is_none())
@@ -1184,7 +1283,9 @@ impl<P: Probe> Engine<P> {
         for index in withdraw {
             self.halt_subtask(id, index, t);
         }
-        let at = self.tasks[id.idx()] // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+        let at = self
+            .tasks
+            .task(id)
             .last_scheduled
             .map_or(t, |w| (w.deadline + i64::from(w.b)).max(t));
         self.park_or_enact(id, t, v, at, PendKind::Enact);
@@ -1195,11 +1296,11 @@ impl<P: Probe> Engine<P> {
     /// is the current slot (enactments for slot `t` have already run).
     fn park_or_enact(&mut self, id: TaskId, t: Slot, v: Rational, at: Slot, kind: PendKind) {
         let fire_now = at <= t;
-        let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-        task.next_release = None;
+        self.tasks.set_next_release(id, None);
         if fire_now {
             if kind == PendKind::Enact {
-                task.swt = v;
+                self.tasks.set_swt(id, v);
+                let task = self.tasks.task_mut(id);
                 task.isw.set_swt(v);
                 task.era_base = task.next_index - 1;
                 self.counters.reweight_enactments += 1;
@@ -1207,12 +1308,13 @@ impl<P: Probe> Engine<P> {
                     self.admission.note_enacted(id, w);
                 }
             }
+            let task = self.tasks.task_mut(id);
             task.era_open_pending = true;
-            task.next_release = Some(t);
             task.pending = None;
+            self.tasks.set_next_release(id, Some(t));
             self.note_release(id, t);
         } else {
-            task.pending = Some(Pending {
+            self.tasks.task_mut(id).pending = Some(Pending {
                 target: v,
                 at,
                 kind,
@@ -1241,27 +1343,25 @@ impl<P: Probe> Engine<P> {
         // probes keep the per-release emission order unchanged.
         let mut batch: Vec<ReleaseRec> = Vec::new();
         for id in Self::in_task_order(due) {
-            {
-                let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-                if !task.in_system || task.next_release != Some(t) {
-                    continue; // moved, suppressed, or already fired
-                }
+            if !self.tasks.in_system(id) || self.tasks.next_release(id) != Some(t) {
+                continue; // moved, suppressed, or already fired
             }
             // Per-release synchronization boundary: drift samples read
             // A(·, 0, t) below, and settling completions here also keeps
             // `subs` and the tracker's retained records bounded.
             self.sync_task(id, t);
             let tie_rank = self.tie.rank(id);
-            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let swt = self.tasks.swt(id);
+            let task = self.tasks.task_mut(id);
             let index = task.next_index;
             task.next_index += 1;
             let rank = index - task.era_base;
             // audit: allow(panic, engine invariant: reweight rules keep swt within (0 and 1]); allow(panic-reach, present by the engine's slab and queue liveness invariants)
-            let weight = Weight::try_new(task.swt).expect("invalid scheduling weight");
+            let weight = Weight::try_new(swt).expect("invalid scheduling weight");
             // One era memo serves every release until the next
             // enactment changes the scheduling weight.
             let cache = match &mut task.win_cache {
-                Some(c) if c.weight().value() == task.swt => c,
+                Some(c) if c.weight().value() == swt => c,
                 stale => stale.insert(WindowCache::new(weight)),
             };
             let (window, gd) = cache.window_and_group_deadline(rank, t);
@@ -1282,7 +1382,8 @@ impl<P: Probe> Engine<P> {
             let pred_b = if era_first {
                 false
             } else {
-                task.pred_of(index) // audit: allow(panic-reach, present by the engine's slab and queue liveness invariants)
+                // audit: allow(panic-reach, within an era the predecessor record is retained until its successor releases)
+                task.pred_of(index)
                     .map(|p| p.window.b)
                     // audit: allow(panic, engine invariant: within an era the predecessor record is retained)
                     .expect("non-era-first release without predecessor")
@@ -1303,14 +1404,15 @@ impl<P: Probe> Engine<P> {
             // or leave suppresses it.
             let successor =
                 (task.pending.is_none() && task.leaving.is_none()).then(|| window.next_release());
-            task.next_release = successor;
 
             // New schedulable head?
-            // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-            if task.head_pos().map(|p| task.subs[p].index) == Some(index) {
+            // audit: allow(panic-reach, head_pos returns an in-range position into subs)
+            let new_head = task.head_pos().map(|p| task.subs[p].index) == Some(index);
+            self.tasks.set_next_release(id, successor);
+            if new_head {
                 let entry = QueueEntry {
                     priority: Priority::pack(window.deadline, window.b, gd, tie_rank),
-                    task: task.id,
+                    task: id,
                     index,
                 };
                 self.queue.push(entry, &mut self.counters);
@@ -1318,6 +1420,11 @@ impl<P: Probe> Engine<P> {
             if let Some(r) = successor {
                 self.note_release(id, r);
             }
+            // Miss detection watches every released subtask by deadline;
+            // stale entries (scheduled, halted, departed, translated by a
+            // busy-span jump) are validated away when they pop.
+            self.miss_watch
+                .push(Reverse((window.deadline, id.0, index)));
             if P::SPAN_AWARE {
                 batch.push(ReleaseRec {
                     task: id,
@@ -1337,31 +1444,6 @@ impl<P: Probe> Engine<P> {
 
     // ---- step 5: PD² selection -----------------------------------------
 
-    fn select_and_schedule(&mut self, t: Slot) -> Vec<TaskId> {
-        let chosen = self.pop_and_schedule(t);
-
-        // Preemptions: ran last slot, not chosen now, still has released
-        // unscheduled work. The tickless quick path replaces this full
-        // scan with a delta over last slot's chosen set
-        // (`sweep_ran_flags`), which is equivalent because `ran_last_slot`
-        // is only ever true for members of the previous chosen set.
-        let mut preempted: Vec<TaskId> = Vec::new();
-        for task in &mut self.tasks {
-            let runs_now = chosen.contains(&task.id);
-            if task.ran_last_slot && !runs_now && task.head_pos().is_some() {
-                self.counters.preemptions += 1;
-                preempted.push(task.id);
-            }
-            task.ran_last_slot = runs_now;
-        }
-        for id in preempted {
-            self.probe.on_preempt(id, t);
-        }
-
-        self.promote_successors(&chosen);
-        chosen
-    }
-
     /// PD² selection proper: pops up to `M` live subtasks from the ready
     /// queue, marks them scheduled, counts holes, and assigns
     /// processors. Shared verbatim between the per-slot pipeline and the
@@ -1375,18 +1457,25 @@ impl<P: Probe> Engine<P> {
             let Some(entry) = self.queue.pop_live_traced(
                 &mut self.counters,
                 |e| {
-                    let task = &tasks[e.task.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-                    task.in_system
-                        && task.subs.iter().any(|s| {
-                            s.index == e.index && s.scheduled_at.is_none() && s.halted_at.is_none()
+                    tasks.in_system(e.task)
+                        && tasks.get(e.task).is_some_and(|task| {
+                            task.subs.iter().any(|s| {
+                                s.index == e.index
+                                    && s.scheduled_at.is_none()
+                                    && s.halted_at.is_none()
+                            })
                         })
                 },
                 |e| probe.on_stale_pop(e.task, e.index, t),
             ) else {
                 break;
             };
-            let task = &mut self.tasks[entry.task.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
-            let sub = task // audit: allow(panic-reach, present by the engine's slab and queue liveness invariants)
+            // Scheduling settles the head record; the task must reach
+            // the end-of-slot prune.
+            self.touched.push(entry.task);
+            let task = self.tasks.task_mut(entry.task);
+            // audit: allow(panic-reach, pop_live just verified the subtask is present and live)
+            let sub = task
                 .sub_mut(entry.index)
                 // audit: allow(panic, pop_live just verified the subtask is present and live)
                 .expect("live entry lost its subtask");
@@ -1416,9 +1505,9 @@ impl<P: Probe> Engine<P> {
     fn promote_successors(&mut self, chosen: &[TaskId]) {
         for &id in chosen {
             let tie_rank = self.tie.rank(id);
-            let task = &self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let task = self.tasks.task(id);
             if let Some(pos) = task.head_pos() {
-                let s = task.subs[pos]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+                let s = task.subs[pos]; // audit: allow(panic-reach, head_pos returns an in-range position into subs)
                 let entry = QueueEntry {
                     priority: Priority::pack(
                         s.window.deadline,
@@ -1441,7 +1530,7 @@ impl<P: Probe> Engine<P> {
         let mut cpu_taken = vec![false; m];
         let mut unplaced: Vec<TaskId> = Vec::new();
         for &id in chosen {
-            let last = self.tasks[id.idx()].last_cpu; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let last = self.tasks.task(id).last_cpu;
             match last {
                 // audit: allow(lossy-cast, u32→usize is lossless on the supported targets); allow(panic-reach, cpu ids are < processors, the length of cpu_taken)
                 Some(c) if !cpu_taken[c as usize] => cpu_taken[c as usize] = true,
@@ -1457,7 +1546,7 @@ impl<P: Probe> Engine<P> {
             // audit: allow(panic, PD² selection never chooses more than `processors` tasks); allow(panic-reach, present by the engine's slab and queue liveness invariants)
             let cpu = free.pop().expect("more chosen tasks than processors");
             cpu_taken[cpu as usize] = true; // audit: allow(lossy-cast, u32→usize is lossless on the supported targets); allow(panic-reach, cpu ids are < processors, the length of cpu_taken)
-            let task = &mut self.tasks[id.idx()]; // audit: allow(panic-reach, task slab is indexed by an admitted TaskId, ids stay dense for the run)
+            let task = self.tasks.task_mut(id);
             if task.last_cpu.is_some() {
                 self.counters.migrations += 1;
             }
@@ -1472,10 +1561,8 @@ impl<P: Probe> Engine<P> {
     /// closed-form jumps buy nothing there. Event-driven runs skip this
     /// entirely and rely on `TaskState::sync_ideals_to`.
     fn advance_ideals(&mut self, t: Slot) {
-        for task in &mut self.tasks {
-            if !task.in_system {
-                continue;
-            }
+        for id in self.tasks.present_ids() {
+            let task = self.tasks.task_mut(id);
             let (slot_alloc, completions) = task.isw.advance(t);
             task.ps.advance(t);
             let idx = slot_index(t);
@@ -1493,30 +1580,82 @@ impl<P: Probe> Engine<P> {
 
     // ---- step 7: miss detection -----------------------------------------
 
+    /// Pops the miss-watch heap instead of scanning every task: each
+    /// release pushed `(deadline, task, index)`, so the due entries at
+    /// a full step are exactly the candidates the oracle's scan would
+    /// visit, in the same `(task, index)` order within the deadline.
+    /// Entries whose record is no longer a pending miss — scheduled,
+    /// halted, departed, or re-windowed by a busy-span jump (which
+    /// rebuilds the watch) — validate away here.
+    ///
+    /// Entries can surface with `deadline ≤ t` only when their slot was
+    /// consumed by a closed-form driver, and those slots provably hold
+    /// no miss: a quiet span has an empty ready queue (no pending
+    /// released subtask exists at all), and a quick release slot
+    /// schedules everything it releases. The debug assertion pins that
+    /// argument.
     fn check_misses(&mut self, t: Slot) {
-        for task in &mut self.tasks {
-            if !task.in_system {
+        while let Some(&Reverse((deadline, raw_task, index))) = self.miss_watch.peek() {
+            if deadline > t + 1 {
+                break;
+            }
+            self.miss_watch.pop();
+            let id = TaskId(raw_task);
+            let live_pending = self.tasks.in_system(id)
+                && self.tasks.get(id).is_some_and(|task| {
+                    task.subs.iter().any(|s| {
+                        s.index == index
+                            && s.scheduled_at.is_none()
+                            && s.halted_at.is_none()
+                            && !s.missed
+                            && s.window.deadline == deadline
+                    })
+                });
+            if deadline < t + 1 {
+                debug_assert!(
+                    !live_pending,
+                    "miss slipped through a batched slot: {id} index {index} deadline {deadline}"
+                );
                 continue;
             }
-            for sub in &mut task.subs {
-                if sub.scheduled_at.is_none()
-                    && sub.halted_at.is_none()
-                    && !sub.missed
-                    && sub.window.deadline == t + 1
-                {
-                    sub.missed = true;
-                    self.probe
-                        .on_miss(task.id, sub.index, t, sub.window.deadline);
-                    self.misses.push(Miss {
-                        task: task.id,
-                        index: sub.index,
-                        deadline: sub.window.deadline,
-                    });
+            if !live_pending {
+                continue;
+            }
+            if let Some(sub) = self.tasks.task_mut(id).sub_mut(index) {
+                sub.missed = true;
+            }
+            self.probe.on_miss(id, index, t, deadline);
+            self.misses.push(Miss {
+                task: id,
+                index,
+                deadline,
+            });
+        }
+    }
+
+    /// Rebuilds the miss-watch heap from the live records — required
+    /// after any transformation that moves windows (a busy-span jump
+    /// translates every pending deadline by the jump length) or
+    /// replaces the record set wholesale (snapshot restore).
+    fn rebuild_miss_watch(&mut self) {
+        self.miss_watch.clear();
+        for id in self.tasks.present_ids() {
+            for s in &self.tasks.task(id).subs {
+                if s.scheduled_at.is_none() && s.halted_at.is_none() && !s.missed {
+                    self.miss_watch
+                        .push(Reverse((s.window.deadline, id.0, s.index)));
                 }
             }
         }
     }
 }
+
+// The shard supervisor moves engines into scoped worker threads; this
+// must keep compiling if any future field change makes `Engine` !Send.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+};
 
 /// Runs a full simulation: build, run to horizon, collect.
 ///

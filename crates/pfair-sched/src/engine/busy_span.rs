@@ -45,6 +45,7 @@
 //! metrics snapshots, and engine snapshots of batched and per-slot
 //! runs are byte-identical.
 
+use super::slab::TaskSlab;
 use super::{Engine, SubRec, TaskState};
 use crate::calendar::CalendarRing;
 use crate::overhead::Counters;
@@ -137,9 +138,9 @@ struct SpanProbe {
     /// [`SpanVerdict::CpuRotation`] until it covers the sticky
     /// assignment's cycle.
     period: Slot,
-    /// Jump ceiling fixed at arm time: `min(next_boundary, horizon)`.
+    /// Jump ceiling fixed at arm time: `min(next_boundary, run limit)`.
     end: Slot,
-    tasks: Vec<TaskState>,
+    tasks: TaskSlab,
     queue: Vec<QueueEntry>,
     release_ring: Vec<(Slot, TaskId)>,
     enact_ring: Vec<(Slot, TaskId)>,
@@ -182,7 +183,7 @@ impl<P: Probe> Engine<P> {
     /// probe toward its verification slot, verifies-and-jumps at that
     /// slot, or considers arming a fresh probe. O(1) when nothing is
     /// armed and arming is not due.
-    pub(super) fn busy_span_tick(&mut self, prev: &mut Vec<TaskId>) {
+    pub(super) fn busy_span_tick(&mut self) {
         if !P::SPAN_AWARE || !self.config.busy_span {
             return;
         }
@@ -193,7 +194,7 @@ impl<P: Probe> Engine<P> {
                 return;
             }
             if self.now == verify_at {
-                match self.verify_and_apply(&probe, prev) {
+                match self.verify_and_apply(&probe) {
                     SpanVerdict::Jumped => {
                         self.busy_span_jumps += 1;
                         self.busy.fails = 0;
@@ -250,7 +251,9 @@ impl<P: Probe> Engine<P> {
         if now < self.busy.next_attempt || self.queue.is_empty() || !self.injected.is_empty() {
             return;
         }
-        let end = self.next_boundary(now).min(self.config.horizon);
+        // Clamp to the current run segment: a jump must never carry
+        // `now` past a `run_to` boundary.
+        let end = self.next_boundary(now).min(self.run_limit);
         if end >= SLOT_SAFE_BOUND {
             return;
         }
@@ -289,13 +292,12 @@ impl<P: Probe> Engine<P> {
     fn span_period(&self, end: Slot) -> Option<Slot> {
         let mut acc: i128 = 1;
         let mut any = false;
-        for task in &self.tasks {
-            if !task.in_system {
-                continue;
-            }
-            if let Some(r) = task.next_release {
+        // A pure hot-column scan: presence bitmap word-walk, then the
+        // next_release and swt columns — the cold rows stay untouched.
+        for id in self.tasks.present_iter() {
+            if let Some(r) = self.tasks.next_release(id) {
                 if r < end {
-                    acc = checked_lcm(acc, task.swt.denom())?;
+                    acc = checked_lcm(acc, self.tasks.swt(id).denom())?;
                     if acc > i128::from(MAX_SPAN_PERIOD) {
                         return None;
                     }
@@ -314,7 +316,7 @@ impl<P: Probe> Engine<P> {
     /// remaining whole periods in one step. Returns whether a jump was
     /// enacted; `false` leaves the engine exactly as the per-slot
     /// oracle left it.
-    fn verify_and_apply(&mut self, probe: &SpanProbe, prev: &mut Vec<TaskId>) -> SpanVerdict {
+    fn verify_and_apply(&mut self, probe: &SpanProbe) -> SpanVerdict {
         let period = probe.period;
         let t1 = probe.t0 + period;
         if self.now != t1
@@ -334,8 +336,10 @@ impl<P: Probe> Engine<P> {
         // already matched — widening the span is worth trying.
         let mut rotating = false;
         let mut deltas: Vec<TaskDelta> = Vec::with_capacity(self.tasks.len());
-        for (a, b) in probe.tasks.iter().zip(self.tasks.iter()) {
-            match task_delta(a, b, period, probe.end) {
+        for i in 0..self.tasks.len() {
+            // audit: allow(lossy-cast, slab ids stay within u32 by construction)
+            let id = TaskId(i as u32);
+            match task_delta(&probe.tasks, &self.tasks, id, period, probe.end) {
                 Ok(d) => deltas.push(d),
                 Err(DeltaError::CpuRotation) => {
                     rotating = true;
@@ -403,21 +407,20 @@ impl<P: Probe> Engine<P> {
             return SpanVerdict::Mismatch;
         }
         // Re-derive the ceiling defensively (verification above already
-        // implies it has not moved) and jump whole periods only.
-        let end = probe
-            .end
-            .min(self.next_boundary(t1))
-            .min(self.config.horizon);
+        // implies it has not moved) and jump whole periods only. The
+        // run-segment limit subsumes the horizon clamp (`run_to` never
+        // sets it above the horizon).
+        let end = probe.end.min(self.next_boundary(t1)).min(self.run_limit);
         let k = (end - t1) / period; // audit: allow(panic-reach, span_period returns a positive lcm, so the armed period is >= 1)
         if k < 1 {
             return SpanVerdict::Mismatch;
         }
-        if self.apply_jump(k, period, &deltas, &delta, prev) {
+        if self.apply_jump(k, period, &deltas, &delta) {
             // Tell the probe the jump happened. The digest is the exact
             // per-period aggregate just verified bit-for-bit; skip its
             // construction under the no-op probe (which discards it).
             if !P::IS_NOOP {
-                let digest = span_digest(period, &probe.tasks, &deltas, &delta);
+                let digest = span_digest(period, &deltas, &delta);
                 self.probe
                     .on_busy_span_jump(probe.t0, t1, u64::try_from(k).unwrap_or(0), &digest);
             }
@@ -436,7 +439,6 @@ impl<P: Probe> Engine<P> {
         period: Slot,
         deltas: &[TaskDelta],
         delta: &Counters,
-        prev: &mut Vec<TaskId>,
     ) -> bool {
         let Some((tasks, queue, release_at, counters, now)) =
             self.build_jump(k, period, deltas, delta)
@@ -448,16 +450,14 @@ impl<P: Probe> Engine<P> {
         self.release_at = release_at;
         self.counters = counters;
         self.now = now;
-        // The driver's `prev` set is last slot's chosen tasks; their
-        // membership survives Φ as the `ran_last_slot` flags (only
+        // Last slot's chosen set survives Φ as the `ran` bitmap (only
         // membership is ever read — `sweep_ran_flags` treats it as a
         // set and reports preemptions in ascending id order anyway).
-        *prev = self
-            .tasks
-            .iter()
-            .filter(|t| t.ran_last_slot)
-            .map(|t| t.id)
-            .collect();
+        self.last_chosen = self.tasks.ran_ids();
+        // Miss-watch entries name pre-jump deadlines; every pending
+        // subtask window just translated by k·P, so rebuild the watch
+        // from the committed slab.
+        self.rebuild_miss_watch();
         true
     }
 
@@ -472,17 +472,27 @@ impl<P: Probe> Engine<P> {
         period: Slot,
         deltas: &[TaskDelta],
         delta: &Counters,
-    ) -> Option<(Vec<TaskState>, ReadyQueue, CalendarRing, Counters, Slot)> {
+    ) -> Option<(TaskSlab, ReadyQueue, CalendarRing, Counters, Slot)> {
         let ki = u64::try_from(k).ok()?;
         let ds = period.checked_mul(k)?;
         let now = self.now.checked_add(ds)?;
-        let mut tasks = Vec::with_capacity(self.tasks.len());
-        for (task, d) in self.tasks.iter().zip(deltas) {
+        // Fixed tasks keep their rows and columns verbatim (Φ is the
+        // identity on them), so start from a clone of the whole slab
+        // and overwrite only the advancing tasks: cold row via
+        // `translate_task`, next-release column shifted by k·P. The
+        // present/ran/swt columns are translation-invariant.
+        let mut tasks = self.tasks.clone();
+        for (i, d) in deltas.iter().enumerate() {
             if d.d_index == 0 {
-                tasks.push(task.clone());
-            } else {
-                tasks.push(translate_task(task, ds, k, ki, d)?);
+                continue;
             }
+            // audit: allow(lossy-cast, slab ids stay within u32 by construction)
+            let id = TaskId(i as u32);
+            *tasks.get_mut(id)? = translate_task(self.tasks.get(id)?, ds, k, ki, d)?;
+            // Advancing tasks always carry a release (task_delta
+            // requires one), so a missing column value bails the jump.
+            let r = self.tasks.next_release(id)?;
+            tasks.set_next_release(id, Some(r.checked_add(ds)?));
         }
         let mut entries = self.queue.entries_sorted();
         for e in &mut entries {
@@ -527,27 +537,31 @@ impl<P: Probe> Engine<P> {
 /// scheduling-visible field already matched and only the sticky
 /// assignment's cycle outruns the period.
 fn task_delta(
-    a: &TaskState,
-    b: &TaskState,
+    a: &TaskSlab,
+    b: &TaskSlab,
+    id: TaskId,
     period: Slot,
     end: Slot,
 ) -> Result<TaskDelta, DeltaError> {
     let fail = DeltaError::Mismatch;
-    if a.in_system != b.in_system {
+    if a.in_system(id) != b.in_system(id) {
         return Err(fail);
     }
-    if !b.in_system {
+    if !b.in_system(id) {
         // Departed or not-yet-joined tasks must be entirely untouched.
-        return task_fixed_equal(a, b).then(TaskDelta::fixed).ok_or(fail);
+        return task_fixed_equal(a, b, id)
+            .then(TaskDelta::fixed)
+            .ok_or(fail);
     }
-    let d_index = b.next_index.checked_sub(a.next_index).ok_or(fail)?;
+    let (ta, tb) = (a.get(id).ok_or(fail)?, b.get(id).ok_or(fail)?);
+    let d_index = tb.next_index.checked_sub(ta.next_index).ok_or(fail)?;
     if d_index == 0 {
-        if !task_fixed_equal(a, b) {
+        if !task_fixed_equal(a, b, id) {
             return Err(fail);
         }
         // A task fixed over one period must stay fixed over the whole
         // extrapolated span: no release scheduled before its end.
-        return match a.next_release {
+        return match a.next_release(id) {
             Some(r) if r < end => Err(fail),
             _ => Ok(TaskDelta::fixed()),
         };
@@ -555,16 +569,17 @@ fn task_delta(
     // Advancing task: reweighting state must be quiescent and
     // era-stable (drift samples only appear at era boundaries, so
     // equality of the tracks is implied but checked anyway).
-    if a.pending.is_some() || b.pending.is_some() || a.leaving.is_some() || b.leaving.is_some() {
+    if ta.pending.is_some() || tb.pending.is_some() || ta.leaving.is_some() || tb.leaving.is_some()
+    {
         return Err(fail);
     }
-    if a.era_base != b.era_base || a.era_open_pending || b.era_open_pending {
+    if ta.era_base != tb.era_base || ta.era_open_pending || tb.era_open_pending {
         return Err(fail);
     }
-    if a.wt != b.wt || a.swt != b.swt || a.drift != b.drift {
+    if ta.wt != tb.wt || a.swt(id) != b.swt(id) || ta.drift != tb.drift {
         return Err(fail);
     }
-    if a.ran_last_slot != b.ran_last_slot {
+    if a.ran_last_slot(id) != b.ran_last_slot(id) {
         return Err(fail);
     }
     // Analytic periodicity (Eqns (2)–(4)): weight `num/den` advances
@@ -572,8 +587,9 @@ fn task_delta(
     // `den`. The period must be a whole multiple of `den` and the
     // observed rank delta must match — this pins the extrapolation to
     // the closed-form window math, not just to one lucky period.
-    let den = a.swt.denom();
-    let num = a.swt.numer();
+    let swt = a.swt(id);
+    let den = swt.denom();
+    let num = swt.numer();
     if den <= 0 || num <= 0 {
         return Err(fail);
     }
@@ -583,38 +599,38 @@ fn task_delta(
     {
         return Err(fail);
     }
-    match (a.next_release, b.next_release) {
+    match (a.next_release(id), b.next_release(id)) {
         (Some(ra), Some(rb)) if ra.checked_add(period) == Some(rb) => {}
         _ => return Err(fail),
     }
-    match (a.last_scheduled, b.last_scheduled) {
+    match (ta.last_scheduled, tb.last_scheduled) {
         (None, None) => {}
         (Some(wa), Some(wb)) if shift_window(wa, period) == Some(wb) => {}
         _ => return Err(fail),
     }
-    if a.subs.len() != b.subs.len() {
+    if ta.subs.len() != tb.subs.len() {
         return Err(fail);
     }
-    for (sa, sb) in a.subs.iter().zip(b.subs.iter()) {
+    for (sa, sb) in ta.subs.iter().zip(tb.subs.iter()) {
         if shift_sub(sa, period, d_index) != Some(*sb) {
             return Err(fail);
         }
     }
-    let isw_dt = b.isw.isw_total() - a.isw.isw_total();
-    if a.isw.translated(period, d_index, isw_dt).ok_or(fail)? != b.isw {
+    let isw_dt = tb.isw.isw_total() - ta.isw.isw_total();
+    if ta.isw.translated(period, d_index, isw_dt).ok_or(fail)? != tb.isw {
         return Err(fail);
     }
-    let ps_dt = b.ps.total() - a.ps.total();
-    if a.ps.translated(period, ps_dt).ok_or(fail)? != b.ps {
+    let ps_dt = tb.ps.total() - ta.ps.total();
+    if ta.ps.translated(period, ps_dt).ok_or(fail)? != tb.ps {
         return Err(fail);
     }
-    let sched = b
+    let sched = tb
         .scheduled_count
-        .checked_sub(a.scheduled_count)
+        .checked_sub(ta.scheduled_count)
         .ok_or(fail)?;
     // Everything scheduling-visible matches; the placement check comes
     // last so its failure is unambiguous.
-    if a.last_cpu != b.last_cpu {
+    if ta.last_cpu != tb.last_cpu {
         return Err(DeltaError::CpuRotation);
     }
     Ok(TaskDelta {
@@ -625,35 +641,40 @@ fn task_delta(
     })
 }
 
-/// Field-by-field equality for a task Φ must not move. The window memo
-/// (`win_cache`) is excluded — it is a pure per-era cache whose fill
-/// level depends on query history, carries no semantics, and is not
-/// part of the persisted encoding either. History accumulators are
-/// excluded too: busy spans only run with history recording off, so
-/// they are empty on both sides.
-fn task_fixed_equal(a: &TaskState, b: &TaskState) -> bool {
-    a.id == b.id
-        && a.in_system == b.in_system
-        && a.wt == b.wt
-        && a.swt == b.swt
-        && a.era_base == b.era_base
-        && a.next_index == b.next_index
-        && a.era_open_pending == b.era_open_pending
-        && a.next_release == b.next_release
-        && a.subs == b.subs
-        && a.pending == b.pending
-        && a.leaving == b.leaving
-        && a.last_scheduled == b.last_scheduled
-        && a.isw == b.isw
-        && a.ps == b.ps
-        && a.drift == b.drift
-        && a.scheduled_count == b.scheduled_count
-        && a.last_cpu == b.last_cpu
-        && a.ran_last_slot == b.ran_last_slot
+/// Field-by-field equality for a task Φ must not move: all four hot
+/// columns plus the cold row. The window memo (`win_cache`) is excluded
+/// — it is a pure per-era cache whose fill level depends on query
+/// history, carries no semantics, and is not part of the persisted
+/// encoding either. History accumulators are excluded too: busy spans
+/// only run with history recording off, so they are empty on both
+/// sides.
+fn task_fixed_equal(a: &TaskSlab, b: &TaskSlab, id: TaskId) -> bool {
+    let (Some(ta), Some(tb)) = (a.get(id), b.get(id)) else {
+        return false;
+    };
+    a.in_system(id) == b.in_system(id)
+        && a.swt(id) == b.swt(id)
+        && a.next_release(id) == b.next_release(id)
+        && a.ran_last_slot(id) == b.ran_last_slot(id)
+        && ta.id == tb.id
+        && ta.wt == tb.wt
+        && ta.era_base == tb.era_base
+        && ta.next_index == tb.next_index
+        && ta.era_open_pending == tb.era_open_pending
+        && ta.subs == tb.subs
+        && ta.pending == tb.pending
+        && ta.leaving == tb.leaving
+        && ta.last_scheduled == tb.last_scheduled
+        && ta.isw == tb.isw
+        && ta.ps == tb.ps
+        && ta.drift == tb.drift
+        && ta.scheduled_count == tb.scheduled_count
+        && ta.last_cpu == tb.last_cpu
 }
 
-/// The Φ-image of an advancing task under `k` periods (`ds = k · P`,
-/// rank advance `ki · ΔI`).
+/// The Φ-image of an advancing task's cold row under `k` periods
+/// (`ds = k · P`, rank advance `ki · ΔI`). The hot next-release column
+/// is shifted separately by [`Engine::build_jump`].
 fn translate_task(
     task: &TaskState,
     ds: Slot,
@@ -664,7 +685,6 @@ fn translate_task(
     let di = d.d_index.checked_mul(ki)?;
     let mut t = task.clone();
     t.next_index = task.next_index.checked_add(di)?;
-    t.next_release = Some(task.next_release?.checked_add(ds)?);
     t.scheduled_count = task.scheduled_count.checked_add(d.sched.checked_mul(ki)?)?;
     t.last_scheduled = match task.last_scheduled {
         None => None,
@@ -786,18 +806,14 @@ fn insert_release(
 /// bit by [`Engine::verify_and_apply`] before the digest is built, so a
 /// span-aware probe may multiply any field by the jump count and stay
 /// exact.
-fn span_digest(
-    period: Slot,
-    tasks: &[TaskState],
-    deltas: &[TaskDelta],
-    delta: &Counters,
-) -> SpanDigest {
-    let per_task: Vec<TaskSpanDelta> = tasks
+fn span_digest(period: Slot, deltas: &[TaskDelta], delta: &Counters) -> SpanDigest {
+    let per_task: Vec<TaskSpanDelta> = deltas
         .iter()
-        .zip(deltas.iter())
+        .enumerate()
         .filter(|(_, d)| d.d_index > 0 || d.sched > 0)
-        .map(|(t, d)| TaskSpanDelta {
-            task: t.id,
+        .map(|(i, d)| TaskSpanDelta {
+            // audit: allow(lossy-cast, slab ids stay within u32 by construction)
+            task: TaskId(i as u32),
             releases: d.d_index,
             schedules: d.sched,
         })

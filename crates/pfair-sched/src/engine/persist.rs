@@ -39,6 +39,7 @@
 //! ring-window membership), so a corrupted or hand-edited snapshot
 //! yields an `Err`, never a panicking or silently-wrong engine.
 
+use super::slab::TaskSlab;
 use super::{Engine, PendKind, Pending, SimConfig, SubRec, TaskState};
 use crate::admission::AdmissionController;
 use crate::calendar::CalendarRing;
@@ -50,7 +51,7 @@ use crate::reweight::RuleSelector;
 use crate::trace::Miss;
 use pfair_core::rational::Rational;
 use pfair_core::task::TaskId;
-use pfair_core::time::Slot;
+use pfair_core::time::{Slot, NEVER};
 use pfair_json::{obj, FromJson, Json, JsonError, ToJson};
 use pfair_obs::Probe;
 
@@ -192,38 +193,56 @@ impl FromJson for SimConfig {
     }
 }
 
-impl ToJson for TaskState {
+/// One task in interchange form: the cold [`TaskState`] row plus the
+/// four hot slab columns, flattened into the same per-task JSON object
+/// the format has always used (the storage split is an in-memory
+/// layout decision, not an interchange change).
+#[derive(Clone, Debug)]
+struct TaskSnap {
+    state: TaskState,
+    in_system: bool,
+    swt: Rational,
+    next_release: Option<Slot>,
+    ran_last_slot: bool,
+}
+
+impl ToJson for TaskSnap {
     fn to_json(&self) -> Json {
         // `win_cache` is a weight-validated memo and the four history
         // accumulators are empty outside history mode (which `snapshot`
         // refuses); neither is part of the interchange format.
         obj([
-            ("id", self.id.to_json()),
+            ("id", self.state.id.to_json()),
             ("in_system", self.in_system.to_json()),
-            ("wt", self.wt.to_json()),
+            ("wt", self.state.wt.to_json()),
             ("swt", self.swt.to_json()),
-            ("era_base", self.era_base.to_json()),
-            ("next_index", self.next_index.to_json()),
-            ("era_open_pending", self.era_open_pending.to_json()),
+            ("era_base", self.state.era_base.to_json()),
+            ("next_index", self.state.next_index.to_json()),
+            ("era_open_pending", self.state.era_open_pending.to_json()),
             ("next_release", self.next_release.to_json()),
             (
                 "subs",
-                self.subs.iter().copied().collect::<Vec<SubRec>>().to_json(),
+                self.state
+                    .subs
+                    .iter()
+                    .copied()
+                    .collect::<Vec<SubRec>>()
+                    .to_json(),
             ),
-            ("pending", self.pending.to_json()),
-            ("leaving", self.leaving.to_json()),
-            ("last_scheduled", self.last_scheduled.to_json()),
-            ("isw", self.isw.to_json()),
-            ("ps", self.ps.to_json()),
-            ("drift", self.drift.to_json()),
-            ("scheduled_count", self.scheduled_count.to_json()),
-            ("last_cpu", self.last_cpu.to_json()),
+            ("pending", self.state.pending.to_json()),
+            ("leaving", self.state.leaving.to_json()),
+            ("last_scheduled", self.state.last_scheduled.to_json()),
+            ("isw", self.state.isw.to_json()),
+            ("ps", self.state.ps.to_json()),
+            ("drift", self.state.drift.to_json()),
+            ("scheduled_count", self.state.scheduled_count.to_json()),
+            ("last_cpu", self.state.last_cpu.to_json()),
             ("ran_last_slot", self.ran_last_slot.to_json()),
         ])
     }
 }
 
-impl FromJson for TaskState {
+impl FromJson for TaskSnap {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
         let next_index: u64 = value.field("next_index")?;
         let era_base: u64 = value.field("era_base")?;
@@ -240,30 +259,32 @@ impl FromJson for TaskState {
         if subs.iter().any(|s| s.index >= next_index) {
             return Err(JsonError::new("subtask record at or past next_index"));
         }
-        Ok(TaskState {
-            id: value.field("id")?,
+        Ok(TaskSnap {
+            state: TaskState {
+                id: value.field("id")?,
+                wt: value.field("wt")?,
+                era_base,
+                next_index,
+                era_open_pending: value.field("era_open_pending")?,
+                subs: subs.into_iter().collect(),
+                pending: value.field("pending")?,
+                leaving: value.field("leaving")?,
+                last_scheduled: value.field("last_scheduled")?,
+                win_cache: None,
+                isw: value.field("isw")?,
+                ps: value.field("ps")?,
+                drift: value.field("drift")?,
+                scheduled_count: value.field("scheduled_count")?,
+                last_cpu: value.field("last_cpu")?,
+                archived: Vec::new(),
+                scheduled_slots: Vec::new(),
+                isw_per_slot: Vec::new(),
+                halted_corrections: Vec::new(),
+            },
             in_system: value.field("in_system")?,
-            wt: value.field("wt")?,
             swt: value.field("swt")?,
-            era_base,
-            next_index,
-            era_open_pending: value.field("era_open_pending")?,
             next_release: value.field("next_release")?,
-            subs: subs.into_iter().collect(),
-            pending: value.field("pending")?,
-            leaving: value.field("leaving")?,
-            last_scheduled: value.field("last_scheduled")?,
-            win_cache: None,
-            isw: value.field("isw")?,
-            ps: value.field("ps")?,
-            drift: value.field("drift")?,
-            scheduled_count: value.field("scheduled_count")?,
-            last_cpu: value.field("last_cpu")?,
             ran_last_slot: value.field("ran_last_slot")?,
-            archived: Vec::new(),
-            scheduled_slots: Vec::new(),
-            isw_per_slot: Vec::new(),
-            halted_corrections: Vec::new(),
         })
     }
 }
@@ -328,7 +349,7 @@ pub struct EngineSnapshot {
     events: Vec<Event>,
     next_event: usize,
     injected: Vec<Event>,
-    tasks: Vec<TaskState>,
+    tasks: Vec<TaskSnap>,
     queue: Vec<QueueEntry>,
     selector: RuleSelector,
     committed: Vec<Rational>,
@@ -372,8 +393,11 @@ impl EngineSnapshot {
         }
         let n = self.tasks.len();
         for (i, task) in self.tasks.iter().enumerate() {
-            if task.id.idx() != i {
-                return Err(format!("task slab not dense: slot {i} holds {}", task.id));
+            if task.state.id.idx() != i {
+                return Err(format!(
+                    "task slab not dense: slot {i} holds {}",
+                    task.state.id
+                ));
             }
         }
         if self.selector.task_slots() != n {
@@ -464,14 +488,20 @@ impl<P: Probe> Engine<P> {
                     .to_string(),
             );
         }
-        let tasks = self
-            .tasks
-            .iter()
-            .map(|t| {
-                let mut t = t.clone();
+        let tasks = (0..self.tasks.len())
+            .map(|i| {
+                // audit: allow(lossy-cast, slab ids stay within u32 by construction)
+                let id = TaskId(i as u32);
+                let mut state = self.tasks.task(id).clone();
                 // Canonical form: the memo is rebuilt on first use.
-                t.win_cache = None;
-                t
+                state.win_cache = None;
+                TaskSnap {
+                    state,
+                    in_system: self.tasks.in_system(id),
+                    swt: self.tasks.swt(id),
+                    next_release: self.tasks.next_release(id),
+                    ran_last_slot: self.tasks.ran_last_slot(id),
+                }
             })
             .collect();
         Ok(EngineSnapshot {
@@ -530,7 +560,31 @@ impl<P: Probe> Engine<P> {
         let release_at = snapshot.release_at.into_ring()?;
         let enact_at = snapshot.enact_at.into_ring()?;
         let leave_at = snapshot.leave_at.into_ring()?;
-        Ok(Engine {
+        // Re-column the flattened task images: cold rows into the slab,
+        // hot values back into the dense columns.
+        let mut tasks = TaskSlab::new(n);
+        for snap in snapshot.tasks {
+            let id = snap.state.id;
+            tasks.set_in_system(id, snap.in_system);
+            tasks.set_swt(id, snap.swt);
+            tasks.set_next_release(id, snap.next_release);
+            tasks.set_ran(id, snap.ran_last_slot);
+            *tasks.task_mut(id) = snap.state;
+        }
+        // Derived per-run state rebuilt rather than trusted: last slot's
+        // chosen set from the ran column, the injected-event floor from
+        // the injected list, the miss watch from pending subtasks, and
+        // the run-segment limit back at the horizon (a restored engine
+        // is not inside any `run_to` segment).
+        let last_chosen = tasks.ran_ids();
+        let injected_min = snapshot
+            .injected
+            .iter()
+            .map(|e| e.at)
+            .min()
+            .unwrap_or(NEVER);
+        let run_limit = snapshot.config.horizon;
+        let mut engine = Engine {
             probe,
             selector: snapshot.selector,
             admission: AdmissionController::from_parts(
@@ -540,12 +594,17 @@ impl<P: Probe> Engine<P> {
             ),
             events: snapshot.events,
             next_event: snapshot.next_event,
-            tasks: snapshot.tasks,
+            tasks,
             queue: ReadyQueue::from_entries(snapshot.queue),
             counters: snapshot.counters,
             misses: snapshot.misses,
             now: snapshot.now,
             injected: snapshot.injected,
+            injected_min,
+            last_chosen,
+            touched: Vec::new(),
+            miss_watch: std::collections::BinaryHeap::new(),
+            run_limit,
             tie,
             release_at,
             enact_at,
@@ -557,7 +616,9 @@ impl<P: Probe> Engine<P> {
             busy: super::busy_span::BusySpanState::default(),
             busy_span_jumps: 0,
             config: snapshot.config,
-        })
+        };
+        engine.rebuild_miss_watch();
+        Ok(engine)
     }
 }
 

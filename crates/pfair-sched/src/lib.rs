@@ -51,6 +51,7 @@ pub mod priority;
 pub mod queue;
 pub mod render;
 pub mod reweight;
+pub mod shard;
 pub mod svg;
 pub mod trace;
 pub mod verify;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::overhead::Counters;
     pub use crate::priority::TieBreak;
     pub use crate::reweight::{HybridPolicy, Scheme};
+    pub use crate::shard::{ShardReport, ShardSet, ShardSpec};
     pub use crate::trace::{Miss, SimResult, TaskResult};
     pub use pfair_core::rational::{rat, Rational};
     pub use pfair_core::task::TaskId;

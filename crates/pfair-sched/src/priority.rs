@@ -142,6 +142,30 @@ impl TieTable {
         TieTable { ranks }
     }
 
+    /// Grows the table to rank task ids `0..tasks` (no-op when already
+    /// that big).
+    ///
+    /// Under the default [`TieBreak::TaskIdAsc`] the sort key is
+    /// `(0, id)`, so appended ids sort after every existing id and the
+    /// existing dense ranks are unchanged — growth is a stable O(new)
+    /// append of ranks `len..tasks`. Other policies cannot guarantee
+    /// that (a `Ranked` entry or `TaskIdDesc` would slot a new id
+    /// *before* existing ones), so they rebuild the table; callers that
+    /// grow mid-run (the shard supervisor) fix the policy to
+    /// `TaskIdAsc`, where released priorities stay consistent because
+    /// no already-released subtask's rank moves.
+    pub fn ensure_tasks(&mut self, tb: &TieBreak, tasks: u32) {
+        let len = u32::try_from(self.ranks.len()).unwrap_or(u32::MAX);
+        if tasks <= len {
+            return;
+        }
+        if matches!(tb, TieBreak::TaskIdAsc) {
+            self.ranks.extend(len..tasks);
+        } else {
+            *self = TieTable::new(tb, tasks);
+        }
+    }
+
     /// The dense rank of `task` (smaller = favored). Unknown tasks rank
     /// last — the engine never asks for one, but the total function
     /// keeps the type panic-free.

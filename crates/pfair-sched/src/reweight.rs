@@ -216,6 +216,16 @@ impl RuleSelector {
         &self.scheme
     }
 
+    /// Grows the per-task state table to cover ids `0..tasks` (no-op
+    /// when already that big); new slots start in the default state.
+    pub fn ensure_tasks(&mut self, tasks: u32) {
+        // audit: allow(lossy-cast, u32→usize is lossless on the supported targets)
+        let tasks = tasks as usize;
+        if tasks > self.state.len() {
+            self.state.resize(tasks, HybridTaskState::default());
+        }
+    }
+
     /// Number of per-task state slots (restore-time validation: must
     /// match the engine's task-table size).
     pub fn task_slots(&self) -> usize {

@@ -13,7 +13,9 @@
 //! * [`churn`] — tasks continuously join and leave (the dynamic-system
 //!   setting of Srinivasan & Anderson's rules J/L);
 //! * [`random_adaptive`] — seeded random joins/reweights/delays for
-//!   fuzz-style stress, always policed to feasibility.
+//!   fuzz-style stress, always policed to feasibility;
+//! * [`synthetic_population`] — `10⁵–10⁶` light aligned tasks for
+//!   shard-supervisor scale-out runs (PR 10).
 
 use crate::event::Workload;
 use pfair_core::rational::Rational;
@@ -146,6 +148,35 @@ pub fn random_adaptive(n: u32, events: u32, horizon: Slot, seed: u64) -> Workloa
     w
 }
 
+/// Every window length [`synthetic_population`] draws from divides
+/// this slot count, so any horizon that is a multiple of it closes
+/// every task's final window exactly: in a miss-free run each task of
+/// weight `1/L` is scheduled exactly `horizon / L` times. The
+/// shard-count determinism suite leans on that alignment.
+pub const POPULATION_ALIGNMENT: Slot = 8192;
+
+/// Population-scale workload: `n` tasks joining at slot 0 with weights
+/// `1/L`, `L` a power of two drawn deterministically (ChaCha8, seeded)
+/// from `{512, …, 8192}`.
+///
+/// Shaped for [`crate::shard::ShardSet`] runs at `10⁵–10⁶` tasks: the
+/// light power-of-two weights keep expected total utilization at
+/// `n · 31/40960` (< 0.1 % each), so per-shard utilization stays
+/// bounded and easy to provision — size `shards × processors_per_shard`
+/// at or above [`join_utilization`] and every shard admits its members
+/// under condition (W). All joins land at slot 0 and every window
+/// divides [`POPULATION_ALIGNMENT`], making aligned horizons exact
+/// (see the constant's docs). Fully deterministic in `(n, seed)`.
+pub fn synthetic_population(n: u32, seed: u64) -> Workload {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut w = Workload::new();
+    for i in 0..n {
+        let den = 512i128 << rng.gen_range(0u32..5);
+        w.join(i, 0, 1, den);
+    }
+    w
+}
+
 /// Total requested utilization of the joins in a workload (a quick
 /// feasibility sniff for generated workloads).
 pub fn join_utilization(w: &Workload) -> Rational {
@@ -164,6 +195,25 @@ mod tests {
     use super::*;
     use crate::engine::{simulate, SimConfig};
     use pfair_core::rational::rat;
+
+    #[test]
+    fn synthetic_population_is_deterministic_and_bounded() {
+        let a = synthetic_population(2000, 7);
+        assert_eq!(
+            a.sorted_events(),
+            synthetic_population(2000, 7).sorted_events()
+        );
+        assert_ne!(
+            a.sorted_events(),
+            synthetic_population(2000, 8).sorted_events()
+        );
+        let util = join_utilization(&a);
+        assert!(util >= rat(2000, 8192) && util <= rat(2000, 512));
+        assert!(a
+            .sorted_events()
+            .iter()
+            .all(|e| e.at == 0 && matches!(e.kind, crate::event::EventKind::Join(_))));
+    }
 
     #[test]
     fn uniform_and_burst_run_clean() {
